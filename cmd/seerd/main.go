@@ -1,0 +1,268 @@
+// Command seerd is the SEER daemon for real systems: it consumes strace
+// output (from a file or stdin), maintains the correlator state, and
+// serves hoarding decisions over HTTP.
+//
+// Capture activity with:
+//
+//	strace -f -tt -e trace=open,openat,creat,close,stat,lstat,access,\
+//	execve,fork,vfork,clone,unlink,unlinkat,rename,renameat,mkdir,\
+//	chdir,getdents64,exit_group -o /tmp/seer.strace -p <shell pid>
+//
+// then run:
+//
+//	seerd -strace /tmp/seer.strace -listen :7077 -budget 512
+//
+// Endpoints: /plan (inclusion order), /hoard (chosen files at the
+// budget), /clusters, /stats, /miss?path=... (record a hoard miss and
+// force the file's project into future plans, §4.4). Without -listen,
+// seerd prints the hoard list once and exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/strace"
+)
+
+type daemon struct {
+	mu     sync.Mutex
+	corr   *core.Correlator
+	budget int64
+}
+
+func main() {
+	stracePath := flag.String("strace", "-", "strace output file (- = stdin)")
+	listen := flag.String("listen", "", "HTTP listen address (empty = print and exit)")
+	budgetMB := flag.Int64("budget", 512, "hoard budget in MB")
+	dbPath := flag.String("db", "", "database file: restored at start, saved after input")
+	follow := flag.Bool("follow", false,
+		"keep tailing the strace file for appended lines (requires -listen)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *stracePath != "-" {
+		f, err := os.Open(*stracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	opts := core.Options{Seed: 1}
+	corr := core.New(opts)
+	if *dbPath != "" {
+		if f, err := os.Open(*dbPath); err == nil {
+			restored, err := core.Load(f, opts)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seerd: load %s: %v\n", *dbPath, err)
+				os.Exit(1)
+			}
+			corr = restored
+			fmt.Fprintf(os.Stderr, "seerd: restored %d events, %d files from %s\n",
+				corr.Events(), corr.FS().Len(), *dbPath)
+		}
+	}
+	d := &daemon{
+		corr:   corr,
+		budget: *budgetMB << 20,
+	}
+	parser := strace.NewParser()
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if ev, ok := parser.ParseLine(sc.Text()); ok {
+			d.mu.Lock()
+			d.corr.Feed(ev)
+			d.mu.Unlock()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "seerd: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *dbPath != "" {
+		if err := saveDB(d, *dbPath); err != nil {
+			fmt.Fprintf(os.Stderr, "seerd: save %s: %v\n", *dbPath, err)
+			os.Exit(1)
+		}
+	}
+
+	if *listen == "" {
+		d.printHoard(os.Stdout)
+		return
+	}
+	if *follow && *stracePath != "-" {
+		go d.followFile(*stracePath, *dbPath)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", d.handlePlan)
+	mux.HandleFunc("/hoard", d.handleHoard)
+	mux.HandleFunc("/clusters", d.handleClusters)
+	mux.HandleFunc("/stats", d.handleStats)
+	mux.HandleFunc("/miss", d.handleMiss)
+	fmt.Fprintf(os.Stderr, "seerd: %d events observed, serving on %s\n",
+		d.corr.Events(), *listen)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// followFile tails the strace file for appended lines, feeding them to
+// the correlator as they arrive (and checkpointing the database every
+// few minutes when one is configured).
+func (d *daemon) followFile(path, dbPath string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seerd: follow: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		fmt.Fprintf(os.Stderr, "seerd: follow: %v\n", err)
+		return
+	}
+	parser := strace.NewParser()
+	rd := bufio.NewReader(f)
+	lastSave := time.Now()
+	var partial string
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			// At EOF: stash any partial line and poll for growth.
+			partial += line
+			time.Sleep(time.Second)
+			continue
+		}
+		line = partial + line
+		partial = ""
+		if ev, ok := parser.ParseLine(line); ok {
+			d.mu.Lock()
+			d.corr.Feed(ev)
+			d.mu.Unlock()
+		}
+		if dbPath != "" && time.Since(lastSave) > 5*time.Minute {
+			lastSave = time.Now()
+			if err := saveDB(d, dbPath); err != nil {
+				fmt.Fprintf(os.Stderr, "seerd: checkpoint: %v\n", err)
+			}
+		}
+	}
+}
+
+// saveDB checkpoints the correlator atomically (write + rename).
+func saveDB(d *daemon, path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := d.corr.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (d *daemon) printHoard(w io.Writer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	contents := d.corr.Fill(d.budget)
+	fmt.Fprintf(w, "# hoard: %d files, %d bytes of %d budget\n",
+		contents.Len(), contents.UsedBytes(), contents.Budget())
+	// How long a cold fill would hold the link (paper §1: bandwidth is
+	// the scarce resource).
+	for _, l := range []struct {
+		name string
+		link replic.Link
+	}{
+		{"28.8k modem", replic.Modem28k},
+		{"ISDN", replic.ISDN},
+		{"10M ethernet", replic.Ethernet10},
+	} {
+		est := replic.EstimateSync(d.corr.FS(), contents.IDs(), l.link)
+		fmt.Fprintf(w, "# cold fill over %-12s %v\n", l.name+":", est.Duration.Round(time.Second))
+	}
+	for _, id := range contents.IDs() {
+		if f := d.corr.FS().Get(id); f != nil {
+			fmt.Fprintln(w, f.Path)
+		}
+	}
+}
+
+func (d *daemon) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, e := range d.corr.Plan().Entries {
+		fmt.Fprintf(w, "%5d %8s %10d %12d %s\n",
+			i, e.Reason, e.File.Size, e.Cum, e.File.Path)
+	}
+}
+
+func (d *daemon) handleHoard(w http.ResponseWriter, _ *http.Request) {
+	d.printHoard(w)
+}
+
+func (d *daemon) handleClusters(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res := d.corr.Clusters()
+	for _, cl := range res.Clusters {
+		if len(cl.Members) < 2 {
+			continue
+		}
+		fmt.Fprintf(w, "cluster %d (%d files):\n", cl.ID, len(cl.Members))
+		for _, m := range cl.Members {
+			if f := d.corr.FS().Get(m); f != nil {
+				fmt.Fprintf(w, "  %s\n", f.Path)
+			}
+		}
+	}
+}
+
+// handleMiss records a hoard miss (§4.4): the same request both logs
+// the miss and forces the file — plus its project — into future plans.
+// POST /miss?path=/home/u/file
+func (d *daemon) handleMiss(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Query().Get("path")
+	if path == "" {
+		http.Error(w, "missing path parameter", http.StatusBadRequest)
+		return
+	}
+	d.mu.Lock()
+	mates := d.corr.ForceHoard(path)
+	d.mu.Unlock()
+	fmt.Fprintf(w, "recorded miss of %s; forced %d project mates:\n", path, len(mates))
+	for _, m := range mates {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+}
+
+func (d *daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.corr.Observer().Stats()
+	fmt.Fprintf(w, "events %d\nreferences %d\nknown %d\ntracked %d\nfrequent %d\n",
+		st.Events, st.References, d.corr.FS().Len(), d.corr.Table().Len(),
+		len(d.corr.Observer().FrequentFiles()))
+}

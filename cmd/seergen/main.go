@@ -1,0 +1,81 @@
+// Command seergen emits a synthetic user-behaviour trace for one of the
+// calibrated machine profiles (A–I) in the text trace format, suitable
+// for seerctl, the examples, or external analysis.
+//
+// Usage:
+//
+//	seergen -machine F -days 30 -seed 1 -o f30.trace
+//	seergen -machine D | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/fmg/seer/internal/trace"
+	"github.com/fmg/seer/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "D", "machine profile letter (A-I)")
+	days := flag.Int("days", 0, "clamp the measured period (0 = full profile)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	format := flag.String("format", "text", "output format: text|binary")
+	stats := flag.Bool("stats", false, "print trace statistics to stderr")
+	flag.Parse()
+
+	prof, ok := workload.ProfileByName(*machine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "seergen: unknown machine %q (want A-I)\n", *machine)
+		os.Exit(2)
+	}
+	if *days > 0 {
+		prof = prof.Light(*days)
+	}
+	gen := workload.NewGenerator(prof, *seed)
+	tr := gen.Generate()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seergen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var write func(trace.Event) error
+	var flush func() error
+	switch *format {
+	case "text":
+		tw := trace.NewWriter(w)
+		write, flush = tw.Write, tw.Flush
+	case "binary":
+		bw := trace.NewBinaryWriter(w)
+		write, flush = bw.Write, bw.Flush
+	default:
+		fmt.Fprintf(os.Stderr, "seergen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	for _, ev := range tr.Events {
+		if err := write(ev); err != nil {
+			fmt.Fprintf(os.Stderr, "seergen: write: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "seergen: flush: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr,
+			"machine %s: %d events over %d days, %d disconnections, %s → %s\n",
+			prof.Name, len(tr.Events), prof.DaysMeasured,
+			len(tr.Disconnections),
+			tr.Start.Format("2006-01-02"), tr.End.Format("2006-01-02"))
+	}
+}

@@ -1,0 +1,234 @@
+// Command seertrace analyzes a SEER trace (text or binary format,
+// auto-detected): operation mix, per-program activity, working-set
+// growth, connectivity timeline, and conversion between formats.
+//
+// Usage:
+//
+//	seertrace -trace f.trace summary
+//	seertrace -trace f.trace programs
+//	seertrace -trace f.trace workingset -interval 24h
+//	seertrace -trace f.trace connectivity
+//	seertrace -trace f.trace convert -o f.btrace -format binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/fmg/seer/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (text or binary, auto-detected)")
+	interval := flag.Duration("interval", 24*time.Hour, "bucket size for workingset")
+	out := flag.String("o", "-", "output file for convert")
+	format := flag.String("format", "binary", "convert target format: text|binary")
+	flag.Parse()
+	if *tracePath == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr,
+			"usage: seertrace -trace FILE summary|programs|workingset|connectivity|convert")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := trace.ReadAuto(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+
+	switch flag.Arg(0) {
+	case "summary":
+		summary(events)
+	case "programs":
+		programs(events)
+	case "workingset":
+		workingSet(events, *interval)
+	case "connectivity":
+		connectivity(events)
+	case "convert":
+		convert(events, *out, *format)
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q", flag.Arg(0)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "seertrace: %v\n", err)
+	os.Exit(1)
+}
+
+func summary(events []trace.Event) {
+	counts := map[trace.Op]int{}
+	paths := map[string]bool{}
+	pids := map[trace.PID]bool{}
+	failed := 0
+	for _, ev := range events {
+		counts[ev.Op]++
+		if ev.Path != "" {
+			paths[ev.Path] = true
+		}
+		if ev.PID != 0 {
+			pids[ev.PID] = true
+		}
+		if ev.Failed {
+			failed++
+		}
+	}
+	first, last := events[0].Time, events[len(events)-1].Time
+	fmt.Printf("events    %d\n", len(events))
+	fmt.Printf("span      %s → %s (%.1f days)\n",
+		first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"),
+		last.Sub(first).Hours()/24)
+	fmt.Printf("paths     %d distinct\n", len(paths))
+	fmt.Printf("processes %d distinct\n", len(pids))
+	fmt.Printf("failed    %d\n", failed)
+	type kv struct {
+		op trace.Op
+		n  int
+	}
+	var kvs []kv
+	for op, n := range counts {
+		kvs = append(kvs, kv{op, n})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].n > kvs[j].n })
+	for _, x := range kvs {
+		fmt.Printf("  %-10s %8d (%.1f%%)\n", x.op, x.n,
+			100*float64(x.n)/float64(len(events)))
+	}
+}
+
+func programs(events []trace.Event) {
+	prog := map[trace.PID]string{}
+	type stat struct {
+		events int
+		paths  map[string]bool
+	}
+	byProg := map[string]*stat{}
+	for _, ev := range events {
+		switch ev.Op {
+		case trace.OpExec:
+			prog[ev.PID] = ev.Prog
+		case trace.OpFork:
+			prog[ev.PID] = prog[ev.PPID]
+		}
+		name := prog[ev.PID]
+		if name == "" {
+			name = "(shell)"
+		}
+		s := byProg[name]
+		if s == nil {
+			s = &stat{paths: map[string]bool{}}
+			byProg[name] = s
+		}
+		if ev.Op.IsFileRef() {
+			s.events++
+			s.paths[ev.Path] = true
+		}
+	}
+	names := make([]string, 0, len(byProg))
+	for n := range byProg {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return byProg[names[i]].events > byProg[names[j]].events
+	})
+	fmt.Printf("%-12s %10s %10s\n", "program", "refs", "files")
+	for _, n := range names {
+		s := byProg[n]
+		fmt.Printf("%-12s %10d %10d\n", n, s.events, len(s.paths))
+	}
+}
+
+func workingSet(events []trace.Event, interval time.Duration) {
+	fmt.Printf("%-18s %10s %10s\n", "bucket", "refs", "distinct")
+	start := events[0].Time
+	boundary := start.Add(interval)
+	distinct := map[string]bool{}
+	refs := 0
+	flush := func(at time.Time) {
+		if refs > 0 {
+			fmt.Printf("%-18s %10d %10d\n",
+				at.Add(-interval).Format("2006-01-02 15:04"), refs, len(distinct))
+		}
+		distinct = map[string]bool{}
+		refs = 0
+	}
+	for _, ev := range events {
+		for !ev.Time.Before(boundary) {
+			flush(boundary)
+			boundary = boundary.Add(interval)
+		}
+		if ev.Op.IsFileRef() && !ev.Failed && ev.Path != "" {
+			refs++
+			distinct[ev.Path] = true
+		}
+	}
+	flush(boundary)
+}
+
+func connectivity(events []trace.Event) {
+	var discStart time.Time
+	connected := true
+	fmt.Printf("%-20s %-12s %s\n", "time", "event", "detail")
+	for _, ev := range events {
+		switch ev.Op {
+		case trace.OpDisconnect:
+			connected = false
+			discStart = ev.Time
+			fmt.Printf("%-20s %-12s\n", ev.Time.Format("2006-01-02 15:04"), "disconnect")
+		case trace.OpReconnect:
+			if !connected {
+				fmt.Printf("%-20s %-12s after %.1f h\n",
+					ev.Time.Format("2006-01-02 15:04"), "reconnect",
+					ev.Time.Sub(discStart).Hours())
+			}
+			connected = true
+		}
+	}
+}
+
+func convert(events []trace.Event, out, format string) {
+	var w *os.File = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "binary":
+		bw := trace.NewBinaryWriter(w)
+		for _, ev := range events {
+			if err := bw.Write(ev); err != nil {
+				fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+	case "text":
+		tw := trace.NewWriter(w)
+		for _, ev := range events {
+			if err := tw.Write(ev); err != nil {
+				fatal(err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", format))
+	}
+	fmt.Fprintf(os.Stderr, "seertrace: wrote %d events\n", len(events))
+}

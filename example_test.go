@@ -1,0 +1,87 @@
+package seer_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	seer "github.com/fmg/seer"
+)
+
+// Example demonstrates the core loop: observe references, inspect the
+// inferred projects, choose hoard contents.
+func Example() {
+	// Small demo groups need looser clustering thresholds than the
+	// paper-scale defaults (kn=4 shared neighbors needs larger projects).
+	p := seer.DefaultParams()
+	p.KNear, p.KFar = 2, 1
+	s := seer.New(seer.WithSeed(1), seer.WithParams(p))
+
+	// Files edited together, repeatedly.
+	clock := time.Date(1997, 10, 5, 9, 0, 0, 0, time.UTC)
+	var seq uint64
+	emit := func(op seer.Op, path string) {
+		seq++
+		clock = clock.Add(time.Second)
+		s.Observe(seer.Event{Seq: seq, Time: clock, PID: 1, Op: op, Path: path, Uid: 1000})
+	}
+	for i := 0; i < 4; i++ {
+		emit(seer.OpOpen, "/home/u/doc/report.tex")
+		for _, f := range []string{"/home/u/doc/figs.eps", "/home/u/doc/refs.bib", "/home/u/doc/style.sty"} {
+			emit(seer.OpOpen, f)
+			emit(seer.OpClose, f)
+		}
+		emit(seer.OpClose, "/home/u/doc/report.tex")
+	}
+
+	for _, c := range s.Clusters() {
+		if len(c.Files) > 1 {
+			fmt.Println(strings.Join(c.Files, " + "))
+		}
+	}
+	// Output:
+	// /home/u/doc/report.tex + /home/u/doc/figs.eps + /home/u/doc/refs.bib + /home/u/doc/style.sty
+}
+
+// ExampleSeer_ObserveStrace feeds real strace output to the correlator.
+func ExampleSeer_ObserveStrace() {
+	s := seer.New(seer.WithSeed(1))
+	log := `100 openat(AT_FDCWD, "/etc/motd", O_RDONLY) = 3
+100 close(3) = 0
+`
+	if err := s.ObserveStrace(strings.NewReader(log)); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("events:", s.Events())
+	// Output:
+	// events: 2
+}
+
+// ExampleSeer_RecordMiss shows the §4.4 miss-recording mechanism: one
+// call records the miss and forces the file's whole project into future
+// hoards.
+func ExampleSeer_RecordMiss() {
+	p := seer.DefaultParams()
+	p.KNear, p.KFar = 2, 1
+	s := seer.New(seer.WithSeed(1), seer.WithParams(p))
+	clock := time.Date(1997, 10, 5, 9, 0, 0, 0, time.UTC)
+	var seq uint64
+	emit := func(op seer.Op, path string) {
+		seq++
+		clock = clock.Add(time.Second)
+		s.Observe(seer.Event{Seq: seq, Time: clock, PID: 1, Op: op, Path: path, Uid: 1000})
+	}
+	for i := 0; i < 4; i++ {
+		emit(seer.OpOpen, "/home/u/p/a.c")
+		for _, f := range []string{"/home/u/p/b.c", "/home/u/p/c.h", "/home/u/p/d.h"} {
+			emit(seer.OpOpen, f)
+			emit(seer.OpClose, f)
+		}
+		emit(seer.OpClose, "/home/u/p/a.c")
+	}
+	mates := s.RecordMiss("/home/u/p/a.c")
+	fmt.Println("also forced:", strings.Join(mates, ", "))
+	// Output:
+	// also forced: /home/u/p/b.c, /home/u/p/c.h, /home/u/p/d.h
+}

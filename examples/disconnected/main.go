@@ -1,0 +1,115 @@
+// Disconnected: the full disconnected-operation lifecycle over the
+// CheapRumor replication substrate — the paper's operational setting.
+//
+//  1. While connected, SEER observes work and the user's projects
+//     replicate to the server.
+//
+//  2. Before disconnection, SEER fills the hoard and the substrate
+//     fetches it.
+//
+//  3. While disconnected, work on hoarded projects succeeds; a reference
+//     outside the hoard is a miss, recorded with a severity (§4.4);
+//     local edits accumulate as dirty replicas.
+//
+//  4. On reconnection, the substrate propagates local updates and
+//     detects any conflicting server-side changes.
+//
+//     go run ./examples/disconnected
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/hoard"
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/trace"
+)
+
+func main() {
+	corr := core.New(core.Options{Seed: 11})
+	rum := replic.NewCheapRumor(corr.FS())
+	clk := trace.NewClock(time.Date(1997, 3, 3, 9, 0, 0, 0, time.UTC))
+
+	emit := func(pid trace.PID, op trace.Op, path string) {
+		clk.Advance(2 * time.Second)
+		corr.Feed(clk.Stamp(trace.Event{PID: pid, Op: op, Path: path, Uid: 1000}))
+	}
+	session := func(pid trace.PID, files []string) {
+		emit(pid, trace.OpOpen, files[0])
+		for _, f := range files[1:] {
+			emit(pid, trace.OpOpen, f)
+			emit(pid, trace.OpClose, f)
+		}
+		emit(pid, trace.OpClose, files[0])
+	}
+
+	thesis := []string{
+		"/home/u/thesis/ch1.tex", "/home/u/thesis/ch2.tex",
+		"/home/u/thesis/refs.bib", "/home/u/thesis/macros.sty",
+	}
+	taxes := []string{
+		"/home/u/taxes/1996.dat", "/home/u/taxes/receipts.txt",
+		"/home/u/taxes/notes.txt", "/home/u/taxes/forms.txt",
+	}
+
+	// 1. Connected work: the thesis is the active project; taxes were
+	// touched long ago.
+	for i := 0; i < 2; i++ {
+		session(1, taxes)
+	}
+	for i := 0; i < 8; i++ {
+		session(2, thesis)
+	}
+	for _, f := range corr.FS().Files() {
+		rum.ServerCreate(f.ID)
+	}
+	fmt.Printf("connected: %d files known, all replicated to the server\n",
+		corr.FS().Len())
+
+	// 2. Hoard fill before leaving. The budget fits one project.
+	var thesisBytes int64
+	for _, p := range thesis {
+		thesisBytes += corr.FS().Lookup(p).Size
+	}
+	budget := thesisBytes + 2048
+	plan := corr.Plan()
+	contents := plan.Fill(budget, true)
+	fetch, _ := hoard.Diff(nil, contents)
+	failed := rum.Sync(fetch, nil)
+	fmt.Printf("hoard fill at %d B: %d files fetched (%d failed)\n",
+		budget, contents.Len(), failed)
+	rum.SetConnected(false)
+	fmt.Println("--- disconnected ---")
+
+	// 3. Disconnected work.
+	log := hoard.NewMissLog()
+	access := func(path string, sev hoard.Severity) {
+		f := corr.FS().Lookup(path)
+		res := rum.Access(f.ID)
+		fmt.Printf("  access %-28s → %s\n", path, res)
+		if res == replic.AccessMiss {
+			log.Record(hoard.Miss{File: f.ID, Path: path, Severity: sev})
+		}
+	}
+	access("/home/u/thesis/ch2.tex", hoard.Severity1)
+	rum.WriteLocal(corr.FS().Lookup("/home/u/thesis/ch2.tex").ID)
+	fmt.Println("  (edited ch2.tex locally)")
+	access("/home/u/taxes/1996.dat", hoard.Severity2) // not hoarded: miss
+
+	// Meanwhile, a colleague updates refs.bib on the server.
+	rum.ServerUpdate(corr.FS().Lookup("/home/u/thesis/refs.bib").ID)
+
+	// 4. Reconnect and reconcile.
+	fmt.Println("--- reconnected ---")
+	rep := rum.SetConnected(true)
+	fmt.Printf("reconcile: %d propagated, %d refreshed, %d conflicts\n",
+		rep.Propagated, rep.Refreshed, rep.Conflicts)
+	user, auto := log.Failed()
+	fmt.Printf("misses this disconnection: %d (user-reported %t, auto %t)\n",
+		len(log.Misses), user, auto)
+	for _, m := range log.Misses {
+		fmt.Printf("  severity %s: %s\n", m.Severity, m.Path)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: feed SEER a small hand-built reference stream and print
+// the inferred project clusters and a hoard plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	seer "github.com/fmg/seer"
+)
+
+func main() {
+	s := seer.New(seer.WithSeed(42))
+
+	// Two work streams in two processes: a paper being written (pid 1)
+	// and a program being hacked on (pid 2). Each stream opens its
+	// "driver" file and touches the others while it is open — the
+	// semantic-locality signal SEER exploits.
+	paper := []string{
+		"/home/u/paper/draft.tex", "/home/u/paper/refs.bib",
+		"/home/u/paper/fig1.eps", "/home/u/paper/fig2.eps",
+		"/home/u/paper/macros.sty", "/home/u/paper/notes.txt",
+	}
+	code := []string{
+		"/home/u/hack/main.c", "/home/u/hack/util.c", "/home/u/hack/util.h",
+		"/home/u/hack/Makefile", "/home/u/hack/parse.c", "/home/u/hack/parse.h",
+	}
+
+	clock := time.Date(1997, 10, 5, 9, 0, 0, 0, time.UTC)
+	var seq uint64
+	emit := func(pid seer.PID, op seer.Op, path string) {
+		seq++
+		clock = clock.Add(time.Second)
+		s.Observe(seer.Event{Seq: seq, Time: clock, PID: pid, Op: op, Path: path, Uid: 1000})
+	}
+	session := func(pid seer.PID, files []string) {
+		emit(pid, seer.OpOpen, files[0])
+		for _, f := range files[1:] {
+			emit(pid, seer.OpOpen, f)
+			emit(pid, seer.OpClose, f)
+		}
+		emit(pid, seer.OpClose, files[0])
+	}
+	for i := 0; i < 5; i++ {
+		session(1, paper)
+		session(2, code)
+	}
+
+	fmt.Println("Inferred projects:")
+	for _, c := range s.Clusters() {
+		if len(c.Files) < 2 {
+			continue
+		}
+		fmt.Printf("  project %d:\n", c.ID)
+		for _, f := range c.Files {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+
+	fmt.Println("\nHoard plan (priority order):")
+	for _, e := range s.HoardPlan() {
+		fmt.Printf("  %-8s %6d B  %s\n", e.Reason, e.Size, e.Path)
+	}
+
+	fmt.Println("\nHoarded at a 120 KB budget:")
+	for _, path := range s.Hoard(120 << 10) {
+		fmt.Printf("  %s\n", path)
+	}
+}

@@ -1,0 +1,87 @@
+// Straced: parse strace(1) output — the real-world observer path — and
+// produce a hoard plan from it.
+//
+// The embedded log is the (abridged) trace of a make-driven build: make
+// stats the targets, forks a compiler per source, the compiler holds
+// each source open while reading its headers, and the linker produces
+// the binary. SEER recovers the project structure from nothing but the
+// system calls.
+//
+//	go run ./examples/straced
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	seer "github.com/fmg/seer"
+)
+
+const straceLog = `
+100 09:00:00.000100 execve("/usr/bin/make", ["make"], 0x7ffd /* 20 vars */) = 0
+100 09:00:00.001000 openat(AT_FDCWD, "/home/u/ed/Makefile", O_RDONLY) = 3
+100 09:00:00.002000 stat("/home/u/ed/main.c", {st_mode=S_IFREG|0644}) = 0
+100 09:00:00.002100 stat("/home/u/ed/main.o", 0x7ffd) = -1 ENOENT (No such file or directory)
+100 09:00:00.002200 stat("/home/u/ed/buffer.c", {st_mode=S_IFREG|0644}) = 0
+100 09:00:00.002300 stat("/home/u/ed/buffer.o", 0x7ffd) = -1 ENOENT (No such file or directory)
+100 09:00:00.010000 clone(child_stack=NULL, flags=SIGCHLD) = 101
+101 09:00:00.011000 execve("/usr/bin/cc", ["cc", "-c", "main.c"], 0x55 /* 20 vars */) = 0
+101 09:00:00.012000 openat(AT_FDCWD, "/home/u/ed/main.c", O_RDONLY) = 3
+101 09:00:00.013000 openat(AT_FDCWD, "/home/u/ed/ed.h", O_RDONLY) = 4
+101 09:00:00.013500 close(4) = 0
+101 09:00:00.014000 openat(AT_FDCWD, "/home/u/ed/term.h", O_RDONLY) = 4
+101 09:00:00.014500 close(4) = 0
+101 09:00:00.020000 openat(AT_FDCWD, "/home/u/ed/main.o", O_WRONLY|O_CREAT|O_TRUNC, 0666) = 5
+101 09:00:00.021000 close(5) = 0
+101 09:00:00.021500 close(3) = 0
+101 09:00:00.022000 exit_group(0) = ?
+101 09:00:00.022100 +++ exited with 0 +++
+100 09:00:00.030000 clone(child_stack=NULL, flags=SIGCHLD) = 102
+102 09:00:00.031000 execve("/usr/bin/cc", ["cc", "-c", "buffer.c"], 0x55 /* 20 vars */) = 0
+102 09:00:00.032000 openat(AT_FDCWD, "/home/u/ed/buffer.c", O_RDONLY) = 3
+102 09:00:00.033000 openat(AT_FDCWD, "/home/u/ed/ed.h", O_RDONLY) = 4
+102 09:00:00.033500 close(4) = 0
+102 09:00:00.040000 openat(AT_FDCWD, "/home/u/ed/buffer.o", O_WRONLY|O_CREAT|O_TRUNC, 0666) = 5
+102 09:00:00.041000 close(5) = 0
+102 09:00:00.041500 close(3) = 0
+102 09:00:00.042000 exit_group(0) = ?
+102 09:00:00.042100 +++ exited with 0 +++
+100 09:00:00.050000 clone(child_stack=NULL, flags=SIGCHLD) = 103
+103 09:00:00.051000 execve("/usr/bin/ld", ["ld", "-o", "ed"], 0x55 /* 20 vars */) = 0
+103 09:00:00.052000 openat(AT_FDCWD, "/home/u/ed/main.o", O_RDONLY) = 3
+103 09:00:00.053000 openat(AT_FDCWD, "/home/u/ed/buffer.o", O_RDONLY) = 4
+103 09:00:00.054000 openat(AT_FDCWD, "/home/u/ed/ed.tmp", O_WRONLY|O_CREAT, 0777) = 5
+103 09:00:00.055000 close(5) = 0
+103 09:00:00.055500 close(4) = 0
+103 09:00:00.055600 close(3) = 0
+103 09:00:00.056000 rename("/home/u/ed/ed.tmp", "/home/u/ed/ed") = 0
+103 09:00:00.057000 exit_group(0) = ?
+103 09:00:00.057100 +++ exited with 0 +++
+100 09:00:00.060000 close(3) = 0
+100 09:00:00.061000 exit_group(0) = ?
+`
+
+func main() {
+	s := seer.New(seer.WithSeed(3))
+	if err := s.ObserveStrace(strings.NewReader(straceLog)); err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	fmt.Printf("observed %d events, %d known files\n\n", s.Events(), s.KnownFiles())
+
+	fmt.Println("Inferred clusters:")
+	for _, c := range s.Clusters() {
+		if len(c.Files) < 2 {
+			continue
+		}
+		fmt.Printf("  cluster %d:\n", c.ID)
+		for _, f := range c.Files {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+
+	fmt.Println("\nHoard plan:")
+	for _, e := range s.HoardPlan() {
+		fmt.Printf("  %-8s %8d B  %s\n", e.Reason, e.Size, e.Path)
+	}
+}

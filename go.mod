@@ -1,0 +1,3 @@
+module github.com/fmg/seer
+
+go 1.22

@@ -1,0 +1,181 @@
+// Integration tests exercising whole pipelines across module
+// boundaries: workload generation → trace codecs → observer →
+// correlator → plans, persistence through the public API, and
+// robustness of the correlator against arbitrary event streams.
+package seer
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/sim"
+	"github.com/fmg/seer/internal/trace"
+	"github.com/fmg/seer/internal/workload"
+)
+
+// A generated workload must survive a round-trip through both trace
+// codecs and produce the identical hoard plan when replayed.
+func TestTraceCodecsPreserveBehaviour(t *testing.T) {
+	prof, _ := workload.ProfileByName("C")
+	gen := workload.NewGenerator(prof.Light(10), 3)
+	tr := gen.Generate()
+
+	replay := func(events []trace.Event) []PlanEntry {
+		s := New(WithSeed(9), WithDirSize(gen.DirSize))
+		s.ObserveAll(events)
+		return s.HoardPlan()
+	}
+	direct := replay(tr.Events)
+
+	// Text round trip.
+	var text bytes.Buffer
+	tw := trace.NewWriter(&text)
+	for _, ev := range tr.Events {
+		if err := tw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tw.Flush()
+	textEvents, err := trace.ReadAuto(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replay(textEvents); !reflect.DeepEqual(got, direct) {
+		t.Error("text codec changed the hoard plan")
+	}
+
+	// Binary round trip.
+	var bin bytes.Buffer
+	bw := trace.NewBinaryWriter(&bin)
+	for _, ev := range tr.Events {
+		if err := bw.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Flush()
+	binEvents, err := trace.ReadAuto(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replay(binEvents); !reflect.DeepEqual(got, direct) {
+		t.Error("binary codec changed the hoard plan")
+	}
+}
+
+// Persistence through the public API: a saved and restored Seer produces
+// the same plan and keeps learning identically.
+func TestPublicSaveLoad(t *testing.T) {
+	prof, _ := workload.ProfileByName("C")
+	gen := workload.NewGenerator(prof.Light(8), 1)
+	tr := gen.Generate()
+	s := New(WithSeed(2), WithDirSize(gen.DirSize))
+	s.ObserveAll(tr.Events)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, WithSeed(2), WithDirSize(gen.DirSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.HoardPlan(), restored.HoardPlan()) {
+		t.Fatal("restored plan differs")
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage database accepted")
+	}
+}
+
+// The correlator must never panic, whatever event stream arrives —
+// malformed pid relationships, unbalanced opens, renames of missing
+// files, connectivity chatter.
+func TestCorrelatorRobustness(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		s := New(WithSeed(seed))
+		rng := rand.New(rand.NewSource(seed))
+		clk := trace.NewClock(time.Unix(0, 0))
+		for _, op := range ops {
+			ev := trace.Event{
+				PID:  trace.PID(op % 5),
+				PPID: trace.PID(op / 5 % 5),
+				Op:   trace.Op(op%16 + 1),
+				Path: fmt.Sprintf("/p%d/f%d", op%3, op%13),
+				Uid:  int32(op % 2 * 1000),
+			}
+			if rng.Intn(10) == 0 {
+				ev.Path2 = fmt.Sprintf("/q/f%d", op%7)
+			}
+			if rng.Intn(15) == 0 {
+				ev.Failed = true
+			}
+			clk.Advance(time.Duration(rng.Intn(1000)) * time.Millisecond)
+			s.Observe(clk.Stamp(ev))
+		}
+		s.Clusters()
+		s.HoardPlan()
+		s.Hoard(1 << 20)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The same machine replayed through sim and through the public API must
+// agree on the set of known files (two independent wiring paths over
+// the same substrate).
+func TestSimAndAPIAgree(t *testing.T) {
+	prof, _ := workload.ProfileByName("E")
+	opts := sim.Options{Profile: prof.Light(10), WorkloadSeed: 4, SizeSeed: 5}
+	m := sim.NewMachine(opts)
+	for _, ev := range m.Tr.Events {
+		m.Corr.Feed(ev)
+	}
+
+	params := sim.DefaultParams()
+	c2 := core.New(core.Options{Params: &params, Seed: 5, DirSize: m.Gen.DirSize})
+	for _, ev := range m.Tr.Events {
+		c2.Feed(ev)
+	}
+	// The machine pre-creates ground files (different sizes), so plans
+	// differ in bytes; but both must know the same referenced files and
+	// produce plans covering them.
+	p1, p2 := m.Corr.Plan(), c2.Plan()
+	if p1.Len() == 0 || p2.Len() == 0 {
+		t.Fatal("empty plans")
+	}
+	diff := p1.Len() - p2.Len()
+	if diff < -2 || diff > 2 {
+		t.Errorf("plan lengths diverge: %d vs %d", p1.Len(), p2.Len())
+	}
+}
+
+// Live replay must be reproducible end to end: identical options give
+// identical miss logs.
+func TestLiveReplayReproducible(t *testing.T) {
+	prof, _ := workload.ProfileByName("D")
+	opts := sim.Options{Profile: prof.Light(20), WorkloadSeed: 2, SizeSeed: 3}
+	r1 := sim.Live(opts, 30<<20)
+	r2 := sim.Live(opts, 30<<20)
+	if len(r1.Disconnections) != len(r2.Disconnections) {
+		t.Fatalf("disconnection counts differ")
+	}
+	for i := range r1.Disconnections {
+		m1, m2 := r1.Disconnections[i].Misses.Misses, r2.Disconnections[i].Misses.Misses
+		if len(m1) != len(m2) {
+			t.Fatalf("disconnection %d: miss counts differ", i)
+		}
+		for j := range m1 {
+			if m1[j].Path != m2[j].Path || m1[j].Severity != m2[j].Severity {
+				t.Fatalf("disconnection %d miss %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package cluster implements SEER's modified Jarvis–Patrick clustering
+// (paper §3.3). The original algorithm compares the n-nearest-neighbor
+// lists of every pair of points (O(N²) time); SEER achieves O(N) by only
+// examining pairs that already appear on each other's semantic-distance
+// neighbor lists, and splits the single threshold k into two:
+//
+//	shared ≥ kn          → the two files' clusters are combined
+//	kf ≤ shared < kn     → each file is inserted into the other's
+//	                       cluster, but the clusters stay separate
+//	shared < kf          → no action
+//
+// yielding the overlapping clusters that hoarding requires (a compiler
+// belongs to every project that uses it). External information —
+// directory distance and investigator-reported relations — adjusts the
+// shared-neighbor count before thresholding (paper §3.3.3).
+package cluster
+
+import (
+	"sort"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// Pair is one directed candidate relationship with its (possibly
+// adjusted) shared-neighbor count.
+type Pair struct {
+	From, To simfs.FileID
+	Shared   float64
+}
+
+// NeighborSource supplies the semantic-distance neighbor lists; it is
+// implemented by semdist.Table.
+type NeighborSource interface {
+	// Files lists every file with relationship state.
+	Files() []simfs.FileID
+	// Neighbors lists the files on id's closest-neighbor list.
+	Neighbors(id simfs.FileID) []simfs.FileID
+}
+
+// Options configures pair generation.
+type Options struct {
+	// Adjust, when non-nil, returns an additive adjustment to the
+	// shared-neighbor count of a pair: negative for directory distance,
+	// positive for investigator relations (paper §3.3.3).
+	Adjust func(a, b simfs.FileID) float64
+	// ExtraPairs lists investigator-reported pairs that are tested even
+	// when no semantic distance is stored between the files: a strong
+	// enough relation can force files into one cluster regardless of
+	// observed behaviour (paper §3.3.3).
+	ExtraPairs []Pair
+}
+
+// Cluster is one project: a sorted list of member files. Because
+// clusters overlap, a file may appear in several.
+type Cluster struct {
+	ID      int
+	Members []simfs.FileID
+}
+
+// Size returns the number of member files.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Result is a complete cluster assignment.
+type Result struct {
+	Clusters []Cluster
+	byFile   map[simfs.FileID][]int
+}
+
+// ClustersOf returns the IDs of the clusters containing f (indexes into
+// Result.Clusters).
+func (r *Result) ClustersOf(f simfs.FileID) []int { return r.byFile[f] }
+
+// BuildPairs generates the scored candidate pairs from the neighbor
+// lists: for every file A and every B on A's list, the count of
+// neighbors the two lists share, plus any adjustment.
+func BuildPairs(src NeighborSource, opts Options) []Pair {
+	files := src.Files()
+	// Precompute neighbor sets for membership testing.
+	sets := make(map[simfs.FileID]map[simfs.FileID]bool, len(files))
+	lists := make(map[simfs.FileID][]simfs.FileID, len(files))
+	for _, f := range files {
+		nbs := src.Neighbors(f)
+		lists[f] = nbs
+		set := make(map[simfs.FileID]bool, len(nbs))
+		for _, nb := range nbs {
+			set[nb] = true
+		}
+		sets[f] = set
+	}
+	var pairs []Pair
+	for _, a := range files {
+		for _, b := range lists[a] {
+			shared := sharedCount(lists[a], sets[b])
+			if opts.Adjust != nil {
+				shared += opts.Adjust(a, b)
+			}
+			pairs = append(pairs, Pair{From: a, To: b, Shared: shared})
+		}
+	}
+	for _, ep := range opts.ExtraPairs {
+		shared := ep.Shared
+		// Investigator relations add to whatever shared count the
+		// neighbor lists produce; when the files are unknown to the
+		// distance table the base count is zero.
+		shared += sharedCount(lists[ep.From], sets[ep.To])
+		if opts.Adjust != nil {
+			shared += opts.Adjust(ep.From, ep.To)
+		}
+		pairs = append(pairs, Pair{From: ep.From, To: ep.To, Shared: shared})
+	}
+	return pairs
+}
+
+func sharedCount(listA []simfs.FileID, setB map[simfs.FileID]bool) float64 {
+	if len(listA) == 0 || len(setB) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range listA {
+		if setB[x] {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// Run executes the two-phase clustering over the given files and scored
+// pairs. Files never mentioned in a qualifying pair become singleton
+// clusters (the agglomerative starting point).
+func Run(files []simfs.FileID, pairs []Pair, kn, kf float64) *Result {
+	uf := newUnionFind()
+	for _, f := range files {
+		uf.add(f)
+	}
+	for _, p := range pairs {
+		uf.add(p.From)
+		uf.add(p.To)
+	}
+	// Phase 1: combine clusters for strongly related pairs.
+	for _, p := range pairs {
+		if p.Shared >= kn {
+			uf.union(p.From, p.To)
+		}
+	}
+	// Phase 2: overlap clusters for weakly related pairs. Membership is
+	// root → extra members; insertion does not merge the clusters.
+	extra := make(map[simfs.FileID]map[simfs.FileID]bool)
+	addExtra := func(root, member simfs.FileID) {
+		if uf.find(member) == root {
+			return // already a core member
+		}
+		m := extra[root]
+		if m == nil {
+			m = make(map[simfs.FileID]bool)
+			extra[root] = m
+		}
+		m[member] = true
+	}
+	for _, p := range pairs {
+		if p.Shared >= kf && p.Shared < kn {
+			ra, rb := uf.find(p.From), uf.find(p.To)
+			if ra == rb {
+				continue
+			}
+			addExtra(ra, p.To)
+			addExtra(rb, p.From)
+		}
+	}
+	// Materialize clusters.
+	core := make(map[simfs.FileID][]simfs.FileID)
+	for f := range uf.parent {
+		r := uf.find(f)
+		core[r] = append(core[r], f)
+	}
+	roots := make([]simfs.FileID, 0, len(core))
+	for r := range core {
+		roots = append(roots, r)
+	}
+	res := &Result{byFile: make(map[simfs.FileID][]int)}
+	seen := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		members := core[r]
+		for m := range extra[r] {
+			members = append(members, m)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		// Mutual overlap can make two clusters' member sets identical;
+		// keep only one of each distinct set.
+		sig := signature(members)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		res.Clusters = append(res.Clusters, Cluster{Members: members})
+	}
+	// Deterministic order: lexicographic over the full member lists.
+	// Overlap can give two clusters the same first member, and sorting
+	// on it alone would let map-iteration order leak into cluster IDs
+	// (and from there into hoard plans).
+	sort.Slice(res.Clusters, func(i, j int) bool {
+		return lessMembers(res.Clusters[i].Members, res.Clusters[j].Members)
+	})
+	for i := range res.Clusters {
+		res.Clusters[i].ID = i
+		for _, m := range res.Clusters[i].Members {
+			res.byFile[m] = append(res.byFile[m], i)
+		}
+	}
+	return res
+}
+
+// Build is the full pipeline: generate pairs from the neighbor source
+// and run the two-phase algorithm.
+func Build(src NeighborSource, opts Options, kn, kf float64) *Result {
+	return Run(src.Files(), BuildPairs(src, opts), kn, kf)
+}
+
+// lessMembers compares two sorted member lists lexicographically.
+func lessMembers(a, b []simfs.FileID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// signature builds a map key identifying a member set.
+func signature(members []simfs.FileID) string {
+	b := make([]byte, 0, 4*len(members))
+	for _, m := range members {
+		b = append(b, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return string(b)
+}
+
+// unionFind is a standard disjoint-set forest with path compression and
+// union by size.
+type unionFind struct {
+	parent map[simfs.FileID]simfs.FileID
+	size   map[simfs.FileID]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{
+		parent: make(map[simfs.FileID]simfs.FileID),
+		size:   make(map[simfs.FileID]int),
+	}
+}
+
+func (u *unionFind) add(f simfs.FileID) {
+	if _, ok := u.parent[f]; !ok {
+		u.parent[f] = f
+		u.size[f] = 1
+	}
+}
+
+func (u *unionFind) find(f simfs.FileID) simfs.FileID {
+	root := f
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[f] != root {
+		u.parent[f], f = root, u.parent[f]
+	}
+	return root
+}
+
+func (u *unionFind) union(a, b simfs.FileID) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+const (
+	fA simfs.FileID = iota + 1
+	fB
+	fC
+	fD
+	fE
+	fF
+	fG
+)
+
+const (
+	kn = 4.0
+	kf = 2.0
+)
+
+func members(c Cluster) []simfs.FileID { return c.Members }
+
+func findCluster(t *testing.T, res *Result, want []simfs.FileID) *Cluster {
+	t.Helper()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range res.Clusters {
+		if reflect.DeepEqual(res.Clusters[i].Members, want) {
+			return &res.Clusters[i]
+		}
+	}
+	t.Fatalf("no cluster with members %v in %v", want, res.Clusters)
+	return nil
+}
+
+// TestPaperExample reproduces the worked example of paper §3.3.2
+// (Tables 1 and 2): seven files whose pairwise shared-neighbor counts
+// must produce the final clusters {A,B,C,D} and {C,D,E,F,G}.
+func TestPaperExample(t *testing.T) {
+	files := []simfs.FileID{fA, fB, fC, fD, fE, fF, fG}
+	pairs := []Pair{
+		{From: fA, To: fB, Shared: kn},
+		{From: fA, To: fC, Shared: kf},
+		{From: fB, To: fC, Shared: kn},
+		{From: fC, To: fD, Shared: kf},
+		{From: fD, To: fE, Shared: kn},
+		{From: fF, To: fG, Shared: kn},
+		{From: fG, To: fD, Shared: kn},
+	}
+	res := Run(files, pairs, kn, kf)
+	if len(res.Clusters) != 2 {
+		t.Fatalf("cluster count = %d, want 2: %v", len(res.Clusters), res.Clusters)
+	}
+	findCluster(t, res, []simfs.FileID{fA, fB, fC, fD})
+	findCluster(t, res, []simfs.FileID{fC, fD, fE, fF, fG})
+	// C and D are in both clusters — the overlapping membership that
+	// distinguishes SEER's variant from plain Jarvis–Patrick.
+	if got := res.ClustersOf(fC); len(got) != 2 {
+		t.Errorf("C in %d clusters, want 2", len(got))
+	}
+	if got := res.ClustersOf(fD); len(got) != 2 {
+		t.Errorf("D in %d clusters, want 2", len(got))
+	}
+	if got := res.ClustersOf(fA); len(got) != 1 {
+		t.Errorf("A in %d clusters, want 1", len(got))
+	}
+}
+
+// Transitive combination: A–B at kn and B–C at kn puts A and C in one
+// cluster even with no direct relationship (paper: "This step also
+// clusters A with C").
+func TestTransitiveCombination(t *testing.T) {
+	files := []simfs.FileID{fA, fB, fC}
+	pairs := []Pair{
+		{From: fA, To: fB, Shared: kn},
+		{From: fB, To: fC, Shared: kn},
+	}
+	res := Run(files, pairs, kn, kf)
+	if len(res.Clusters) != 1 || res.Clusters[0].Size() != 3 {
+		t.Fatalf("clusters = %v, want one 3-file cluster", res.Clusters)
+	}
+}
+
+func TestBelowKfNoAction(t *testing.T) {
+	files := []simfs.FileID{fA, fB}
+	pairs := []Pair{{From: fA, To: fB, Shared: kf - 1}}
+	res := Run(files, pairs, kn, kf)
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %v, want two singletons", res.Clusters)
+	}
+}
+
+func TestSingletonsForUnrelatedFiles(t *testing.T) {
+	files := []simfs.FileID{fA, fB, fC}
+	res := Run(files, nil, kn, kf)
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3 singletons", len(res.Clusters))
+	}
+	for _, c := range res.Clusters {
+		if c.Size() != 1 {
+			t.Errorf("cluster %v not singleton", c)
+		}
+	}
+}
+
+// Overlap between files already in the same cluster is a no-op (the
+// paper's pair {A,C}).
+func TestOverlapWithinClusterIsNoop(t *testing.T) {
+	files := []simfs.FileID{fA, fB}
+	pairs := []Pair{
+		{From: fA, To: fB, Shared: kn},
+		{From: fB, To: fA, Shared: kf},
+	}
+	res := Run(files, pairs, kn, kf)
+	if len(res.Clusters) != 1 || res.Clusters[0].Size() != 2 {
+		t.Fatalf("clusters = %v", res.Clusters)
+	}
+}
+
+func TestResultDeterministic(t *testing.T) {
+	files := []simfs.FileID{fG, fC, fA, fE, fB, fD, fF}
+	pairs := []Pair{
+		{From: fF, To: fG, Shared: kn},
+		{From: fA, To: fB, Shared: kn},
+		{From: fC, To: fD, Shared: kf},
+	}
+	r1 := Run(files, pairs, kn, kf)
+	r2 := Run(files, pairs, kn, kf)
+	if !reflect.DeepEqual(r1.Clusters, r2.Clusters) {
+		t.Error("two runs differ")
+	}
+	for i, c := range r1.Clusters {
+		if c.ID != i {
+			t.Errorf("cluster %d has ID %d", i, c.ID)
+		}
+		if !sort.SliceIsSorted(c.Members, func(a, b int) bool { return c.Members[a] < c.Members[b] }) {
+			t.Errorf("cluster %d members unsorted: %v", i, c.Members)
+		}
+	}
+}
+
+// fakeSource provides hand-built neighbor lists.
+type fakeSource map[simfs.FileID][]simfs.FileID
+
+func (s fakeSource) Files() []simfs.FileID {
+	out := make([]simfs.FileID, 0, len(s))
+	for f := range s {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s fakeSource) Neighbors(id simfs.FileID) []simfs.FileID { return s[id] }
+
+func TestBuildPairsSharedCounts(t *testing.T) {
+	// A and B share neighbors {10, 11, 12}; A lists B.
+	src := fakeSource{
+		fA: {fB, 10, 11, 12},
+		fB: {10, 11, 12, 13},
+	}
+	pairs := BuildPairs(src, Options{})
+	var ab *Pair
+	for i := range pairs {
+		if pairs[i].From == fA && pairs[i].To == fB {
+			ab = &pairs[i]
+		}
+	}
+	if ab == nil {
+		t.Fatal("pair A→B missing")
+	}
+	if ab.Shared != 3 {
+		t.Errorf("shared(A,B) = %g, want 3", ab.Shared)
+	}
+}
+
+func TestBuildPairsAdjustment(t *testing.T) {
+	src := fakeSource{
+		fA: {fB, 10, 11},
+		fB: {10, 11},
+	}
+	opts := Options{Adjust: func(a, b simfs.FileID) float64 { return -1.5 }}
+	pairs := BuildPairs(src, opts)
+	for _, p := range pairs {
+		if p.From == fA && p.To == fB && p.Shared != 0.5 {
+			t.Errorf("adjusted shared = %g, want 0.5", p.Shared)
+		}
+	}
+}
+
+// An investigator can force clustering of files the distance table has
+// never related (paper §3.3.3).
+func TestExtraPairsForceClustering(t *testing.T) {
+	src := fakeSource{
+		fA: {},
+		fB: {},
+	}
+	opts := Options{ExtraPairs: []Pair{{From: fA, To: fB, Shared: 100}}}
+	res := Build(src, opts, kn, kf)
+	if len(res.Clusters) != 1 || res.Clusters[0].Size() != 2 {
+		t.Fatalf("clusters = %v, want forced {A,B}", res.Clusters)
+	}
+}
+
+func TestExtraPairsAddToObservedCounts(t *testing.T) {
+	// Base shared count 1 (below kf); investigator strength 1.5 lifts it
+	// to 2.5, enough for overlap but not combination.
+	src := fakeSource{
+		fA: {10},
+		fB: {10},
+	}
+	opts := Options{ExtraPairs: []Pair{{From: fA, To: fB, Shared: 1.5}}}
+	res := Build(src, opts, kn, kf)
+	// Mutual overlap yields identical member sets {A,B}, deduplicated to
+	// one cluster; the neighbor-only file 10 becomes a singleton.
+	findCluster(t, res, []simfs.FileID{fA, fB})
+	findCluster(t, res, []simfs.FileID{10})
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %v, want {A,B} and {10}", res.Clusters)
+	}
+}
+
+func TestBuildEndToEnd(t *testing.T) {
+	// Project 1: files 1,2,3 list each other plus common auxiliary
+	// neighbors 8,9, so every in-project pair shares ≥2 neighbors;
+	// project 2: files 5,6,7 with auxiliaries 10,11. kn=2 here.
+	src := fakeSource{
+		1: {2, 3, 8, 9},
+		2: {1, 3, 8, 9},
+		3: {1, 2, 8, 9},
+		5: {6, 7, 10, 11},
+		6: {5, 7, 10, 11},
+		7: {5, 6, 10, 11},
+	}
+	res := Build(src, Options{}, 2, 1)
+	findCluster(t, res, []simfs.FileID{1, 2, 3})
+	findCluster(t, res, []simfs.FileID{5, 6, 7})
+	// The auxiliary neighbor-only files remain singletons.
+	if len(res.Clusters) != 6 {
+		t.Fatalf("clusters = %v, want 2 projects + 4 singletons", res.Clusters)
+	}
+}
+
+// Property: every input file appears in at least one cluster; members
+// are sorted and unique; ClustersOf agrees with the cluster lists.
+func TestRunInvariants(t *testing.T) {
+	f := func(raw []uint8, knRaw, kfRaw uint8) bool {
+		knV := float64(knRaw%5) + 2
+		kfV := knV - 1 - float64(kfRaw%2)
+		var files []simfs.FileID
+		for i := 0; i < 10; i++ {
+			files = append(files, simfs.FileID(i+1))
+		}
+		var pairs []Pair
+		for i := 0; i+2 < len(raw); i += 3 {
+			pairs = append(pairs, Pair{
+				From:   simfs.FileID(raw[i]%10 + 1),
+				To:     simfs.FileID(raw[i+1]%10 + 1),
+				Shared: float64(raw[i+2] % 8),
+			})
+		}
+		res := Run(files, pairs, knV, kfV)
+		seen := map[simfs.FileID]bool{}
+		for ci, c := range res.Clusters {
+			prev := simfs.FileID(-1)
+			for _, m := range c.Members {
+				if m <= prev {
+					return false // unsorted or duplicate
+				}
+				prev = m
+				seen[m] = true
+				found := false
+				for _, id := range res.ClustersOf(m) {
+					if id == ci {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		for _, f := range files {
+			if !seen[f] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := newUnionFind()
+	for i := 1; i <= 6; i++ {
+		u.add(simfs.FileID(i))
+	}
+	u.add(1) // re-add is a no-op
+	u.union(1, 2)
+	u.union(3, 4)
+	u.union(2, 3)
+	if u.find(1) != u.find(4) {
+		t.Error("1 and 4 should share a root")
+	}
+	if u.find(5) == u.find(1) {
+		t.Error("5 should be separate")
+	}
+	u.union(1, 4) // already joined: no-op
+	if u.find(1) != u.find(4) {
+		t.Error("repeated union broke the forest")
+	}
+}

@@ -1,0 +1,198 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultsAreValid(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Fatalf("Defaults().Validate() = %v", err)
+	}
+}
+
+func TestDefaultsMatchPaperConstants(t *testing.T) {
+	p := Defaults()
+	if p.NeighborTableSize != 20 {
+		t.Errorf("n = %d, want 20 (paper §3.1.3)", p.NeighborTableSize)
+	}
+	if p.Window != 100 {
+		t.Errorf("M = %d, want 100 (paper §3.1.3)", p.Window)
+	}
+	if p.FrequentFileFraction != 0.01 {
+		t.Errorf("frequent threshold = %g, want 0.01 (paper §4.2)", p.FrequentFileFraction)
+	}
+	if p.KNear <= p.KFar {
+		t.Errorf("kn %d must exceed kf %d (paper §3.3.2)", p.KNear, p.KFar)
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.NeighborTableSize = 0 },
+		func(p *Params) { p.Window = 0 },
+		func(p *Params) { p.KNear = p.KFar },
+		func(p *Params) { p.KFar = 0 },
+		func(p *Params) { p.KNear = p.NeighborTableSize + 1 },
+		func(p *Params) { p.FrequentFileFraction = 0 },
+		func(p *Params) { p.FrequentFileFraction = 1 },
+		func(p *Params) { p.MeaninglessRatio = 0 },
+		func(p *Params) { p.MeaninglessRatio = 1.5 },
+		func(p *Params) { p.HoardSize = -1 },
+		func(p *Params) { p.DeletionDelay = -1 },
+		func(p *Params) { p.AutoTempRatio = 0; p.AutoTempMinCreates = 1 },
+	}
+	for i, mutate := range mutations {
+		p := Defaults()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught by Validate", i)
+		}
+	}
+}
+
+func TestDefaultControl(t *testing.T) {
+	c := DefaultControl()
+	cases := []struct {
+		path                          string
+		critical, temp, ignored, note bool
+	}{
+		{path: "/etc/passwd", critical: true},
+		{path: "/etc", critical: true},
+		{path: "/etcetera/x", critical: false},
+		{path: "/home/u/.login", critical: true},
+		{path: "/home/u/.config/app", critical: true},
+		{path: "/home/u/file", critical: false},
+		{path: "/tmp/cc0001.o", temp: true},
+		{path: "/tmpdir/x", temp: false},
+		{path: "/var/tmp/y", temp: true},
+		{path: "/dev/tty01", ignored: true},
+		{path: "/proc/123/maps", ignored: true},
+		{path: "/device/x", ignored: false},
+	}
+	for _, tc := range cases {
+		if got := c.IsCritical(tc.path); got != tc.critical {
+			t.Errorf("IsCritical(%q) = %t, want %t", tc.path, got, tc.critical)
+		}
+		if got := c.IsTemp(tc.path); got != tc.temp {
+			t.Errorf("IsTemp(%q) = %t, want %t", tc.path, got, tc.temp)
+		}
+		if got := c.IsIgnored(tc.path); got != tc.ignored {
+			t.Errorf("IsIgnored(%q) = %t, want %t", tc.path, got, tc.ignored)
+		}
+	}
+	if !c.IsMeaninglessProgram("xargs") || !c.IsMeaninglessProgram("rdist") {
+		t.Error("paper's hand-listed meaningless programs missing")
+	}
+	if c.IsMeaninglessProgram("emacs") {
+		t.Error("emacs wrongly meaningless")
+	}
+}
+
+func TestDotAndDotDotNotCritical(t *testing.T) {
+	c := DefaultControl()
+	if c.IsCritical(".") || c.IsCritical("..") {
+		t.Error(". and .. must not be treated as dot files")
+	}
+}
+
+func TestEmptyControlFiltersNothing(t *testing.T) {
+	c := EmptyControl()
+	for _, p := range []string{"/etc/passwd", "/tmp/x", "/dev/tty", "/home/u/.login"} {
+		if c.IsCritical(p) || c.IsTemp(p) || c.IsIgnored(p) {
+			t.Errorf("EmptyControl filtered %q", p)
+		}
+	}
+}
+
+func TestParseControl(t *testing.T) {
+	src := `
+# SEER control file
+meaningless find
+meaningless locate
+critical /etc
+critical /boot
+tempdir /tmp
+ignore /dev
+dotfiles on
+param KNear 5
+param KFar 3
+param FrequentFileFraction 0.02
+param HoardSize 104857600
+`
+	p := Defaults()
+	c, err := ParseControl(strings.NewReader(src), &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsMeaninglessProgram("find") || !c.IsMeaninglessProgram("locate") {
+		t.Error("meaningless programs not parsed")
+	}
+	if !c.IsCritical("/boot/vmlinuz") {
+		t.Error("critical /boot not parsed")
+	}
+	if !c.IsTemp("/tmp/x") || !c.IsIgnored("/dev/null") {
+		t.Error("tempdir/ignore not parsed")
+	}
+	if !c.HoardDotFiles {
+		t.Error("dotfiles on not parsed")
+	}
+	if p.KNear != 5 || p.KFar != 3 || p.FrequentFileFraction != 0.02 ||
+		p.HoardSize != 104857600 {
+		t.Errorf("params not overridden: %+v", p)
+	}
+}
+
+func TestParseControlErrors(t *testing.T) {
+	bad := []string{
+		"meaningless",
+		"critical a b",
+		"dotfiles maybe",
+		"param KNear",
+		"param KNear x",
+		"param NoSuchThing 3",
+		"frobnicate /x",
+		"param AgeLimit -2",
+	}
+	for _, src := range bad {
+		p := Defaults()
+		if _, err := ParseControl(strings.NewReader(src), &p); err == nil {
+			t.Errorf("ParseControl(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseControlAllParams(t *testing.T) {
+	src := `param NeighborTableSize 30
+param Window 200
+param AgeLimit 5000
+param DeletionDelay 10
+param MeaninglessRatio 0.5
+param MeaninglessMinLearned 5
+param DirDistanceWeight 0.1
+param InvestigatorWeight 2.0
+param FrequentFileMinRefs 50
+param AutoTempMinCreates 40
+param AutoTempRatio 0.9
+`
+	p := Defaults()
+	if _, err := ParseControl(strings.NewReader(src), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.NeighborTableSize != 30 || p.Window != 200 || p.AgeLimit != 5000 ||
+		p.DeletionDelay != 10 || p.MeaninglessRatio != 0.5 ||
+		p.MeaninglessMinLearned != 5 || p.DirDistanceWeight != 0.1 ||
+		p.InvestigatorWeight != 2.0 || p.FrequentFileMinRefs != 50 ||
+		p.AutoTempMinCreates != 40 || p.AutoTempRatio != 0.9 {
+		t.Errorf("params: %+v", p)
+	}
+}
+
+func TestParseControlNilParams(t *testing.T) {
+	if _, err := ParseControl(strings.NewReader("param KNear 4"), nil); err == nil {
+		t.Error("param with nil Params should error")
+	}
+	if _, err := ParseControl(strings.NewReader("critical /etc"), nil); err != nil {
+		t.Errorf("non-param directives should work with nil Params: %v", err)
+	}
+}

@@ -1,0 +1,30 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseControl asserts the control-file parser never panics and
+// that accepted files leave the Params valid or unchanged fields only.
+func FuzzParseControl(f *testing.F) {
+	f.Add("meaningless find\ncritical /etc\nparam KNear 5\n")
+	f.Add("# only a comment\n")
+	f.Add("param KNear notanumber\n")
+	f.Add("dotfiles maybe\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p := Defaults()
+		c, err := ParseControl(strings.NewReader(src), &p)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil control without error")
+		}
+		// Methods must be callable on whatever parsed.
+		c.IsCritical("/etc/passwd")
+		c.IsTemp("/tmp/x")
+		c.IsIgnored("/dev/null")
+		c.IsMeaninglessProgram("find")
+	})
+}

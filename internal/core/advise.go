@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// Directory reorganization — the third application the paper proposes
+// in §7. Semantic clusters reveal where files *behave* like they live;
+// when a cluster's members are concentrated in one directory except for
+// a few strays, those strays are candidates for relocation (or at least
+// evidence that the namespace disagrees with actual use).
+
+// Advice is one reorganization suggestion.
+type Advice struct {
+	// Path is the file that lives away from its semantic home.
+	Path string
+	// TargetDir is the directory where most of its cluster lives.
+	TargetDir string
+	// Mates is the number of cluster mates in TargetDir; ClusterSize is
+	// the cluster's total membership.
+	Mates       int
+	ClusterSize int
+}
+
+// AdviseReorg inspects the current clusters and returns relocation
+// suggestions: files whose cluster is dominated (by at least the given
+// fraction, e.g. 0.6) by a single other directory. Files that are
+// always-hoarded (tools, libraries, critical files) are never
+// suggested — a compiler is expected to live outside the projects that
+// use it.
+func (c *Correlator) AdviseReorg(minClusterSize int, dominance float64) []Advice {
+	if minClusterSize < 2 {
+		minClusterSize = 2
+	}
+	res := c.Clusters()
+	var out []Advice
+	for _, cl := range res.Clusters {
+		if len(cl.Members) < minClusterSize {
+			continue
+		}
+		// Count members per directory.
+		byDir := make(map[string]int)
+		paths := make(map[simfs.FileID]string, len(cl.Members))
+		for _, m := range cl.Members {
+			f := c.fs.Get(m)
+			if f == nil || !f.Exists {
+				continue
+			}
+			paths[m] = f.Path
+			byDir[simfs.Dir(f.Path)]++
+		}
+		domDir, domCount := "", 0
+		for dir, n := range byDir {
+			if n > domCount || (n == domCount && dir < domDir) {
+				domDir, domCount = dir, n
+			}
+		}
+		if float64(domCount) < dominance*float64(len(paths)) {
+			continue // no clear semantic home
+		}
+		for _, m := range cl.Members {
+			path, ok := paths[m]
+			if !ok || simfs.Dir(path) == domDir {
+				continue
+			}
+			if c.obs.IsExcluded(m) || c.obs.IsFrequent(m) {
+				continue
+			}
+			out = append(out, Advice{
+				Path:        path,
+				TargetDir:   domDir,
+				Mates:       domCount,
+				ClusterSize: len(paths),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].TargetDir < out[j].TargetDir
+	})
+	return out
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+)
+
+// A file kept in a scratch directory but always used with one project
+// should be suggested for relocation into that project's directory.
+func TestAdviseReorgFindsStray(t *testing.T) {
+	d := newDriver(nil)
+	project := []string{
+		"/home/u/proj/a.c", "/home/u/proj/b.c", "/home/u/proj/c.h",
+		"/home/u/proj/d.h", "/home/u/scratch/notes.txt",
+	}
+	for i := 0; i < 6; i++ {
+		d.session(1, project)
+	}
+	advice := d.c.AdviseReorg(3, 0.6)
+	if len(advice) == 0 {
+		t.Fatal("no advice for an obvious stray")
+	}
+	found := false
+	for _, a := range advice {
+		if a.Path == "/home/u/scratch/notes.txt" {
+			found = true
+			if a.TargetDir != "/home/u/proj" {
+				t.Errorf("target = %s, want /home/u/proj", a.TargetDir)
+			}
+			if a.Mates < 4 || a.ClusterSize < 5 {
+				t.Errorf("counts = %d/%d", a.Mates, a.ClusterSize)
+			}
+		}
+		if a.Path != "/home/u/scratch/notes.txt" {
+			t.Errorf("unexpected advice for %s", a.Path)
+		}
+	}
+	if !found {
+		t.Error("stray file not advised")
+	}
+}
+
+// Files already co-located produce no advice.
+func TestAdviseReorgQuietWhenTidy(t *testing.T) {
+	d := newDriver(nil)
+	project := projectFiles("tidy", 6)
+	for i := 0; i < 6; i++ {
+		d.session(1, project)
+	}
+	if advice := d.c.AdviseReorg(3, 0.6); len(advice) != 0 {
+		t.Errorf("advice for a tidy project: %+v", advice)
+	}
+}
+
+// An evenly split cluster has no semantic home; no advice.
+func TestAdviseReorgNoDominance(t *testing.T) {
+	d := newDriver(nil)
+	mixed := []string{
+		"/home/u/one/a.c", "/home/u/one/b.c",
+		"/home/u/two/c.c", "/home/u/two/d.c",
+	}
+	for i := 0; i < 6; i++ {
+		d.session(1, mixed)
+	}
+	if advice := d.c.AdviseReorg(3, 0.6); len(advice) != 0 {
+		t.Errorf("advice without dominance: %+v", advice)
+	}
+}
+
+func TestAdviseReorgDeterministic(t *testing.T) {
+	build := func() []Advice {
+		d := newDriver(nil)
+		files := []string{
+			"/home/u/p/a.c", "/home/u/p/b.c", "/home/u/p/c.c",
+			"/home/u/x/stray1", "/home/u/p/d.c", "/home/u/p/e.c",
+			"/home/u/p/f.c", "/home/u/p/g.c", "/home/u/y/stray2",
+		}
+		for i := 0; i < 5; i++ {
+			d.session(1, files)
+		}
+		return d.c.AdviseReorg(3, 0.6)
+	}
+	a1, a2 := build(), build()
+	if len(a1) != len(a2) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("advice %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// CheckInvariants validates the correlator's internal consistency and
+// returns a description of every violation found (empty when healthy).
+// A long-running daemon can run this after restoring a database or
+// periodically; the test suite runs it after replays.
+//
+// Checked invariants:
+//   - every neighbor list is within the configured size n and never
+//     contains the file itself;
+//   - neighbor distances are finite and non-negative;
+//   - every file with relationship state resolves in the file table;
+//   - forgotten files have no lingering entry;
+//   - the hoard plan contains no duplicates, no deleted files, no
+//     directories, and its cumulative sizes are consistent;
+//   - every live file with a meaningful reference appears in the plan.
+func (c *Correlator) CheckInvariants() []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	n := c.p.NeighborTableSize
+	for _, id := range c.tbl.Files() {
+		if c.tbl.Forgotten(id) {
+			addf("file %d is both tracked and forgotten", id)
+		}
+		if c.fs.Get(id) == nil {
+			addf("tracked file %d missing from the file table", id)
+		}
+		nbs := c.tbl.NeighborEntries(id)
+		if len(nbs) > n {
+			addf("file %d has %d neighbors (limit %d)", id, len(nbs), n)
+		}
+		seen := make(map[simfs.FileID]bool, len(nbs))
+		for _, nb := range nbs {
+			if nb.ID == id {
+				addf("file %d lists itself as a neighbor", id)
+			}
+			if seen[nb.ID] {
+				addf("file %d lists neighbor %d twice", id, nb.ID)
+			}
+			seen[nb.ID] = true
+			d := nb.Distance()
+			if d < 0 || d != d {
+				addf("file %d → %d has invalid distance %g", id, nb.ID, d)
+			}
+		}
+	}
+
+	plan := c.Plan()
+	var cum int64
+	planned := make(map[simfs.FileID]bool, plan.Len())
+	for i, e := range plan.Entries {
+		if planned[e.File.ID] {
+			addf("plan entry %d duplicates file %s", i, e.File.Path)
+		}
+		planned[e.File.ID] = true
+		if !e.File.Exists {
+			addf("plan entry %d is a deleted file %s", i, e.File.Path)
+		}
+		if e.File.Kind == simfs.Directory {
+			addf("plan entry %d is a directory %s", i, e.File.Path)
+		}
+		cum += e.File.Size
+		if e.Cum != cum {
+			addf("plan entry %d cumulative size %d, want %d", i, e.Cum, cum)
+		}
+	}
+	for id := range c.obs.LastRefs() {
+		f := c.fs.Get(id)
+		if f == nil || !f.Exists || f.Kind == simfs.Directory {
+			continue
+		}
+		if !planned[id] {
+			addf("referenced live file %s missing from the plan", f.Path)
+		}
+	}
+	return problems
+}

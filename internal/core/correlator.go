@@ -1,0 +1,354 @@
+// Package core implements SEER's correlator: the component that
+// evaluates cleaned file references, maintains the semantic-distance
+// tables, runs the clustering algorithm to group files into projects,
+// and chooses hoard contents (paper §2).
+//
+// The correlator composes the other subsystems: internal/observer turns
+// raw trace events into cleaned references, internal/proc computes
+// per-process Definition-3 distance samples, internal/semdist reduces
+// them into per-file neighbor tables, internal/cluster groups files into
+// overlapping projects, internal/investigate contributes external
+// relationship evidence, and internal/hoard materializes inclusion
+// plans.
+package core
+
+import (
+	"sort"
+
+	"github.com/fmg/seer/internal/cluster"
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/hoard"
+	"github.com/fmg/seer/internal/investigate"
+	"github.com/fmg/seer/internal/observer"
+	"github.com/fmg/seer/internal/semdist"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/trace"
+)
+
+// Correlator is the SEER engine. It is not safe for concurrent use; feed
+// it a trace in order.
+type Correlator struct {
+	p   config.Params
+	ctl *config.Control
+	fs  *simfs.FS
+	obs *observer.Observer
+	tbl *semdist.Table
+
+	// extraPairs accumulates investigator-reported relations.
+	extraPairs []cluster.Pair
+	// forced holds files the user demanded hoarded after a miss (§4.4).
+	forced map[simfs.FileID]bool
+
+	events uint64
+}
+
+// Options configures a Correlator.
+type Options struct {
+	// Params are the algorithm tunables; zero means config.Defaults().
+	Params *config.Params
+	// Control is the system control file; nil means
+	// config.DefaultControl().
+	Control *config.Control
+	// FS is the shared file table; nil creates a fresh one.
+	FS *simfs.FS
+	// Seed drives tie-breaking and unknown-size assignment.
+	Seed int64
+	// DirSize reports directory fan-out for the meaningless-process
+	// heuristic; nil assumes observer.DefaultDirSize.
+	DirSize func(path string) int
+}
+
+// New returns a Correlator.
+func New(opts Options) *Correlator {
+	p := config.Defaults()
+	if opts.Params != nil {
+		p = *opts.Params
+	}
+	ctl := opts.Control
+	if ctl == nil {
+		ctl = config.DefaultControl()
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = simfs.New(stats.NewRand(opts.Seed))
+	}
+	return &Correlator{
+		p:      p,
+		ctl:    ctl,
+		fs:     fs,
+		obs:    observer.New(p, ctl, fs, opts.DirSize),
+		tbl:    semdist.NewTable(p, stats.NewRand(opts.Seed+1)),
+		forced: make(map[simfs.FileID]bool),
+	}
+}
+
+// FS returns the underlying file table.
+func (c *Correlator) FS() *simfs.FS { return c.fs }
+
+// Observer returns the observation layer (inspection tooling).
+func (c *Correlator) Observer() *observer.Observer { return c.obs }
+
+// Table returns the semantic-distance table (inspection tooling).
+func (c *Correlator) Table() *semdist.Table { return c.tbl }
+
+// Params returns the active parameter set.
+func (c *Correlator) Params() config.Params { return c.p }
+
+// Events returns the number of trace events fed so far.
+func (c *Correlator) Events() uint64 { return c.events }
+
+// Feed processes one trace event.
+func (c *Correlator) Feed(ev trace.Event) {
+	c.events++
+	for _, ref := range c.obs.Observe(ev) {
+		c.apply(ev, ref)
+	}
+}
+
+func (c *Correlator) apply(ev trace.Event, ref observer.Reference) {
+	id := ref.File.ID
+	switch ref.Kind {
+	case observer.RefCreate:
+		// Recreation within the deletion delay keeps the relationships.
+		c.tbl.Revive(id)
+	case observer.RefDelete:
+		c.tbl.MarkDeleted(id)
+	}
+	c.tbl.TickOpen()
+	for _, pr := range ref.Pairs {
+		c.tbl.Observe(pr.From, id, pr.Dist, pr.Clamped)
+	}
+}
+
+// AddRelations registers external-investigator findings; they influence
+// every subsequent clustering (paper §3.3.3). Pathnames that are not yet
+// known to the file table are interned so the relation can still force
+// the files into a project.
+func (c *Correlator) AddRelations(rels []investigate.Relation) {
+	resolve := func(path string) simfs.FileID {
+		f := c.fs.Lookup(path)
+		if f == nil {
+			f = c.fs.Intern(path, simfs.Regular, 0)
+		}
+		return f.ID
+	}
+	c.extraPairs = append(c.extraPairs,
+		investigate.Pairs(rels, resolve, c.p.InvestigatorWeight)...)
+}
+
+// ClearRelations drops all registered investigator relations.
+func (c *Correlator) ClearRelations() { c.extraPairs = nil }
+
+// ForceHoard marks a file for unconditional inclusion in future hoard
+// plans. This is the back half of the paper's miss-recording mechanism
+// (§4.4): "the same user action both records the miss and arranges for
+// the file to be hoarded at the next reconnection." Unknown paths are
+// interned so the file can be fetched even though SEER never observed
+// it. It returns the file's project mates, which the caller should also
+// consider hoarding ("add the file (and all other members of its
+// project) to the hoard for future use").
+func (c *Correlator) ForceHoard(path string) []string {
+	f := c.fs.Lookup(path)
+	if f == nil {
+		f = c.fs.Intern(path, simfs.Regular, 0)
+	}
+	c.forced[f.ID] = true
+	// The miss is also a meaningful reference: refresh recency so the
+	// file's project ranks as currently active.
+	res := c.Clusters()
+	var mates []string
+	for _, ci := range res.ClustersOf(f.ID) {
+		for _, m := range res.Clusters[ci].Members {
+			if m == f.ID {
+				continue
+			}
+			if mf := c.fs.Get(m); mf != nil && mf.Exists {
+				mates = append(mates, mf.Path)
+				c.forced[m] = true
+			}
+		}
+	}
+	sort.Strings(mates)
+	return mates
+}
+
+// ForcedFiles returns the currently forced hoard set.
+func (c *Correlator) ForcedFiles() []simfs.FileID {
+	out := make([]simfs.FileID, 0, len(c.forced))
+	for id := range c.forced {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearForced empties the forced hoard set (typically after the next
+// successful hoard fill has serviced the recorded misses).
+func (c *Correlator) ClearForced() { c.forced = make(map[simfs.FileID]bool) }
+
+// filteredSource exposes the semantic-distance table to the clustering
+// algorithm with excluded files (frequent, critical, non-file) removed.
+type filteredSource struct {
+	tbl *semdist.Table
+	obs *observer.Observer
+}
+
+func (s filteredSource) Files() []simfs.FileID {
+	all := s.tbl.Files()
+	kept := all[:0]
+	for _, id := range all {
+		if !s.obs.IsExcluded(id) {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
+func (s filteredSource) Neighbors(id simfs.FileID) []simfs.FileID {
+	if s.obs.IsExcluded(id) {
+		return nil
+	}
+	all := s.tbl.Neighbors(id)
+	kept := all[:0]
+	for _, nb := range all {
+		if !s.obs.IsExcluded(nb) {
+			kept = append(kept, nb)
+		}
+	}
+	return kept
+}
+
+// Clusters runs the clustering algorithm over the current relationship
+// state and returns the project assignment.
+func (c *Correlator) Clusters() *cluster.Result {
+	src := filteredSource{tbl: c.tbl, obs: c.obs}
+	opts := cluster.Options{
+		Adjust: investigate.DirDistanceAdjust(c.p.DirDistanceWeight, func(id simfs.FileID) string {
+			if f := c.fs.Get(id); f != nil {
+				return f.Path
+			}
+			return ""
+		}),
+		ExtraPairs: c.extraPairs,
+	}
+	return cluster.Build(src, opts, float64(c.p.KNear), float64(c.p.KFar))
+}
+
+// Plan builds the hoard inclusion order (paper §2): the always-hoard set
+// first, then complete projects by activity, then the remaining known
+// files in LRU order.
+func (c *Correlator) Plan() *hoard.Plan {
+	return c.planFrom(c.Clusters())
+}
+
+// PlanFrom builds a plan from a previously computed cluster result,
+// letting callers reuse one clustering for several budgets.
+func (c *Correlator) PlanFrom(res *cluster.Result) *hoard.Plan {
+	return c.planFrom(res)
+}
+
+func (c *Correlator) planFrom(res *cluster.Result) *hoard.Plan {
+	b := hoard.NewBuilder()
+	// Recency comes from the observer: it reflects meaningful user
+	// references only, so a find scan does not refresh every file the
+	// way it would under LRU (§4.1).
+	lastRef := c.obs.LastRefs()
+
+	// 1. Files hoarded regardless of behaviour (§4.2, §4.3, §4.6),
+	// deterministically ordered by path.
+	always := make([]*simfs.File, 0)
+	for _, id := range c.obs.AlwaysHoard() {
+		if f := c.fs.Get(id); f != nil {
+			always = append(always, f)
+		}
+	}
+	sortFilesByPath(always)
+	for _, f := range always {
+		b.Add(f, hoard.ReasonAlways, 0)
+	}
+
+	// 1b. Files forced after recorded misses (§4.4).
+	forced := make([]*simfs.File, 0, len(c.forced))
+	for id := range c.forced {
+		if f := c.fs.Get(id); f != nil {
+			forced = append(forced, f)
+		}
+	}
+	sortFilesByPath(forced)
+	for _, f := range forced {
+		b.Add(f, hoard.ReasonAlways, 0)
+	}
+
+	// 2. Whole projects in activity order: a cluster is as active as
+	// its most recently referenced member.
+	type rankedCluster struct {
+		id       int
+		activity uint64
+	}
+	ranked := make([]rankedCluster, 0, len(res.Clusters))
+	for _, cl := range res.Clusters {
+		var act uint64
+		for _, m := range cl.Members {
+			if s := lastRef[m]; s > act {
+				act = s
+			}
+		}
+		ranked = append(ranked, rankedCluster{id: cl.ID, activity: act})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].activity != ranked[j].activity {
+			return ranked[i].activity > ranked[j].activity
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	for _, rc := range ranked {
+		cl := &res.Clusters[rc.id]
+		members := make([]*simfs.File, 0, len(cl.Members))
+		for _, m := range cl.Members {
+			if f := c.fs.Get(m); f != nil {
+				members = append(members, f)
+			}
+		}
+		// Within a cluster, most recent first (matters only when the
+		// filler is in prefix mode).
+		sortFilesByRecency(members, lastRef)
+		for _, f := range members {
+			b.Add(f, hoard.ReasonCluster, cl.ID)
+		}
+	}
+
+	// 3. Remaining referenced files in LRU order.
+	tail := make([]*simfs.File, 0)
+	for id := range lastRef {
+		if f := c.fs.Get(id); f != nil {
+			tail = append(tail, f)
+		}
+	}
+	sortFilesByRecency(tail, lastRef)
+	for _, f := range tail {
+		b.Add(f, hoard.ReasonRecency, 0)
+	}
+	return b.Plan()
+}
+
+// Fill computes hoard contents for the given byte budget.
+func (c *Correlator) Fill(budget int64) *hoard.Contents {
+	return c.Plan().Fill(budget, c.p.SkipUnfittingClusters)
+}
+
+func sortFilesByPath(files []*simfs.File) {
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+}
+
+// sortFilesByRecency orders most recently referenced first, with path
+// order breaking ties (including never-referenced files).
+func sortFilesByRecency(files []*simfs.File, lastSeq map[simfs.FileID]uint64) {
+	sort.Slice(files, func(i, j int) bool {
+		si, sj := lastSeq[files[i].ID], lastSeq[files[j].ID]
+		if si != sj {
+			return si > sj
+		}
+		return files[i].Path < files[j].Path
+	})
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/fmg/seer/internal/cluster"
+	"github.com/fmg/seer/internal/semdist"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/wire"
+)
+
+// The database snapshot format. The paper left the on-disk database as
+// a straightforward future optimization (§5.3); this is that feature:
+// a daemon can checkpoint months of learned relationships and restore
+// them at the next start.
+const (
+	dbMagic   = "SEERDB"
+	dbVersion = 1
+)
+
+// Save checkpoints the correlator's durable state: the file table, the
+// semantic-distance tables, and the observer's counters and histories.
+// Per-process transient state is not saved (a restart behaves like a
+// reboot). Investigator relations are saved so a restored daemon keeps
+// its external evidence.
+func (c *Correlator) Save(out io.Writer) error {
+	w := wire.NewWriter(out)
+	w.Str(dbMagic)
+	w.U64(dbVersion)
+	w.U64(c.events)
+	c.fs.Save(w)
+	c.tbl.Save(w)
+	c.obs.Save(w)
+	w.Int(len(c.extraPairs))
+	for _, p := range c.extraPairs {
+		w.U64(uint64(p.From))
+		w.U64(uint64(p.To))
+		w.F64(p.Shared)
+	}
+	forced := c.ForcedFiles()
+	w.Int(len(forced))
+	for _, id := range forced {
+		w.U64(uint64(id))
+	}
+	return w.Flush()
+}
+
+// Load restores a correlator saved with Save. The options supply the
+// parameter set, control file and directory sizer, which are
+// configuration rather than state.
+func Load(in io.Reader, opts Options) (*Correlator, error) {
+	r := wire.NewReader(in)
+	if magic := r.Str(); magic != dbMagic {
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, fmt.Errorf("core: not a SEER database (magic %q)", magic)
+	}
+	if v := r.U64(); v != dbVersion {
+		return nil, fmt.Errorf("core: unsupported database version %d", v)
+	}
+	events := r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	seed := opts.Seed
+	fs, err := simfs.LoadFS(r, stats.NewRand(seed))
+	if err != nil {
+		return nil, fmt.Errorf("core: load file table: %w", err)
+	}
+	opts.FS = fs
+	c := New(opts)
+	c.events = events
+	tbl, err := semdist.LoadTable(r, c.p, stats.NewRand(seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("core: load distance table: %w", err)
+	}
+	c.tbl = tbl
+	if err := c.obs.Load(r); err != nil {
+		return nil, fmt.Errorf("core: load observer: %w", err)
+	}
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative relation count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		c.extraPairs = append(c.extraPairs, cluster.Pair{
+			From:   simfs.FileID(r.U64()),
+			To:     simfs.FileID(r.U64()),
+			Shared: r.F64(),
+		})
+	}
+	nf := r.Int()
+	for i := 0; i < nf && r.Err() == nil; i++ {
+		c.forced[simfs.FileID(r.U64())] = true
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return c, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/investigate"
+	"github.com/fmg/seer/internal/trace"
+	"github.com/fmg/seer/internal/workload"
+)
+
+// replayWorkload feeds a scaled machine trace and returns the correlator
+// plus the trace for further feeding.
+func replayWorkload(t *testing.T, days int) (*Correlator, []trace.Event, Options) {
+	t.Helper()
+	prof, ok := workload.ProfileByName("C")
+	if !ok {
+		t.Fatal("no profile C")
+	}
+	gen := workload.NewGenerator(prof.Light(days), 1)
+	tr := gen.Generate()
+	p := config.Defaults()
+	p.Window = 20
+	opts := Options{Params: &p, Seed: 5, DirSize: gen.DirSize}
+	c := New(opts)
+	for _, ev := range tr.Events {
+		c.Feed(ev)
+	}
+	return c, tr.Events, opts
+}
+
+func plansEqual(t *testing.T, a, b *Correlator) {
+	t.Helper()
+	pa, pb := a.Plan(), b.Plan()
+	if pa.Len() != pb.Len() {
+		t.Fatalf("plan lengths differ: %d vs %d", pa.Len(), pb.Len())
+	}
+	for i := range pa.Entries {
+		ea, eb := pa.Entries[i], pb.Entries[i]
+		if ea.File.Path != eb.File.Path || ea.Cum != eb.Cum || ea.Reason != eb.Reason {
+			t.Fatalf("plan entry %d differs: %s/%d/%v vs %s/%d/%v",
+				i, ea.File.Path, ea.Cum, ea.Reason, eb.File.Path, eb.Cum, eb.Reason)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, _, opts := replayWorkload(t, 10)
+	orig.AddRelations([]investigate.Relation{{
+		Files: []string{"/home/u/proj00/src00.c", "/home/u/proj00/hdr00.h"}, Strength: 5,
+	}})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Events() != orig.Events() {
+		t.Errorf("events = %d, want %d", restored.Events(), orig.Events())
+	}
+	if restored.FS().Len() != orig.FS().Len() {
+		t.Errorf("files = %d, want %d", restored.FS().Len(), orig.FS().Len())
+	}
+	if restored.Table().Len() != orig.Table().Len() {
+		t.Errorf("tracked = %d, want %d", restored.Table().Len(), orig.Table().Len())
+	}
+	plansEqual(t, orig, restored)
+
+	// The restored correlator keeps learning: feed identical fresh
+	// events to both and the plans must stay identical.
+	clk := trace.NewClock(time.Unix(9_000_000, 0))
+	for i := 0; i < 50; i++ {
+		path := "/home/u/proj01/src00.c"
+		if i%2 == 1 {
+			path = "/home/u/proj01/hdr00.h"
+		}
+		ev := clk.Stamp(trace.Event{PID: 900, Op: trace.OpOpen, Path: path, Uid: 1000})
+		orig.Feed(ev)
+		restored.Feed(ev)
+		ev = clk.Stamp(trace.Event{PID: 900, Op: trace.OpClose, Path: path, Uid: 1000})
+		orig.Feed(ev)
+		restored.Feed(ev)
+	}
+	plansEqual(t, orig, restored)
+}
+
+func TestSaveLoadPreservesObserverState(t *testing.T) {
+	orig, _, opts := replayWorkload(t, 10)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := orig.Observer().FrequentFiles()
+	rf := restored.Observer().FrequentFiles()
+	if len(of) != len(rf) {
+		t.Errorf("frequent sets differ: %d vs %d", len(of), len(rf))
+	}
+	// The meaningless-program history survives: find stays filtered.
+	if orig.Observer().ProgramMeaningless("find") !=
+		restored.Observer().ProgramMeaningless("find") {
+		t.Error("program history lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a database"), Options{}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(""), Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated valid prefix.
+	orig, _, opts := replayWorkload(t, 5)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/3]
+	if _, err := Load(bytes.NewReader(trunc), opts); err == nil {
+		t.Error("truncated database accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	orig, _, opts := replayWorkload(t, 5)
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The version varint follows the 1-byte length + 6-byte magic.
+	b[7] = 99
+	if _, err := Load(bytes.NewReader(b), opts); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestSnapshotSizeReasonable(t *testing.T) {
+	orig, _, _ := replayWorkload(t, 10)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	perFile := buf.Len() / orig.FS().Len()
+	// The paper reports ~1 KB of memory per file (§5.3) and predicts an
+	// easy on-disk encoding; ours should be well under that on disk.
+	if perFile > 2048 {
+		t.Errorf("snapshot uses %d bytes/file, want < 2048", perFile)
+	}
+}
+
+// The invariant checker passes after a long replay and after a
+// save/load cycle; a hand-corrupted table is caught.
+func TestCheckInvariants(t *testing.T) {
+	orig, _, opts := replayWorkload(t, 15)
+	if problems := orig.CheckInvariants(); len(problems) != 0 {
+		t.Fatalf("replayed correlator unhealthy: %v", problems)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := restored.CheckInvariants(); len(problems) != 0 {
+		t.Fatalf("restored correlator unhealthy: %v", problems)
+	}
+	// Corrupt: inject a relationship for a file the table never saw.
+	restored.Table().Observe(99999, 99998, 1, false)
+	if problems := restored.CheckInvariants(); len(problems) == 0 {
+		t.Fatal("corruption not detected")
+	}
+}

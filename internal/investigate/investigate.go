@@ -1,0 +1,248 @@
+// Package investigate implements SEER's external investigators (paper
+// §3.2, §3.3.3): auxiliary analyzers that examine selected files,
+// extract application-specific relationship information, and feed it to
+// the clustering algorithm as groups of related files with a strength.
+// The strength is added to the shared-neighbor count of each pair in the
+// group, so a sufficiently strong relation can force files into one
+// cluster regardless of observed reference behaviour.
+//
+// Three investigators are provided: a C/C++ #include scanner (the
+// paper's example), a Makefile dependency scanner (the paper's proposed
+// makefile investigator), and a naming-convention investigator that
+// relates files differing only in extension. The package also provides
+// the directory-distance adjustment, which is subtracted from
+// shared-neighbor counts so widely separated files are less likely to
+// cluster.
+package investigate
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/fmg/seer/internal/cluster"
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// Relation is one investigator finding: a group of related files and
+// the strength of the relation.
+type Relation struct {
+	Files    []string
+	Strength float64
+}
+
+// ScanCIncludes extracts the #include targets of a C/C++ source file
+// and resolves them to absolute paths: quoted includes relative to the
+// source file's directory (then the include dirs), bracketed includes
+// against the include dirs only. Unresolvable includes are resolved
+// against the first include dir, or the source directory when none are
+// given, so a relation is still produced for headers the tracer has not
+// yet seen; exists may be nil to accept everything.
+func ScanCIncludes(srcPath string, content []byte, includeDirs []string, exists func(string) bool) []string {
+	var out []string
+	dir := simfs.Dir(srcPath)
+	for _, line := range strings.Split(string(content), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+		if !strings.HasPrefix(rest, "include") {
+			continue
+		}
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "include"))
+		if len(rest) < 2 {
+			continue
+		}
+		var name string
+		var quoted bool
+		switch rest[0] {
+		case '"':
+			if end := strings.IndexByte(rest[1:], '"'); end >= 0 {
+				name = rest[1 : 1+end]
+				quoted = true
+			}
+		case '<':
+			if end := strings.IndexByte(rest[1:], '>'); end >= 0 {
+				name = rest[1 : 1+end]
+			}
+		}
+		if name == "" {
+			continue
+		}
+		if p := resolveInclude(name, dir, quoted, includeDirs, exists); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func resolveInclude(name, srcDir string, quoted bool, includeDirs []string, exists func(string) bool) string {
+	if strings.HasPrefix(name, "/") {
+		return name
+	}
+	var candidates []string
+	if quoted {
+		candidates = append(candidates, join(srcDir, name))
+	}
+	for _, d := range includeDirs {
+		candidates = append(candidates, join(d, name))
+	}
+	if len(candidates) == 0 {
+		candidates = append(candidates, join(srcDir, name))
+	}
+	if exists != nil {
+		for _, c := range candidates {
+			if exists(c) {
+				return c
+			}
+		}
+	}
+	return candidates[0]
+}
+
+func join(dir, name string) string {
+	if dir == "" || dir == "/" {
+		return "/" + strings.TrimPrefix(name, "/")
+	}
+	return dir + "/" + name
+}
+
+// CRelations runs the #include scanner over a set of source files and
+// returns one relation per source (source + its headers).
+func CRelations(files map[string][]byte, includeDirs []string, strength float64, exists func(string) bool) []Relation {
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var rels []Relation
+	for _, p := range paths {
+		incs := ScanCIncludes(p, files[p], includeDirs, exists)
+		if len(incs) == 0 {
+			continue
+		}
+		rels = append(rels, Relation{
+			Files:    append([]string{p}, incs...),
+			Strength: strength,
+		})
+	}
+	return rels
+}
+
+// MakefileRelations parses a (simplified POSIX) makefile and returns one
+// relation per rule: the target, its prerequisites, and the makefile
+// itself. A makefile investigator "could potentially identify every file
+// needed to build a particular program" (paper §3.2); rule relations
+// resolve relative names against the makefile's directory.
+func MakefileRelations(path string, content []byte, strength float64) []Relation {
+	dir := simfs.Dir(path)
+	var rels []Relation
+	for _, line := range strings.Split(string(content), "\n") {
+		if strings.HasPrefix(line, "\t") || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue // recipe or comment
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 || strings.Contains(line[:colon], "=") {
+			continue
+		}
+		// Skip := style assignments and rules with no prerequisites.
+		rhs := line[colon+1:]
+		if strings.HasPrefix(rhs, "=") {
+			continue
+		}
+		targets := strings.Fields(line[:colon])
+		deps := strings.Fields(rhs)
+		if len(targets) == 0 || len(deps) == 0 {
+			continue
+		}
+		group := []string{path}
+		for _, t := range append(targets, deps...) {
+			if strings.HasPrefix(t, ".") && !strings.HasPrefix(t, "./") {
+				continue // suffix rules like .c.o:
+			}
+			if strings.ContainsAny(t, "$%") {
+				continue // unexpanded variables and pattern rules
+			}
+			name := t
+			if !strings.HasPrefix(name, "/") {
+				name = join(dir, strings.TrimPrefix(name, "./"))
+			}
+			group = append(group, name)
+		}
+		if len(group) > 2 {
+			rels = append(rels, Relation{Files: group, Strength: strength})
+		}
+	}
+	return rels
+}
+
+// SameStemRelations relates files in the same directory whose names
+// differ only in extension (foo.c / foo.h / foo.o), the naming
+// convention clue of paper §3.2.
+func SameStemRelations(paths []string, strength float64) []Relation {
+	byStem := make(map[string][]string)
+	for _, p := range paths {
+		dot := strings.LastIndexByte(p, '.')
+		slash := strings.LastIndexByte(p, '/')
+		if dot <= slash+1 { // no extension or dot file
+			continue
+		}
+		stem := p[:dot]
+		byStem[stem] = append(byStem[stem], p)
+	}
+	stems := make([]string, 0, len(byStem))
+	for s := range byStem {
+		if len(byStem[s]) > 1 {
+			stems = append(stems, s)
+		}
+	}
+	sort.Strings(stems)
+	var rels []Relation
+	for _, s := range stems {
+		group := byStem[s]
+		sort.Strings(group)
+		rels = append(rels, Relation{Files: group, Strength: strength})
+	}
+	return rels
+}
+
+// Pairs converts relations to clustering pairs: every ordered pair
+// within a relation's group, with the relation strength scaled by
+// weight. resolve maps a pathname to its FileID; paths that resolve to
+// NoFile are skipped.
+func Pairs(rels []Relation, resolve func(string) simfs.FileID, weight float64) []cluster.Pair {
+	var pairs []cluster.Pair
+	for _, rel := range rels {
+		ids := make([]simfs.FileID, 0, len(rel.Files))
+		for _, p := range rel.Files {
+			if id := resolve(p); id != simfs.NoFile {
+				ids = append(ids, id)
+			}
+		}
+		for i, a := range ids {
+			for j, b := range ids {
+				if i == j {
+					continue
+				}
+				pairs = append(pairs, cluster.Pair{
+					From: a, To: b, Shared: rel.Strength * weight,
+				})
+			}
+		}
+	}
+	return pairs
+}
+
+// DirDistanceAdjust returns an adjustment function for the clustering
+// options: the directory distance between the two files, scaled by
+// weight, subtracted from the shared-neighbor count (paper §3.3.3).
+// pathOf maps FileIDs back to pathnames.
+func DirDistanceAdjust(weight float64, pathOf func(simfs.FileID) string) func(a, b simfs.FileID) float64 {
+	return func(a, b simfs.FileID) float64 {
+		pa, pb := pathOf(a), pathOf(b)
+		if pa == "" || pb == "" {
+			return 0
+		}
+		return -weight * float64(simfs.DirDistance(pa, pb))
+	}
+}

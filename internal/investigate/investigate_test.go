@@ -1,0 +1,188 @@
+package investigate
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+func TestScanCIncludesQuotedAndBracketed(t *testing.T) {
+	src := `// main module
+#include "defs.h"
+#include <stdio.h>
+#  include   "sub/util.h"
+#include "unterminated
+#define X 1
+int main() { return 0; }
+`
+	got := ScanCIncludes("/home/u/proj/main.c", []byte(src),
+		[]string{"/usr/include"}, nil)
+	want := []string{
+		"/home/u/proj/defs.h",
+		"/usr/include/stdio.h",
+		"/home/u/proj/sub/util.h",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("includes = %v, want %v", got, want)
+	}
+}
+
+func TestScanCIncludesExistsResolution(t *testing.T) {
+	src := "#include \"shared.h\"\n"
+	exists := func(p string) bool { return p == "/usr/include/shared.h" }
+	got := ScanCIncludes("/home/u/p/main.c", []byte(src),
+		[]string{"/usr/include"}, exists)
+	if len(got) != 1 || got[0] != "/usr/include/shared.h" {
+		t.Errorf("includes = %v, want include-dir resolution", got)
+	}
+}
+
+func TestScanCIncludesAbsoluteAndNoDirs(t *testing.T) {
+	src := "#include \"/abs/path.h\"\n#include <vague.h>\n"
+	got := ScanCIncludes("/home/u/m.c", []byte(src), nil, nil)
+	if len(got) != 2 || got[0] != "/abs/path.h" || got[1] != "/home/u/vague.h" {
+		t.Errorf("includes = %v", got)
+	}
+}
+
+func TestCRelations(t *testing.T) {
+	files := map[string][]byte{
+		"/p/a.c":   []byte("#include \"a.h\"\n"),
+		"/p/b.c":   []byte("int x;\n"), // no includes: no relation
+		"/p/c.c":   []byte("#include \"a.h\"\n#include \"c.h\"\n"),
+		"/p/notes": []byte("#include is mentioned here but no quotes"),
+		"/p/weird": []byte("#includex \"a.h\"\n"),
+	}
+	rels := CRelations(files, nil, 2.5, nil)
+	if len(rels) != 2 {
+		t.Fatalf("relations = %v, want 2", rels)
+	}
+	if rels[0].Strength != 2.5 {
+		t.Errorf("strength = %g", rels[0].Strength)
+	}
+	// Sorted by path: a.c first.
+	if !reflect.DeepEqual(rels[0].Files, []string{"/p/a.c", "/p/a.h"}) {
+		t.Errorf("rel 0 = %v", rels[0].Files)
+	}
+	if !reflect.DeepEqual(rels[1].Files, []string{"/p/c.c", "/p/a.h", "/p/c.h"}) {
+		t.Errorf("rel 1 = %v", rels[1].Files)
+	}
+}
+
+func TestMakefileRelations(t *testing.T) {
+	mk := `# build rules
+CC = gcc
+prog: main.o util.o
+	$(CC) -o prog main.o util.o
+main.o: main.c defs.h
+	$(CC) -c main.c
+.c.o:
+	$(CC) -c $<
+clean:
+	rm -f *.o
+$(OBJ): generated.h
+`
+	rels := MakefileRelations("/p/Makefile", []byte(mk), 3)
+	if len(rels) != 2 {
+		t.Fatalf("relations = %+v, want 2", rels)
+	}
+	want0 := []string{"/p/Makefile", "/p/prog", "/p/main.o", "/p/util.o"}
+	if !reflect.DeepEqual(rels[0].Files, want0) {
+		t.Errorf("rule 0 = %v, want %v", rels[0].Files, want0)
+	}
+	want1 := []string{"/p/Makefile", "/p/main.o", "/p/main.c", "/p/defs.h"}
+	if !reflect.DeepEqual(rels[1].Files, want1) {
+		t.Errorf("rule 1 = %v, want %v", rels[1].Files, want1)
+	}
+}
+
+func TestSameStemRelations(t *testing.T) {
+	paths := []string{
+		"/p/widget.cc", "/p/widget.h", "/p/widget.o",
+		"/p/main.c",
+		"/q/main.c", // different directory: different stem
+		"/p/.profile",
+		"/p/README",
+	}
+	rels := SameStemRelations(paths, 1.5)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %v, want 1", rels)
+	}
+	want := []string{"/p/widget.cc", "/p/widget.h", "/p/widget.o"}
+	if !reflect.DeepEqual(rels[0].Files, want) {
+		t.Errorf("group = %v, want %v", rels[0].Files, want)
+	}
+}
+
+func TestPairsResolution(t *testing.T) {
+	ids := map[string]simfs.FileID{"/a": 1, "/b": 2, "/c": 3}
+	resolve := func(p string) simfs.FileID { return ids[p] }
+	rels := []Relation{{Files: []string{"/a", "/b", "/missing"}, Strength: 2}}
+	pairs := Pairs(rels, resolve, 1.5)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 (missing path skipped)", pairs)
+	}
+	for _, p := range pairs {
+		if p.Shared != 3 {
+			t.Errorf("pair strength = %g, want 2×1.5 = 3", p.Shared)
+		}
+	}
+	// Both directions present.
+	dirs := map[[2]simfs.FileID]bool{}
+	for _, p := range pairs {
+		dirs[[2]simfs.FileID{p.From, p.To}] = true
+	}
+	if !dirs[[2]simfs.FileID{1, 2}] || !dirs[[2]simfs.FileID{2, 1}] {
+		t.Errorf("pair directions = %v", dirs)
+	}
+}
+
+func TestPairsThreeWayGroup(t *testing.T) {
+	resolve := func(p string) simfs.FileID {
+		return simfs.FileID(len(p)) // /a→2, /bb→3, /ccc→4
+	}
+	rels := []Relation{{Files: []string{"/a", "/bb", "/ccc"}, Strength: 1}}
+	pairs := Pairs(rels, resolve, 1)
+	if len(pairs) != 6 {
+		t.Errorf("pairs = %d, want 6 ordered pairs", len(pairs))
+	}
+}
+
+func TestDirDistanceAdjust(t *testing.T) {
+	paths := map[simfs.FileID]string{
+		1: "/home/u/p/a.c",
+		2: "/home/u/p/b.c",
+		3: "/usr/include/stdio.h",
+	}
+	adj := DirDistanceAdjust(0.5, func(id simfs.FileID) string { return paths[id] })
+	if got := adj(1, 2); got != 0 {
+		t.Errorf("same dir adjustment = %g, want 0", got)
+	}
+	want := -0.5 * float64(simfs.DirDistance(paths[1], paths[3]))
+	if got := adj(1, 3); got != want {
+		t.Errorf("cross-dir adjustment = %g, want %g", got, want)
+	}
+	if got := adj(1, 99); got != 0 {
+		t.Errorf("unknown file adjustment = %g, want 0", got)
+	}
+}
+
+func TestRelationsDeterministic(t *testing.T) {
+	paths := []string{"/p/z.c", "/p/z.h", "/p/a.c", "/p/a.h"}
+	r1 := SameStemRelations(paths, 1)
+	// Shuffle input order.
+	shuffled := []string{"/p/a.h", "/p/z.h", "/p/z.c", "/p/a.c"}
+	r2 := SameStemRelations(shuffled, 1)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("relations order-dependent: %v vs %v", r1, r2)
+	}
+	var stems []string
+	for _, r := range r1 {
+		stems = append(stems, r.Files[0])
+	}
+	if !sort.StringsAreSorted(stems) {
+		t.Errorf("relations unsorted: %v", stems)
+	}
+}

@@ -1,0 +1,76 @@
+package observer
+
+import (
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// Automatic temporary-directory detection — the future work of paper
+// §4.5 ("It would be much more elegant to detect temporary files
+// automatically... We plan to pursue automated algorithms in the
+// future").
+//
+// The paper's obstacle was that by the time an individual file is
+// recognizably temporary it has already displaced better relationships.
+// Learning at the *directory* level sidesteps that: once a directory
+// has demonstrated create-then-delete churn, every future file created
+// there is ignored from the start, exactly as if the administrator had
+// listed it in the control file. Directories where files are created
+// but kept (object directories, mail folders) never qualify because
+// their delete/create ratio stays low.
+
+// dirChurn tracks creation/deletion behaviour of one directory.
+type dirChurn struct {
+	creates uint64
+	deletes uint64
+}
+
+// noteCreate records a file creation in the directory containing path.
+func (o *Observer) noteCreate(path string) {
+	if o.p.AutoTempMinCreates <= 0 {
+		return
+	}
+	dir := simfs.Dir(path)
+	c := o.churn[dir]
+	if c == nil {
+		c = &dirChurn{}
+		o.churn[dir] = c
+	}
+	c.creates++
+}
+
+// noteDelete records a deletion in the directory containing path.
+func (o *Observer) noteDelete(path string) {
+	if o.p.AutoTempMinCreates <= 0 {
+		return
+	}
+	dir := simfs.Dir(path)
+	if c := o.churn[dir]; c != nil {
+		c.deletes++
+	}
+}
+
+// IsAutoTemp reports whether the directory containing path has learned
+// transient behaviour: at least AutoTempMinCreates creations with a
+// delete/create ratio of at least AutoTempRatio.
+func (o *Observer) IsAutoTemp(path string) bool {
+	if o.p.AutoTempMinCreates <= 0 {
+		return false
+	}
+	c := o.churn[simfs.Dir(path)]
+	if c == nil || c.creates < uint64(o.p.AutoTempMinCreates) {
+		return false
+	}
+	return float64(c.deletes)/float64(c.creates) >= o.p.AutoTempRatio
+}
+
+// AutoTempDirs returns the directories currently classified transient.
+func (o *Observer) AutoTempDirs() []string {
+	var out []string
+	for dir, c := range o.churn {
+		if c.creates >= uint64(o.p.AutoTempMinCreates) &&
+			float64(c.deletes)/float64(c.creates) >= o.p.AutoTempRatio {
+			out = append(out, dir)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package observer
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/trace"
+	"github.com/fmg/seer/internal/wire"
+)
+
+func TestObserverPersistRoundTrip(t *testing.T) {
+	h := newHarness(func(p *config.Params) {
+		p.FrequentFileMinRefs = 10
+		p.FrequentFileFraction = 0.10
+		p.AutoTempMinCreates = 5
+	}, nil)
+	// Build varied state: a frequent library, a meaningless program
+	// history, recency, a critical file, churned temp dir.
+	lib := "/lib/libc.so"
+	for i := 0; i < 20; i++ {
+		h.open(1, lib)
+		h.close(1, lib)
+		other := fmt.Sprintf("/home/u/f%02d", i)
+		h.open(1, other)
+		h.close(1, other)
+	}
+	h.open(1, "/etc/passwd")
+	h.evFull(trace.Event{PID: 7, Op: trace.OpExec, Path: "/usr/bin/find", Prog: "find"})
+	for d := 0; d < 3; d++ {
+		dir := fmt.Sprintf("/home/u/d%d", d)
+		h.ev(trace.OpReadDir, 7, dir)
+		for i := 0; i < DefaultDirSize; i++ {
+			h.ev(trace.OpStat, 7, fmt.Sprintf("%s/x%02d", dir, i))
+		}
+	}
+	h.ev(trace.OpExit, 7, "")
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("/scratch/s%02d", i)
+		h.ev(trace.OpCreate, 1, p)
+		h.ev(trace.OpDelete, 1, p)
+	}
+
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	h.o.Save(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p := config.Defaults()
+	p.FrequentFileMinRefs = 10
+	p.FrequentFileFraction = 0.10
+	p.AutoTempMinCreates = 5
+	restored := New(p, config.DefaultControl(), h.fs, nil)
+	if err := restored.Load(wire.NewReader(&buf)); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Stats().Events != h.o.Stats().Events {
+		t.Error("event counter lost")
+	}
+	libID := h.fs.Lookup(lib).ID
+	if !restored.IsFrequent(libID) {
+		t.Error("frequent designation lost")
+	}
+	if !restored.ProgramMeaningless("find") {
+		t.Error("program history lost")
+	}
+	if restored.LastRef(libID) != h.o.LastRef(libID) {
+		t.Error("recency lost")
+	}
+	if !restored.IsAutoTemp("/scratch/anything") {
+		t.Error("auto-temp churn lost")
+	}
+	var critID simfs.FileID
+	if f := h.fs.Lookup("/etc/passwd"); f != nil {
+		critID = f.ID
+	}
+	if !restored.IsExcluded(critID) {
+		t.Error("exclusion set lost")
+	}
+}
+
+func TestObserverLoadTruncated(t *testing.T) {
+	h := newHarness(nil, nil)
+	h.open(1, "/a")
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	h.o.Save(w)
+	w.Flush()
+	data := buf.Bytes()
+	fresh := New(config.Defaults(), config.DefaultControl(),
+		simfs.New(stats.NewRand(1)), nil)
+	if err := fresh.Load(wire.NewReader(bytes.NewReader(data[:2]))); err == nil {
+		t.Error("truncated observer state accepted")
+	}
+}

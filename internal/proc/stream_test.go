@@ -1,0 +1,424 @@
+package proc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/trace"
+)
+
+const (
+	fA simfs.FileID = iota + 1
+	fB
+	fC
+	fD
+	fE
+)
+
+func pairMap(pairs []RefPair) map[simfs.FileID]RefPair {
+	m := make(map[simfs.FileID]RefPair, len(pairs))
+	for _, p := range pairs {
+		m[p.From] = p
+	}
+	return m
+}
+
+// TestFigure1 verifies the paper's worked example (§3.1.1, Figure 1):
+// the sequence {Ao, Bo, Bc, Co, Cc, Ac, Do, Dc} must yield distances
+// A→B=0, A→C=0, A→D=3, B→C=1, B→D=2, C→D=1.
+func TestFigure1(t *testing.T) {
+	s := NewStream(100)
+	if got := s.Open(fA); len(got) != 0 {
+		t.Fatalf("open A produced pairs %v", got)
+	}
+	toB := pairMap(s.Open(fB))
+	s.Close(fB)
+	toC := pairMap(s.Open(fC))
+	s.Close(fC)
+	s.Close(fA)
+	toD := pairMap(s.Open(fD))
+	s.Close(fD)
+
+	want := []struct {
+		name string
+		m    map[simfs.FileID]RefPair
+		from simfs.FileID
+		dist float64
+	}{
+		{"A→B", toB, fA, 0},
+		{"A→C", toC, fA, 0},
+		{"B→C", toC, fB, 1},
+		{"A→D", toD, fA, 3},
+		{"B→D", toD, fB, 2},
+		{"C→D", toD, fC, 1},
+	}
+	for _, w := range want {
+		p, ok := w.m[w.from]
+		if !ok {
+			t.Errorf("%s: missing pair", w.name)
+			continue
+		}
+		if p.Dist != w.dist {
+			t.Errorf("%s = %g, want %g", w.name, p.Dist, w.dist)
+		}
+		if p.Clamped {
+			t.Errorf("%s unexpectedly clamped", w.name)
+		}
+	}
+	if len(toB) != 1 || len(toC) != 2 || len(toD) != 3 {
+		t.Errorf("pair counts = %d,%d,%d want 1,2,3", len(toB), len(toC), len(toD))
+	}
+}
+
+// A file that stays open yields distance 0 regardless of how many opens
+// intervene — the compile-with-headers case.
+func TestLongOpenFileStaysAtZero(t *testing.T) {
+	s := NewStream(10)
+	s.Open(fA) // source file stays open
+	var last []RefPair
+	for i := 0; i < 100; i++ {
+		hdr := simfs.FileID(100 + i)
+		last = s.Open(hdr)
+		s.Close(hdr)
+	}
+	m := pairMap(last)
+	p, ok := m[fA]
+	if !ok {
+		t.Fatal("open file A missing from pairs after 100 intervening opens")
+	}
+	if p.Dist != 0 || p.Clamped {
+		t.Errorf("A pair = %+v, want dist 0 unclamped", p)
+	}
+}
+
+func TestClosestPairRuleUsesMostRecentReference(t *testing.T) {
+	// Sequence {A,A,B}: the distance from A to B uses the closest
+	// (second) reference of A (paper §3.1.1 footnote 1).
+	s := NewStream(100)
+	s.Open(fA)
+	s.Close(fA)
+	s.Open(fA)
+	s.Close(fA)
+	m := pairMap(s.Open(fB))
+	if p := m[fA]; p.Dist != 1 {
+		t.Errorf("A→B = %g, want 1 (closest pair)", p.Dist)
+	}
+}
+
+func TestRepeatedIntermediateRefsNotElided(t *testing.T) {
+	// Sequence {A,C,C,C,B}: strict interpretation gives distance 4 from
+	// A to B... the paper counts intervening file opens, so A→B = 4
+	// (opens of C,C,C,B). Repeats are deliberately not elided.
+	s := NewStream(100)
+	for _, f := range []simfs.FileID{fA, fC, fC, fC} {
+		s.Open(f)
+		s.Close(f)
+	}
+	m := pairMap(s.Open(fB))
+	if p := m[fA]; p.Dist != 4 {
+		t.Errorf("A→B = %g, want 4 (repeats not elided)", p.Dist)
+	}
+	if p := m[fC]; p.Dist != 1 {
+		t.Errorf("C→B = %g, want 1 (closest C)", p.Dist)
+	}
+}
+
+func TestWindowClampingAndCompensation(t *testing.T) {
+	const window = 5
+	s := NewStream(window)
+	s.Open(fA)
+	s.Close(fA)
+	// 7 distinct intervening files: A is now 8 opens back, beyond the
+	// window but within the compensation region (4*5 = 20).
+	for i := 0; i < 7; i++ {
+		f := simfs.FileID(100 + i)
+		s.Open(f)
+		s.Close(f)
+	}
+	m := pairMap(s.Open(fB))
+	p, ok := m[fA]
+	if !ok {
+		t.Fatal("A missing from compensation region")
+	}
+	if !p.Clamped || p.Dist != window {
+		t.Errorf("A pair = %+v, want clamped dist %d", p, window)
+	}
+}
+
+func TestBeyondCompensationRegionForgotten(t *testing.T) {
+	const window = 3
+	s := NewStream(window)
+	s.Open(fA)
+	s.Close(fA)
+	for i := 0; i < 4*window+5; i++ {
+		f := simfs.FileID(100 + i)
+		s.Open(f)
+		s.Close(f)
+	}
+	m := pairMap(s.Open(fB))
+	if _, ok := m[fA]; ok {
+		t.Error("A should be beyond the compensation region")
+	}
+}
+
+func TestPointRefLeavesNothingOpen(t *testing.T) {
+	s := NewStream(100)
+	s.PointRef(fA)
+	if s.OpenCount(fA) != 0 {
+		t.Error("PointRef left the file open")
+	}
+	m := pairMap(s.Open(fB))
+	if p := m[fA]; p.Dist != 1 {
+		t.Errorf("A→B after point ref = %g, want 1", p.Dist)
+	}
+}
+
+func TestNestedOpensRequireMatchingCloses(t *testing.T) {
+	s := NewStream(100)
+	s.Open(fA)
+	s.Open(fA)
+	s.Close(fA)
+	if s.OpenCount(fA) != 1 {
+		t.Fatalf("open count = %d, want 1", s.OpenCount(fA))
+	}
+	// Still open: distance 0.
+	m := pairMap(s.Open(fB))
+	if p := m[fA]; p.Dist != 0 {
+		t.Errorf("A→B = %g, want 0 while still open", p.Dist)
+	}
+	s.Close(fA)
+	s.Close(fA) // extra close ignored
+	if s.OpenCount(fA) != 0 {
+		t.Error("extra close corrupted the open table")
+	}
+}
+
+func TestSelfReferenceProducesNoSelfPair(t *testing.T) {
+	s := NewStream(100)
+	s.Open(fA)
+	s.Close(fA)
+	m := pairMap(s.Open(fA))
+	if _, ok := m[fA]; ok {
+		t.Error("self pair generated")
+	}
+}
+
+func TestForkInheritsHistory(t *testing.T) {
+	parent := NewStream(100)
+	parent.Open(fA) // stays open, like a shell's script file
+	parent.Open(fB)
+	parent.Close(fB)
+	child := parent.Fork()
+	m := pairMap(child.Open(fC))
+	if p := m[fA]; p.Dist != 0 {
+		t.Errorf("inherited open file A→C = %+v, want 0", p)
+	}
+	if p := m[fB]; p.Dist != 1 {
+		t.Errorf("inherited history B→C = %g, want 1", p.Dist)
+	}
+	// The child's activity must not disturb the parent's counters.
+	if parent.Opens() != 2 {
+		t.Errorf("parent opens = %d, want 2", parent.Opens())
+	}
+}
+
+func TestMergeChildExtendsParentHistory(t *testing.T) {
+	parent := NewStream(100)
+	parent.Open(fA)
+	parent.Close(fA)
+	child := parent.Fork()
+	child.Open(fB)
+	child.Close(fB)
+	child.Open(fC)
+	child.Close(fC)
+	parent.MergeChild(child)
+	// Parent's next reference should relate to the child's files.
+	m := pairMap(parent.Open(fD))
+	if p, ok := m[fC]; !ok || p.Dist != 1 {
+		t.Errorf("C→D after merge = %+v, want dist 1", p)
+	}
+	if p, ok := m[fB]; !ok || p.Dist != 2 {
+		t.Errorf("B→D after merge = %+v, want dist 2", p)
+	}
+	if p, ok := m[fA]; !ok || p.Dist != 3 {
+		t.Errorf("A→D after merge = %+v, want dist 3", p)
+	}
+	parent.MergeChild(nil) // must not panic
+}
+
+func TestRecentOrder(t *testing.T) {
+	s := NewStream(100)
+	for _, f := range []simfs.FileID{fA, fB, fC, fA} {
+		s.Open(f)
+		s.Close(f)
+	}
+	got := s.Recent()
+	if len(got) != 3 || got[0] != fA || got[1] != fC || got[2] != fB {
+		t.Errorf("Recent() = %v, want [A C B]", got)
+	}
+}
+
+func TestDegenerateWindow(t *testing.T) {
+	s := NewStream(0)
+	s.Open(fA)
+	s.Close(fA)
+	m := pairMap(s.Open(fB))
+	if p := m[fA]; p.Dist != 1 {
+		t.Errorf("window clamped to 1: A→B = %+v", p)
+	}
+}
+
+// Property: distances are always in [0, window], clamped pairs are
+// exactly window, and no pair references the opened file itself.
+func TestStreamPairInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewStream(7)
+		open := map[simfs.FileID]int{}
+		for _, op := range ops {
+			id := simfs.FileID(op%13 + 1)
+			if op%3 == 0 && open[id] > 0 {
+				s.Close(id)
+				open[id]--
+				continue
+			}
+			pairs := s.Open(id)
+			open[id]++
+			for _, p := range pairs {
+				if p.From == id {
+					return false
+				}
+				if p.Dist < 0 || p.Dist > 7 {
+					return false
+				}
+				if p.Clamped && p.Dist != 7 {
+					return false
+				}
+				if open[p.From] > 0 && p.Dist != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableForkExitLifecycle(t *testing.T) {
+	tb := NewTable(100)
+	p1 := tb.Get(1)
+	p1.Prog = "make"
+	p1.Stream.Open(fA)
+	p1.Stream.Close(fA)
+	child := tb.Fork(1, 2)
+	if child.Prog != "make" || child.Parent != 1 {
+		t.Errorf("child = %+v", child)
+	}
+	child.Stream.Open(fB)
+	child.Stream.Close(fB)
+	tb.Exit(2)
+	if tb.Lookup(2) != nil {
+		t.Error("exited child still in table")
+	}
+	// Parent history must now include the child's file.
+	m := pairMap(p1.Stream.Open(fC))
+	if _, ok := m[fB]; !ok {
+		t.Error("child history not merged into parent")
+	}
+	tb.Exit(99) // unknown pid: no-op
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestTableOrphanExit(t *testing.T) {
+	tb := NewTable(100)
+	tb.Fork(1, 2)
+	tb.Exit(1) // parent dies first
+	tb.Exit(2) // orphan exit: no parent to merge into, must not panic
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tb.Len())
+	}
+}
+
+func TestTableDefaultCwd(t *testing.T) {
+	tb := NewTable(100)
+	tb.DefaultCwd = "/home/u"
+	if p := tb.Get(5); p.Cwd != "/home/u" {
+		t.Errorf("cwd = %q", p.Cwd)
+	}
+	if got := tb.PIDs(); len(got) != 1 || got[0] != trace.PID(5) {
+		t.Errorf("PIDs = %v", got)
+	}
+}
+
+// Definition 2 (sequence distance) loses the compile case: a source
+// file held open across many header opens is NOT at distance 0.
+func TestSequenceModeNoLifetimeZero(t *testing.T) {
+	s := NewStreamMode(100, Sequence)
+	s.Open(fA) // stays open
+	for i := 0; i < 5; i++ {
+		h := simfs.FileID(100 + i)
+		s.Open(h)
+		s.Close(h)
+	}
+	m := pairMap(s.Open(fB))
+	p, ok := m[fA]
+	if !ok {
+		t.Fatal("A missing from sequence-mode pairs")
+	}
+	if p.Dist != 6 {
+		t.Errorf("sequence A→B = %g, want 6 intervening opens", p.Dist)
+	}
+}
+
+// Definition 1 (temporal distance) reports elapsed seconds and is
+// distorted by interruptions: a pause between edits inflates distance.
+func TestTemporalMode(t *testing.T) {
+	s := NewStreamMode(100, Temporal)
+	s.SetNow(1000)
+	s.Open(fA)
+	s.Close(fA)
+	s.SetNow(1002)
+	m := pairMap(s.Open(fB))
+	if p := m[fA]; p.Dist != 2 {
+		t.Errorf("temporal A→B = %g, want 2 seconds", p.Dist)
+	}
+	s.Close(fB)
+	// A telephone interruption: 30 minutes pass.
+	s.SetNow(1002 + 1800)
+	m = pairMap(s.Open(fC))
+	if p := m[fB]; p.Dist != 1800 {
+		t.Errorf("temporal B→C = %g, want 1800 seconds", p.Dist)
+	}
+	// Clock going backwards is clamped at zero.
+	s.SetNow(0)
+	m = pairMap(s.Open(fD))
+	if p := m[fC]; p.Dist != 0 {
+		t.Errorf("backwards clock distance = %g, want clamp to 0", p.Dist)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Lifetime.String() != "lifetime" || Sequence.String() != "sequence" ||
+		Temporal.String() != "temporal" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestTableModePropagation(t *testing.T) {
+	tb := NewTable(50)
+	tb.Mode = Sequence
+	p := tb.Get(1)
+	p.Stream.Open(fA) // held open
+	tb.Fork(1, 2)
+	child := tb.Lookup(2)
+	m := pairMap(child.Stream.Open(fB))
+	// Sequence mode in the child too: the held-open A is at distance 1,
+	// not 0.
+	if pr := m[fA]; pr.Dist != 1 {
+		t.Errorf("child sequence A→B = %g, want 1", pr.Dist)
+	}
+}

@@ -1,0 +1,101 @@
+package proc
+
+import (
+	"github.com/fmg/seer/internal/trace"
+)
+
+// Process is one live traced process.
+type Process struct {
+	PID    trace.PID
+	Parent trace.PID
+	// Prog is the program name (from exec); the meaningless-process
+	// history is keyed by it.
+	Prog string
+	// Cwd is the current working directory used to absolutize relative
+	// pathnames.
+	Cwd string
+	// Stream is the process's reference history.
+	Stream *Stream
+}
+
+// Table tracks live processes, creating them lazily on first reference
+// (traces may begin mid-lifetime) and wiring fork inheritance and exit
+// merging.
+type Table struct {
+	window int
+	// Mode selects the distance definition for newly created streams.
+	Mode  Mode
+	procs map[trace.PID]*Process
+	// DefaultCwd seeds the working directory of processes first seen
+	// without a chdir, so relative paths still absolutize somewhere
+	// deterministic.
+	DefaultCwd string
+}
+
+// NewTable returns an empty process table; window is the semantic
+// distance lookback M for newly created streams.
+func NewTable(window int) *Table {
+	return &Table{
+		window:     window,
+		procs:      make(map[trace.PID]*Process),
+		DefaultCwd: "/",
+	}
+}
+
+// Len returns the number of live processes.
+func (t *Table) Len() int { return len(t.procs) }
+
+// Get returns the process for pid, creating it (with an empty history
+// and the default cwd) if unknown.
+func (t *Table) Get(pid trace.PID) *Process {
+	if p := t.procs[pid]; p != nil {
+		return p
+	}
+	p := &Process{
+		PID:    pid,
+		Cwd:    t.DefaultCwd,
+		Stream: NewStreamMode(t.window, t.Mode),
+	}
+	t.procs[pid] = p
+	return p
+}
+
+// Lookup returns the process for pid without creating it.
+func (t *Table) Lookup(pid trace.PID) *Process { return t.procs[pid] }
+
+// Fork creates child as a copy-on-write image of parent: inherited
+// reference history, open files, cwd and program name (paper §4.7).
+func (t *Table) Fork(parent, child trace.PID) *Process {
+	pp := t.Get(parent)
+	cp := &Process{
+		PID:    child,
+		Parent: parent,
+		Prog:   pp.Prog,
+		Cwd:    pp.Cwd,
+		Stream: pp.Stream.Fork(),
+	}
+	t.procs[child] = cp
+	return cp
+}
+
+// Exit removes pid, merging its post-fork history into its parent if the
+// parent is still live (paper §4.7).
+func (t *Table) Exit(pid trace.PID) {
+	p := t.procs[pid]
+	if p == nil {
+		return
+	}
+	delete(t.procs, pid)
+	if parent := t.procs[p.Parent]; parent != nil {
+		parent.Stream.MergeChild(p.Stream)
+	}
+}
+
+// PIDs returns the live process ids in unspecified order.
+func (t *Table) PIDs() []trace.PID {
+	out := make([]trace.PID, 0, len(t.procs))
+	for pid := range t.procs {
+		out = append(out, pid)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package replic
+
+import (
+	"time"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// Link models the network connection a hoard fill must traverse. The
+// paper's setting (§1) is a laptop that is "significantly restricted by
+// battery power, bandwidth, or cost"; whether a pre-disconnection fill
+// is practical depends on how long it holds the link.
+type Link struct {
+	// Bandwidth in bytes per second.
+	Bandwidth int64
+	// Latency is the per-file round-trip overhead (request + metadata).
+	Latency time.Duration
+}
+
+// Common link presets of the paper's era and later.
+var (
+	// Modem28k is a 28.8 kbit/s dial-up modem, the mobile norm in 1997.
+	Modem28k = Link{Bandwidth: 28800 / 8, Latency: 150 * time.Millisecond}
+	// ISDN is a 128 kbit/s ISDN line.
+	ISDN = Link{Bandwidth: 128000 / 8, Latency: 50 * time.Millisecond}
+	// Ethernet10 is 10 Mbit/s office Ethernet.
+	Ethernet10 = Link{Bandwidth: 10_000_000 / 8, Latency: 2 * time.Millisecond}
+	// Broadband is a 100 Mbit/s connection.
+	Broadband = Link{Bandwidth: 100_000_000 / 8, Latency: time.Millisecond}
+)
+
+// TransferTime estimates moving totalBytes across the link in nFiles
+// pieces.
+func (l Link) TransferTime(totalBytes int64, nFiles int) time.Duration {
+	if l.Bandwidth <= 0 {
+		return 0
+	}
+	transfer := time.Duration(float64(totalBytes) / float64(l.Bandwidth) * float64(time.Second))
+	return transfer + time.Duration(nFiles)*l.Latency
+}
+
+// FetchEstimate describes the cost of a planned hoard synchronization.
+type FetchEstimate struct {
+	Files    int
+	Bytes    int64
+	Duration time.Duration
+}
+
+// EstimateSync sizes a fetch list against the file table and link.
+func EstimateSync(fs *simfs.FS, fetch []simfs.FileID, link Link) FetchEstimate {
+	var est FetchEstimate
+	for _, id := range fetch {
+		f := fs.Get(id)
+		if f == nil || !f.Exists {
+			continue
+		}
+		est.Files++
+		est.Bytes += f.Size
+	}
+	est.Duration = link.TransferTime(est.Bytes, est.Files)
+	return est
+}

@@ -1,0 +1,308 @@
+// Package replic provides the replication substrate underneath SEER.
+//
+// SEER deliberately does not move files itself: "a separate replication
+// system manages the actual transport of data; any of a number of
+// replication systems may be used" (paper abstract, §2). The correlator
+// only issues fetch/evict instructions and asks the substrate about
+// availability; propagation, update conflicts and reconciliation are the
+// substrate's problem.
+//
+// CheapRumor is this repository's stand-in for the paper's custom
+// master–slave service of the same name: a server (master) holds the
+// authoritative replica of every file; the laptop (slave) holds the
+// hoarded subset. Local updates made while disconnected are reconciled
+// at reconnection, with conflicts detected when the server copy advanced
+// independently.
+package replic
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// ErrDisconnected is returned when an operation needs the network while
+// the laptop is disconnected.
+var ErrDisconnected = errors.New("replic: disconnected")
+
+// ErrNotReplicated is returned when the server has no such file.
+var ErrNotReplicated = errors.New("replic: file not replicated on server")
+
+// AccessResult describes what happened when the user accessed a file.
+type AccessResult uint8
+
+// The access outcomes.
+const (
+	// AccessLocal: the file was in the hoard.
+	AccessLocal AccessResult = iota
+	// AccessRemote: not hoarded, but the network was available and the
+	// access was transparently serviced remotely (FICUS-style remote
+	// access, paper §4.4); the file should be marked for hoarding.
+	AccessRemote
+	// AccessMiss: not hoarded and disconnected — a hoard miss.
+	AccessMiss
+	// AccessUnknown: the file does not exist on the server either; not
+	// a hoard miss (paper §4.4: failed accesses to nonexistent files
+	// must not be counted).
+	AccessUnknown
+)
+
+// String names the access result.
+func (r AccessResult) String() string {
+	switch r {
+	case AccessLocal:
+		return "local"
+	case AccessRemote:
+		return "remote"
+	case AccessMiss:
+		return "miss"
+	case AccessUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("access(%d)", uint8(r))
+}
+
+// Replicator is the substrate contract SEER depends on (paper §2): it
+// can hoard and evict files, report availability, and service accesses.
+type Replicator interface {
+	// Fetch brings the file into the local store. It fails when
+	// disconnected or when the server has no replica.
+	Fetch(id simfs.FileID) error
+	// Evict drops the file from the local store. Dirty files are kept
+	// until reconciliation and evicted afterwards.
+	Evict(id simfs.FileID)
+	// HasLocal reports whether the file is locally available.
+	HasLocal(id simfs.FileID) bool
+	// Access services a user access to the file.
+	Access(id simfs.FileID) AccessResult
+	// Connected reports network availability.
+	Connected() bool
+	// SetConnected changes network availability; reconnecting triggers
+	// reconciliation.
+	SetConnected(bool) ReconcileReport
+}
+
+// replica is the laptop-side state of one file.
+type replica struct {
+	// baseVersion is the server version this copy derives from.
+	baseVersion uint64
+	// dirty marks local updates not yet propagated.
+	dirty bool
+	// evictWanted defers an eviction of a dirty file.
+	evictWanted bool
+}
+
+// ReconcileReport summarizes a reconciliation pass.
+type ReconcileReport struct {
+	// Propagated counts local updates pushed to the server.
+	Propagated int
+	// Conflicts counts files whose server copy advanced independently
+	// while the laptop held dirty local changes.
+	Conflicts int
+	// Refreshed counts hoarded files whose newer server version was
+	// pulled down.
+	Refreshed int
+	// Evicted counts deferred evictions completed.
+	Evicted int
+}
+
+// CheapRumor is the in-memory master–slave replication service.
+type CheapRumor struct {
+	fs        *simfs.FS
+	server    map[simfs.FileID]uint64 // authoritative version per file
+	local     map[simfs.FileID]*replica
+	connected bool
+	// ConflictPolicy: true keeps the local version on conflict (and
+	// pushes it), false keeps the server version.
+	KeepLocalOnConflict bool
+}
+
+var _ Replicator = (*CheapRumor)(nil)
+
+// NewCheapRumor returns a connected, empty replication pair over the
+// given file table.
+func NewCheapRumor(fs *simfs.FS) *CheapRumor {
+	return &CheapRumor{
+		fs:        fs,
+		server:    make(map[simfs.FileID]uint64),
+		local:     make(map[simfs.FileID]*replica),
+		connected: true,
+	}
+}
+
+// ServerCreate registers a file on the master (version 1). Workloads
+// call this when a file comes into existence while connected.
+func (r *CheapRumor) ServerCreate(id simfs.FileID) {
+	if _, ok := r.server[id]; !ok {
+		r.server[id] = 1
+	}
+}
+
+// ServerUpdate bumps the master version, as another replica would.
+func (r *CheapRumor) ServerUpdate(id simfs.FileID) error {
+	if _, ok := r.server[id]; !ok {
+		return ErrNotReplicated
+	}
+	r.server[id]++
+	return nil
+}
+
+// ServerVersion returns the master version (0 when absent).
+func (r *CheapRumor) ServerVersion(id simfs.FileID) uint64 { return r.server[id] }
+
+// Connected implements Replicator.
+func (r *CheapRumor) Connected() bool { return r.connected }
+
+// Fetch implements Replicator.
+func (r *CheapRumor) Fetch(id simfs.FileID) error {
+	if !r.connected {
+		return ErrDisconnected
+	}
+	v, ok := r.server[id]
+	if !ok {
+		return ErrNotReplicated
+	}
+	rep := r.local[id]
+	if rep == nil {
+		rep = &replica{}
+		r.local[id] = rep
+	}
+	if !rep.dirty {
+		rep.baseVersion = v
+	}
+	rep.evictWanted = false
+	return nil
+}
+
+// Evict implements Replicator. Evicting a dirty file is deferred until
+// the update has been propagated, so no local work is ever lost.
+func (r *CheapRumor) Evict(id simfs.FileID) {
+	rep := r.local[id]
+	if rep == nil {
+		return
+	}
+	if rep.dirty {
+		rep.evictWanted = true
+		return
+	}
+	delete(r.local, id)
+}
+
+// HasLocal implements Replicator.
+func (r *CheapRumor) HasLocal(id simfs.FileID) bool {
+	return r.local[id] != nil
+}
+
+// Access implements Replicator.
+func (r *CheapRumor) Access(id simfs.FileID) AccessResult {
+	if r.local[id] != nil {
+		return AccessLocal
+	}
+	if _, ok := r.server[id]; !ok {
+		return AccessUnknown
+	}
+	if r.connected {
+		return AccessRemote
+	}
+	return AccessMiss
+}
+
+// WriteLocal records a local modification of a hoarded file (creating
+// the local replica if the file is being created locally).
+func (r *CheapRumor) WriteLocal(id simfs.FileID) {
+	rep := r.local[id]
+	if rep == nil {
+		rep = &replica{}
+		r.local[id] = rep
+	}
+	rep.dirty = true
+	if _, ok := r.server[id]; !ok && r.connected {
+		// While connected, creations propagate immediately.
+		r.server[id] = 1
+		rep.baseVersion = 1
+		rep.dirty = false
+	}
+}
+
+// DirtyCount returns the number of unpropagated local updates.
+func (r *CheapRumor) DirtyCount() int {
+	n := 0
+	for _, rep := range r.local {
+		if rep.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// LocalCount returns the number of locally stored files.
+func (r *CheapRumor) LocalCount() int { return len(r.local) }
+
+// SetConnected implements Replicator. A transition to connected runs
+// reconciliation: dirty local files are pushed (detecting conflicts),
+// stale hoarded files are refreshed, deferred evictions complete.
+func (r *CheapRumor) SetConnected(up bool) ReconcileReport {
+	wasUp := r.connected
+	r.connected = up
+	if !up || wasUp {
+		return ReconcileReport{}
+	}
+	return r.reconcile()
+}
+
+func (r *CheapRumor) reconcile() ReconcileReport {
+	var rep ReconcileReport
+	for id, loc := range r.local {
+		sv, onServer := r.server[id]
+		switch {
+		case loc.dirty && !onServer:
+			// Created locally while disconnected.
+			r.server[id] = 1
+			loc.baseVersion = 1
+			loc.dirty = false
+			rep.Propagated++
+		case loc.dirty && sv == loc.baseVersion:
+			// Clean fast-forward push.
+			r.server[id] = sv + 1
+			loc.baseVersion = sv + 1
+			loc.dirty = false
+			rep.Propagated++
+		case loc.dirty && sv != loc.baseVersion:
+			// Concurrent updates: conflict (paper delegates resolution
+			// to the substrate [17]).
+			rep.Conflicts++
+			if r.KeepLocalOnConflict {
+				r.server[id] = sv + 1
+				loc.baseVersion = sv + 1
+			} else {
+				loc.baseVersion = sv
+			}
+			loc.dirty = false
+		case !loc.dirty && onServer && sv != loc.baseVersion:
+			// Server advanced: refresh the hoarded copy.
+			loc.baseVersion = sv
+			rep.Refreshed++
+		}
+		if loc.evictWanted && !loc.dirty {
+			delete(r.local, id)
+			rep.Evicted++
+		}
+	}
+	return rep
+}
+
+// Sync applies a hoard-fill diff: fetch the listed files and evict the
+// others. Fetch failures (files the server never saw) are counted, not
+// fatal — SEER must tolerate substrate refusal.
+func (r *CheapRumor) Sync(fetch, evict []simfs.FileID) (failed int) {
+	for _, id := range fetch {
+		if err := r.Fetch(id); err != nil {
+			failed++
+		}
+	}
+	for _, id := range evict {
+		r.Evict(id)
+	}
+	return failed
+}

@@ -1,0 +1,284 @@
+package replic
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+)
+
+func newRumor() (*CheapRumor, *simfs.FS) {
+	fs := simfs.New(stats.NewRand(1))
+	return NewCheapRumor(fs), fs
+}
+
+func TestFetchAndAccess(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	if got := r.Access(f.ID); got != AccessRemote {
+		t.Errorf("unhoarded connected access = %v, want remote", got)
+	}
+	if err := r.Fetch(f.ID); err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if !r.HasLocal(f.ID) {
+		t.Error("fetched file not local")
+	}
+	if got := r.Access(f.ID); got != AccessLocal {
+		t.Errorf("hoarded access = %v, want local", got)
+	}
+}
+
+func TestAccessOutcomes(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	ghost := fs.Create("/ghost", simfs.Regular, 10, 2)
+	r.SetConnected(false)
+	if got := r.Access(f.ID); got != AccessMiss {
+		t.Errorf("disconnected unhoarded access = %v, want miss", got)
+	}
+	if got := r.Access(ghost.ID); got != AccessUnknown {
+		t.Errorf("nonexistent access = %v, want unknown (not a miss)", got)
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	if err := r.Fetch(f.ID); err != ErrNotReplicated {
+		t.Errorf("fetch unreplicated = %v", err)
+	}
+	r.ServerCreate(f.ID)
+	r.SetConnected(false)
+	if err := r.Fetch(f.ID); err != ErrDisconnected {
+		t.Errorf("fetch disconnected = %v", err)
+	}
+}
+
+func TestDisconnectedUpdatePropagates(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	if err := r.Fetch(f.ID); err != nil {
+		t.Fatal(err)
+	}
+	r.SetConnected(false)
+	r.WriteLocal(f.ID)
+	if r.DirtyCount() != 1 {
+		t.Fatalf("dirty = %d", r.DirtyCount())
+	}
+	rep := r.SetConnected(true)
+	if rep.Propagated != 1 || rep.Conflicts != 0 {
+		t.Errorf("report = %+v, want 1 propagated", rep)
+	}
+	if r.ServerVersion(f.ID) != 2 {
+		t.Errorf("server version = %d, want 2", r.ServerVersion(f.ID))
+	}
+	if r.DirtyCount() != 0 {
+		t.Error("still dirty after reconcile")
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	r.Fetch(f.ID)
+	r.SetConnected(false)
+	r.WriteLocal(f.ID)
+	// Another replica updates the master meanwhile.
+	if err := r.ServerUpdate(f.ID); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.SetConnected(true)
+	if rep.Conflicts != 1 || rep.Propagated != 0 {
+		t.Errorf("report = %+v, want 1 conflict", rep)
+	}
+	// Default policy keeps the server version.
+	if r.ServerVersion(f.ID) != 2 {
+		t.Errorf("server version = %d, want 2 (server wins)", r.ServerVersion(f.ID))
+	}
+}
+
+func TestConflictKeepLocal(t *testing.T) {
+	r, fs := newRumor()
+	r.KeepLocalOnConflict = true
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	r.Fetch(f.ID)
+	r.SetConnected(false)
+	r.WriteLocal(f.ID)
+	r.ServerUpdate(f.ID)
+	rep := r.SetConnected(true)
+	if rep.Conflicts != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if r.ServerVersion(f.ID) != 3 {
+		t.Errorf("server version = %d, want 3 (local pushed over)", r.ServerVersion(f.ID))
+	}
+}
+
+func TestDisconnectedCreation(t *testing.T) {
+	r, fs := newRumor()
+	r.SetConnected(false)
+	f := fs.Create("/new", simfs.Regular, 10, 1)
+	r.WriteLocal(f.ID)
+	rep := r.SetConnected(true)
+	if rep.Propagated != 1 {
+		t.Errorf("report = %+v, want created file propagated", rep)
+	}
+	if r.ServerVersion(f.ID) != 1 {
+		t.Errorf("server version = %d, want 1", r.ServerVersion(f.ID))
+	}
+}
+
+func TestConnectedCreationPropagatesImmediately(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/new", simfs.Regular, 10, 1)
+	r.WriteLocal(f.ID)
+	if r.ServerVersion(f.ID) != 1 {
+		t.Errorf("server version = %d, want immediate propagation", r.ServerVersion(f.ID))
+	}
+	if r.DirtyCount() != 0 {
+		t.Error("connected creation left dirty state")
+	}
+}
+
+func TestEvictDirtyDeferred(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	r.Fetch(f.ID)
+	r.SetConnected(false)
+	r.WriteLocal(f.ID)
+	r.Evict(f.ID)
+	if !r.HasLocal(f.ID) {
+		t.Fatal("dirty file evicted immediately — local work lost")
+	}
+	rep := r.SetConnected(true)
+	if rep.Propagated != 1 || rep.Evicted != 1 {
+		t.Errorf("report = %+v, want propagate then evict", rep)
+	}
+	if r.HasLocal(f.ID) {
+		t.Error("deferred eviction did not complete")
+	}
+}
+
+func TestEvictClean(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	r.Fetch(f.ID)
+	r.Evict(f.ID)
+	if r.HasLocal(f.ID) {
+		t.Error("clean eviction failed")
+	}
+	r.Evict(f.ID) // double evict: no-op
+}
+
+func TestRefreshStaleOnReconnect(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	r.Fetch(f.ID)
+	r.SetConnected(false)
+	r.ServerUpdate(f.ID)
+	rep := r.SetConnected(true)
+	if rep.Refreshed != 1 {
+		t.Errorf("report = %+v, want 1 refreshed", rep)
+	}
+}
+
+func TestSetConnectedIdempotent(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	r.Fetch(f.ID)
+	r.SetConnected(false)
+	r.WriteLocal(f.ID)
+	// Repeated connect-while-connected must not re-reconcile.
+	rep := r.SetConnected(true)
+	if rep.Propagated != 1 {
+		t.Fatalf("first reconcile = %+v", rep)
+	}
+	rep = r.SetConnected(true)
+	if rep.Propagated != 0 {
+		t.Errorf("second reconcile = %+v, want empty", rep)
+	}
+}
+
+func TestSync(t *testing.T) {
+	r, fs := newRumor()
+	a := fs.Create("/a", simfs.Regular, 10, 1)
+	b := fs.Create("/b", simfs.Regular, 10, 2)
+	c := fs.Create("/c", simfs.Regular, 10, 3)
+	r.ServerCreate(a.ID)
+	r.ServerCreate(b.ID)
+	r.Fetch(c.ID) // will fail inside Sync below instead
+	failed := r.Sync([]simfs.FileID{a.ID, b.ID, c.ID}, nil)
+	if failed != 1 {
+		t.Errorf("failed = %d, want 1 (unreplicated /c)", failed)
+	}
+	if !r.HasLocal(a.ID) || !r.HasLocal(b.ID) {
+		t.Error("sync did not fetch")
+	}
+	failed = r.Sync(nil, []simfs.FileID{a.ID})
+	if failed != 0 || r.HasLocal(a.ID) {
+		t.Error("sync did not evict")
+	}
+	if r.LocalCount() != 1 {
+		t.Errorf("local count = %d, want 1", r.LocalCount())
+	}
+}
+
+func TestAccessResultString(t *testing.T) {
+	for r, want := range map[AccessResult]string{
+		AccessLocal: "local", AccessRemote: "remote",
+		AccessMiss: "miss", AccessUnknown: "unknown",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	// 1 MB over a 28.8k modem: ~291 seconds of transfer plus latency.
+	d := Modem28k.TransferTime(1<<20, 10)
+	if d < 280*time.Second || d > 310*time.Second {
+		t.Errorf("modem transfer = %v, want ≈291s", d)
+	}
+	// The same megabyte over broadband is under a second of transfer.
+	if d := Broadband.TransferTime(1<<20, 10); d > time.Second {
+		t.Errorf("broadband transfer = %v", d)
+	}
+	if (Link{}).TransferTime(1<<20, 1) != 0 {
+		t.Error("zero-bandwidth link should report 0")
+	}
+	// Many small files are latency-dominated.
+	few := ISDN.TransferTime(100_000, 1)
+	many := ISDN.TransferTime(100_000, 500)
+	if many-few < 20*time.Second {
+		t.Errorf("latency domination missing: %v vs %v", few, many)
+	}
+}
+
+func TestEstimateSync(t *testing.T) {
+	r, fs := newRumor()
+	a := fs.Create("/a", simfs.Regular, 1000, 1)
+	b := fs.Create("/b", simfs.Regular, 2000, 2)
+	fs.Create("/gone", simfs.Regular, 500, 3)
+	fs.Remove("/gone")
+	gone := fs.Lookup("/gone")
+	est := EstimateSync(fs, []simfs.FileID{a.ID, b.ID, gone.ID, 9999}, ISDN)
+	if est.Files != 2 || est.Bytes != 3000 {
+		t.Errorf("estimate = %+v, want 2 files 3000 bytes", est)
+	}
+	if est.Duration <= 0 {
+		t.Error("no duration estimated")
+	}
+	_ = r
+}

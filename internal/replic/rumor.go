@@ -1,0 +1,312 @@
+package replic
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// Rumor is a peer-to-peer, reconciliation-based optimistic replication
+// service modeled on RUMOR, the system SEER primarily ran atop (paper
+// §2; Guy et al., Reiher et al.). Unlike the master–slave CheapRumor,
+// every replica may be updated independently; pairs of replicas
+// reconcile opportunistically, exchanging updates and detecting
+// concurrent-update conflicts with per-file version vectors.
+//
+// SEER needs only the Replicator contract from it; the peer-to-peer
+// machinery below exists so that laptop↔laptop synchronization (the
+// paper's nomadic-computing setting) can be exercised realistically.
+
+// ReplicaID identifies one replica site.
+type ReplicaID int
+
+// VersionVector is the standard optimistic-replication clock: one
+// counter per replica that has ever updated the file.
+type VersionVector map[ReplicaID]uint64
+
+// Copy returns an independent copy of v.
+func (v VersionVector) Copy() VersionVector {
+	out := make(VersionVector, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Compare returns the causal relation of v to w: -1 if v dominates w
+// is false and w dominates v (v happened before w), +1 for the reverse,
+// 0 if equal, and Concurrent for conflicting histories.
+func (v VersionVector) Compare(w VersionVector) Ordering {
+	vLess, wLess := false, false
+	for k, n := range v {
+		if n > w[k] {
+			wLess = true
+		}
+	}
+	for k, n := range w {
+		if n > v[k] {
+			vLess = true
+		}
+	}
+	switch {
+	case vLess && wLess:
+		return Concurrent
+	case wLess:
+		return After
+	case vLess:
+		return Before
+	}
+	return Equal
+}
+
+// Ordering is the result of a version-vector comparison.
+type Ordering int
+
+// The orderings.
+const (
+	Before     Ordering = -1
+	Equal      Ordering = 0
+	After      Ordering = 1
+	Concurrent Ordering = 2
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case Equal:
+		return "equal"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("ordering(%d)", int(o))
+}
+
+// rumorFile is one file's state at one replica.
+type rumorFile struct {
+	vv VersionVector
+	// data is an opaque version tag standing in for content; equal tags
+	// mean identical content.
+	data uint64
+	// deleted is a tombstone (RUMOR keeps tombstones so deletions
+	// propagate rather than resurrect).
+	deleted bool
+}
+
+// Replica is one site in a Rumor network.
+type Replica struct {
+	ID ReplicaID
+	// files holds only locally stored files (a laptop hoards a subset;
+	// a server typically stores everything).
+	files map[simfs.FileID]*rumorFile
+	// full marks a replica that stores every file it hears about (a
+	// server); non-full replicas only accept files they hoard.
+	full    bool
+	hoarded map[simfs.FileID]bool
+	nextTag uint64
+}
+
+// NewReplica returns an empty replica. full replicas (servers) accept
+// every file during reconciliation; non-full replicas (laptops) accept
+// only hoarded files.
+func NewReplica(id ReplicaID, full bool) *Replica {
+	return &Replica{
+		ID:      id,
+		files:   make(map[simfs.FileID]*rumorFile),
+		full:    full,
+		hoarded: make(map[simfs.FileID]bool),
+	}
+}
+
+// Len returns the number of locally stored live files.
+func (r *Replica) Len() int {
+	n := 0
+	for _, f := range r.files {
+		if !f.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether the file is stored live locally.
+func (r *Replica) Has(id simfs.FileID) bool {
+	f := r.files[id]
+	return f != nil && !f.deleted
+}
+
+// SetHoard replaces the hoard set of a non-full replica; files outside
+// the set are dropped locally (they remain at other replicas).
+func (r *Replica) SetHoard(ids []simfs.FileID) {
+	want := make(map[simfs.FileID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	r.hoarded = want
+	if r.full {
+		return
+	}
+	for id := range r.files {
+		if !want[id] {
+			delete(r.files, id)
+		}
+	}
+}
+
+// Create makes a new file at this replica. Recreating a pathname that
+// has a tombstone extends the existing version history — a fresh vector
+// would be dominated by the tombstone and the new file would be
+// silently deleted at the next reconciliation.
+func (r *Replica) Create(id simfs.FileID) {
+	r.nextTag++
+	tag := r.nextTag<<8 | uint64(r.ID)
+	if f := r.files[id]; f != nil {
+		f.vv[r.ID]++
+		f.data = tag
+		f.deleted = false
+		return
+	}
+	r.files[id] = &rumorFile{
+		vv:   VersionVector{r.ID: 1},
+		data: tag,
+	}
+}
+
+// Update modifies the file locally, advancing this replica's component
+// of the version vector. It reports whether the file was present.
+func (r *Replica) Update(id simfs.FileID) bool {
+	f := r.files[id]
+	if f == nil || f.deleted {
+		return false
+	}
+	f.vv[r.ID]++
+	r.nextTag++
+	f.data = r.nextTag<<8 | uint64(r.ID)
+	return true
+}
+
+// Delete removes the file locally, leaving a tombstone that propagates.
+func (r *Replica) Delete(id simfs.FileID) bool {
+	f := r.files[id]
+	if f == nil || f.deleted {
+		return false
+	}
+	f.vv[r.ID]++
+	f.deleted = true
+	return true
+}
+
+// Version returns the file's version vector (nil when absent).
+func (r *Replica) Version(id simfs.FileID) VersionVector {
+	if f := r.files[id]; f != nil {
+		return f.vv.Copy()
+	}
+	return nil
+}
+
+// SyncReport summarizes one reconciliation direction.
+type SyncReport struct {
+	Pulled    int // files updated from the peer
+	Created   int // files newly stored locally
+	Deleted   int // tombstones applied
+	Conflicts int // concurrent updates detected
+	Skipped   int // files the local replica does not hoard
+}
+
+// Total returns the number of changes applied.
+func (s SyncReport) Total() int { return s.Pulled + s.Created + s.Deleted }
+
+// ReconcileFrom pulls the peer's state into r (RUMOR's one-way pull;
+// run both directions for a full sync). Conflicts are resolved
+// deterministically in favour of the lexicographically larger data tag,
+// and the merged version vector dominates both histories so the
+// resolution propagates without re-conflicting.
+func (r *Replica) ReconcileFrom(peer *Replica) SyncReport {
+	var rep SyncReport
+	ids := make([]simfs.FileID, 0, len(peer.files))
+	for id := range peer.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pf := peer.files[id]
+		if !r.full && !r.hoarded[id] {
+			rep.Skipped++
+			continue
+		}
+		lf := r.files[id]
+		if lf == nil {
+			// New to this replica.
+			nf := &rumorFile{vv: pf.vv.Copy(), data: pf.data, deleted: pf.deleted}
+			r.files[id] = nf
+			if pf.deleted {
+				rep.Deleted++
+			} else {
+				rep.Created++
+			}
+			continue
+		}
+		switch lf.vv.Compare(pf.vv) {
+		case Before:
+			wasDeleted := lf.deleted
+			lf.vv = pf.vv.Copy()
+			lf.data = pf.data
+			lf.deleted = pf.deleted
+			if pf.deleted && !wasDeleted {
+				rep.Deleted++
+			} else {
+				rep.Pulled++
+			}
+		case After, Equal:
+			// Local is newer or identical: nothing to pull.
+		case Concurrent:
+			rep.Conflicts++
+			// Deterministic resolution: larger data tag wins; deletion
+			// loses to a concurrent update (an update proves interest).
+			winner := lf.data
+			winnerDel := lf.deleted
+			if pf.deleted != lf.deleted {
+				winnerDel = false
+				if lf.deleted {
+					winner = pf.data
+				}
+			} else if pf.data > lf.data {
+				winner = pf.data
+				winnerDel = pf.deleted
+			}
+			merged := lf.vv.Copy()
+			for k, n := range pf.vv {
+				if n > merged[k] {
+					merged[k] = n
+				}
+			}
+			// Bump our component so the resolution dominates both.
+			merged[r.ID]++
+			lf.vv = merged
+			lf.data = winner
+			lf.deleted = winnerDel
+		}
+	}
+	return rep
+}
+
+// Sync performs a bidirectional reconciliation between two replicas.
+func Sync(a, b *Replica) (fromB, fromA SyncReport) {
+	fromB = a.ReconcileFrom(b)
+	fromA = b.ReconcileFrom(a)
+	return fromB, fromA
+}
+
+// SameContent reports whether both replicas store the file with
+// identical content (including both-absent and both-tombstoned).
+func SameContent(a, b *Replica, id simfs.FileID) bool {
+	fa, fb := a.files[id], b.files[id]
+	if fa == nil || fb == nil {
+		return fa == fb
+	}
+	return fa.data == fb.data && fa.deleted == fb.deleted
+}

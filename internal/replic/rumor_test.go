@@ -1,0 +1,270 @@
+package replic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+func TestVersionVectorCompare(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b VersionVector
+		want Ordering
+	}{
+		{"equal empty", VersionVector{}, VersionVector{}, Equal},
+		{"equal", VersionVector{1: 2}, VersionVector{1: 2}, Equal},
+		{"before", VersionVector{1: 1}, VersionVector{1: 2}, Before},
+		{"after", VersionVector{1: 2, 2: 1}, VersionVector{1: 2}, After},
+		{"concurrent", VersionVector{1: 2}, VersionVector{2: 1}, Concurrent},
+		{"concurrent mixed", VersionVector{1: 2, 2: 1}, VersionVector{1: 1, 2: 2}, Concurrent},
+		{"missing is zero", VersionVector{}, VersionVector{5: 1}, Before},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%s: Compare = %v, want %v", c.name, got, c.want)
+		}
+		// Antisymmetry.
+		rev := c.b.Compare(c.a)
+		switch c.want {
+		case Before:
+			if rev != After {
+				t.Errorf("%s: reverse = %v, want after", c.name, rev)
+			}
+		case After:
+			if rev != Before {
+				t.Errorf("%s: reverse = %v, want before", c.name, rev)
+			}
+		default:
+			if rev != c.want {
+				t.Errorf("%s: reverse = %v, want %v", c.name, rev, c.want)
+			}
+		}
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Before: "before", Equal: "equal", After: "after", Concurrent: "concurrent",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", o, o.String())
+		}
+	}
+}
+
+func TestCreateUpdatePropagate(t *testing.T) {
+	server := NewReplica(1, true)
+	laptop := NewReplica(2, true)
+	f := simfs.FileID(10)
+	server.Create(f)
+	Sync(laptop, server)
+	if !laptop.Has(f) {
+		t.Fatal("create did not propagate")
+	}
+	if !SameContent(server, laptop, f) {
+		t.Fatal("contents differ after sync")
+	}
+	// Disconnected update on the laptop.
+	if !laptop.Update(f) {
+		t.Fatal("update failed")
+	}
+	if SameContent(server, laptop, f) {
+		t.Fatal("contents equal before reconcile")
+	}
+	rep := server.ReconcileFrom(laptop)
+	if rep.Pulled != 1 || rep.Conflicts != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !SameContent(server, laptop, f) {
+		t.Fatal("contents differ after reconcile")
+	}
+}
+
+func TestConcurrentUpdateConflictConverges(t *testing.T) {
+	a := NewReplica(1, true)
+	b := NewReplica(2, true)
+	f := simfs.FileID(1)
+	a.Create(f)
+	Sync(a, b)
+	// Both update independently.
+	a.Update(f)
+	b.Update(f)
+	ra, rb := Sync(a, b)
+	if ra.Conflicts+rb.Conflicts == 0 {
+		t.Fatal("concurrent updates not detected as conflict")
+	}
+	// One more round settles the resolution everywhere.
+	Sync(a, b)
+	if !SameContent(a, b, f) {
+		t.Fatal("replicas did not converge after conflict resolution")
+	}
+	if a.Version(f).Compare(b.Version(f)) != Equal {
+		t.Fatalf("version vectors differ: %v vs %v", a.Version(f), b.Version(f))
+	}
+}
+
+func TestDeletePropagatesAsTombstone(t *testing.T) {
+	a := NewReplica(1, true)
+	b := NewReplica(2, true)
+	f := simfs.FileID(1)
+	a.Create(f)
+	Sync(a, b)
+	if !a.Delete(f) {
+		t.Fatal("delete failed")
+	}
+	if a.Delete(f) {
+		t.Fatal("double delete succeeded")
+	}
+	rep := b.ReconcileFrom(a)
+	if rep.Deleted != 1 {
+		t.Fatalf("report = %+v, want 1 deletion", rep)
+	}
+	if b.Has(f) {
+		t.Fatal("deleted file still present at peer")
+	}
+	// The tombstone must not resurrect via the other direction.
+	rep = a.ReconcileFrom(b)
+	if a.Has(f) {
+		t.Fatal("tombstone resurrected")
+	}
+	_ = rep
+}
+
+func TestConcurrentUpdateVsDelete(t *testing.T) {
+	a := NewReplica(1, true)
+	b := NewReplica(2, true)
+	f := simfs.FileID(1)
+	a.Create(f)
+	Sync(a, b)
+	a.Delete(f)
+	b.Update(f) // concurrent interest in the file
+	Sync(a, b)
+	Sync(a, b)
+	// The update wins: deletion loses to concurrent modification.
+	if !a.Has(f) || !b.Has(f) {
+		t.Fatal("concurrent update did not survive the delete")
+	}
+	if !SameContent(a, b, f) {
+		t.Fatal("replicas diverged")
+	}
+}
+
+func TestHoardSubsetReplica(t *testing.T) {
+	server := NewReplica(1, true)
+	laptop := NewReplica(2, false)
+	f1, f2 := simfs.FileID(1), simfs.FileID(2)
+	server.Create(f1)
+	server.Create(f2)
+	laptop.SetHoard([]simfs.FileID{f1})
+	rep := laptop.ReconcileFrom(server)
+	if rep.Created != 1 || rep.Skipped != 1 {
+		t.Fatalf("report = %+v, want 1 created 1 skipped", rep)
+	}
+	if !laptop.Has(f1) || laptop.Has(f2) {
+		t.Fatal("hoard subset not respected")
+	}
+	// Shrinking the hoard evicts local copies.
+	laptop.SetHoard(nil)
+	if laptop.Has(f1) {
+		t.Fatal("eviction on hoard change failed")
+	}
+	if !server.Has(f1) {
+		t.Fatal("server lost the file")
+	}
+}
+
+func TestThreeReplicaGossipConvergence(t *testing.T) {
+	a := NewReplica(1, true)
+	b := NewReplica(2, true)
+	c := NewReplica(3, true)
+	files := []simfs.FileID{1, 2, 3, 4}
+	a.Create(files[0])
+	b.Create(files[1])
+	c.Create(files[2])
+	a.Create(files[3])
+	// Gossip ring: a↔b, b↔c, then a↔b again closes the loop.
+	Sync(a, b)
+	Sync(b, c)
+	Sync(a, b)
+	Sync(b, c)
+	for _, f := range files {
+		if !a.Has(f) || !b.Has(f) || !c.Has(f) {
+			t.Fatalf("file %d did not reach every replica", f)
+		}
+		if !SameContent(a, b, f) || !SameContent(b, c, f) {
+			t.Fatalf("file %d content diverged", f)
+		}
+	}
+	if a.Len() != 4 || c.Len() != 4 {
+		t.Fatalf("replica lengths %d/%d, want 4", a.Len(), c.Len())
+	}
+}
+
+// Property: for any interleaving of updates at two replicas followed by
+// repeated syncs, the replicas converge to identical content.
+func TestRumorConvergenceQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewReplica(1, true)
+		b := NewReplica(2, true)
+		ids := []simfs.FileID{1, 2, 3}
+		for _, id := range ids {
+			a.Create(id)
+		}
+		Sync(a, b)
+		for _, op := range ops {
+			r := a
+			if op&1 == 1 {
+				r = b
+			}
+			id := ids[int(op>>1)%len(ids)]
+			switch (op >> 4) % 3 {
+			case 0:
+				r.Update(id)
+			case 1:
+				r.Delete(id)
+			case 2:
+				if !r.Has(id) {
+					r.Create(id)
+				}
+			}
+			if op%7 == 0 {
+				Sync(a, b)
+			}
+		}
+		// Sync until stable (two full rounds suffice: resolution then
+		// propagation).
+		Sync(a, b)
+		Sync(a, b)
+		for _, id := range ids {
+			if !SameContent(a, b, id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionOfAbsentFile(t *testing.T) {
+	r := NewReplica(1, true)
+	if r.Version(99) != nil {
+		t.Error("absent file has a version")
+	}
+	if r.Update(99) {
+		t.Error("update of absent file succeeded")
+	}
+	if r.Delete(99) {
+		t.Error("delete of absent file succeeded")
+	}
+}
+
+func TestSyncReportTotal(t *testing.T) {
+	s := SyncReport{Pulled: 1, Created: 2, Deleted: 3, Conflicts: 4}
+	if s.Total() != 6 {
+		t.Errorf("Total = %d, want 6", s.Total())
+	}
+}

@@ -1,0 +1,76 @@
+package semdist
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/wire"
+)
+
+func TestTablePersistRoundTrip(t *testing.T) {
+	tb := newTable(func(p *config.Params) { p.DeletionDelay = 5 })
+	for i := 0; i < 50; i++ {
+		tb.TickOpen()
+		tb.Observe(id(i%7+1), id((i+1)%7+1), float64(i%9), i%6 == 0)
+	}
+	tb.MarkDeleted(id(3))
+	// Force a full forget of one file.
+	small := newTable(func(p *config.Params) { p.DeletionDelay = 0 })
+	small.Observe(id(1), id(2), 1, false)
+	small.MarkDeleted(id(2))
+
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	tb.Save(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(wire.NewReader(&buf), config.Defaults(), stats.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opens() != tb.Opens() || got.Len() != tb.Len() {
+		t.Fatalf("opens/len = %d/%d, want %d/%d",
+			got.Opens(), got.Len(), tb.Opens(), tb.Len())
+	}
+	for _, f := range tb.Files() {
+		want := tb.NeighborEntries(f)
+		have := got.NeighborEntries(f)
+		if len(want) != len(have) {
+			t.Fatalf("file %d neighbor counts differ", f)
+		}
+		for i := range want {
+			if want[i].ID != have[i].ID || want[i].Count() != have[i].Count() ||
+				math.Abs(want[i].Distance()-have[i].Distance()) > 1e-12 {
+				t.Fatalf("file %d neighbor %d differs", f, i)
+			}
+		}
+	}
+	// The pending deletion survives: enough further marks forget id(3).
+	for i := 100; i < 100+60; i++ {
+		got.MarkDeleted(simfs.FileID(i))
+	}
+	if !got.Forgotten(id(3)) {
+		t.Error("restored deletion queue did not carry the pending mark")
+	}
+}
+
+func TestLoadTableRejectsCorrupt(t *testing.T) {
+	if _, err := LoadTable(wire.NewReader(bytes.NewReader(nil)), config.Defaults(), nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	tb := newTable(nil)
+	tb.Observe(id(1), id(2), 1, false)
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	tb.Save(w)
+	w.Flush()
+	data := buf.Bytes()
+	if _, err := LoadTable(wire.NewReader(bytes.NewReader(data[:3])), config.Defaults(), nil); err == nil {
+		t.Error("truncated table accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/hoard"
+)
+
+// Interleaving Plan() calls with replay must not perturb results, and
+// two identical runs must agree exactly — this regression test guards
+// the determinism bug where overlap clusters sharing a first member let
+// map-iteration order leak into cluster IDs.
+func TestPlanDeterminismUnderInterleavedPlans(t *testing.T) {
+	run := func() (int, string) {
+		m := NewMachine(lightOpts(t, "D", 30))
+		r := hoard.NewRefiller(30*mb, true, 0)
+		boundary := m.Tr.Start.Add(day)
+		transfers := 0
+		var last string
+		for _, ev := range m.Tr.Events {
+			for !ev.Time.Before(boundary) {
+				plan := m.Corr.Plan()
+				last = ""
+				for _, e := range plan.Entries {
+					last += fmt.Sprintf("%d,", e.File.ID)
+				}
+				fetch, evict := r.Refill(plan)
+				transfers += len(fetch) + len(evict)
+				boundary = boundary.Add(day)
+			}
+			m.feed(ev)
+		}
+		return transfers, last
+	}
+	t1, p1 := run()
+	t2, p2 := run()
+	if t1 != t2 {
+		t.Fatalf("transfer counts differ across identical runs: %d vs %d", t1, t2)
+	}
+	if p1 != p2 {
+		t.Fatal("final plans differ across identical runs")
+	}
+	_ = time.Second
+}

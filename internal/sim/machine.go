@@ -1,0 +1,250 @@
+// Package sim is the trace-driven evaluation harness that regenerates
+// the paper's tables and figures.
+//
+// It replays a generated workload trace simultaneously through the SEER
+// correlator and the baseline managers over one shared simulated file
+// system (so every manager sees identical file sizes, as in the paper's
+// methodology, §5.1.2), and implements both evaluation modes:
+//
+//   - miss-free hoard size simulation over fixed 24-hour and 7-day
+//     disconnection periods (Figures 2 and 3);
+//   - live replay of the profile's own disconnection schedule at a fixed
+//     hoard budget, with miss severities and time-to-first-miss
+//     accounting (Tables 3, 4 and 5).
+package sim
+
+import (
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/baseline"
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/hoard"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/trace"
+	"github.com/fmg/seer/internal/workload"
+)
+
+// SeerName is the manager name under which the correlator's results are
+// reported.
+const SeerName = "seer"
+
+// DefaultParams returns the SEER parameter set calibrated for the
+// synthetic workloads (the paper devoted "significant effort to
+// searching the parameter space", §4.9; these are the values that search
+// produced for this repository's generator). The synthetic traces are
+// roughly an order of magnitude more compact than real system-call
+// streams — one editor session is dozens of opens, not thousands — so
+// the window M, the aging horizon, and the frequent-file threshold all
+// scale down accordingly, and the clustering thresholds tighten to keep
+// session-boundary adjacency from bridging projects.
+func DefaultParams() config.Params {
+	p := config.Defaults()
+	p.Window = 20
+	p.KNear = 6
+	p.KFar = 3
+	p.AgeLimit = 3000
+	p.FrequentFileFraction = 0.005
+	p.FrequentFileMinRefs = 2000
+	p.DirDistanceWeight = 1.0
+	return p
+}
+
+// Options configures one machine replay.
+type Options struct {
+	// Profile is the machine profile to simulate.
+	Profile workload.Profile
+	// WorkloadSeed drives trace generation.
+	WorkloadSeed int64
+	// SizeSeed drives the file-size assignment (the paper repeated each
+	// simulation with several size seeds, §5.1.2).
+	SizeSeed int64
+	// Params overrides the SEER parameter set.
+	Params *config.Params
+	// Investigators enables the external-investigator relations drawn
+	// from the workload's ground truth (the starred bars of Figure 2).
+	Investigators bool
+	// InvestigatorStrength is the relation strength (default 3).
+	InvestigatorStrength float64
+	// Baselines selects comparison managers by name; nil means
+	// {"lru"}.
+	Baselines []string
+	// Trace reuses a pre-generated trace (sharing one generation across
+	// size seeds); nil generates from Profile and WorkloadSeed.
+	Trace *workload.Trace
+	// Generator must accompany Trace when it is set.
+	Generator *workload.Generator
+}
+
+// Machine is one replay in progress.
+type Machine struct {
+	Gen  *workload.Generator
+	Tr   *workload.Trace
+	FS   *simfs.FS
+	Corr *core.Correlator
+
+	baselines []baseline.Manager
+	progOf    map[trace.PID]string
+	rng       *stats.Rand
+}
+
+// NewMachine builds the shared world for one replay: generates (or
+// adopts) the trace, pre-creates every ground-truth file with a
+// role-scaled geometric size, and wires the correlator and baselines.
+func NewMachine(opts Options) *Machine {
+	gen, tr := opts.Generator, opts.Trace
+	if tr == nil {
+		gen = workload.NewGenerator(opts.Profile, opts.WorkloadSeed)
+		tr = gen.Generate()
+	}
+	sizeRng := stats.NewRand(opts.SizeSeed)
+	fs := simfs.New(stats.NewRand(opts.SizeSeed + 7919))
+	for _, path := range gen.GroundFiles() {
+		mult := gen.FileRole(path).SizeMultiplier()
+		size := int64(float64(sizeRng.FileSize()) * mult)
+		if size < 1 {
+			size = 1
+		}
+		fs.Create(path, simfs.Regular, size, 0)
+	}
+	params := opts.Params
+	if params == nil {
+		p := DefaultParams()
+		params = &p
+	}
+	corr := core.New(core.Options{
+		Params:  params,
+		FS:      fs,
+		Seed:    opts.SizeSeed,
+		DirSize: gen.DirSize,
+	})
+	if opts.Investigators {
+		strength := opts.InvestigatorStrength
+		if strength == 0 {
+			strength = 3
+		}
+		corr.AddRelations(gen.InvestigatorRelations(strength))
+	}
+	names := opts.Baselines
+	if names == nil {
+		names = []string{"lru"}
+	}
+	var bls []baseline.Manager
+	for _, n := range names {
+		if n == "coda-managed" {
+			bls = append(bls, newManagedCoda(gen))
+			continue
+		}
+		if b := newBaseline(n); b != nil {
+			bls = append(bls, b)
+		}
+	}
+	return &Machine{
+		Gen:       gen,
+		Tr:        tr,
+		FS:        fs,
+		Corr:      corr,
+		baselines: bls,
+		progOf:    make(map[trace.PID]string),
+		rng:       stats.NewRand(opts.SizeSeed + 104729),
+	}
+}
+
+// newManagedCoda models a diligent CODA user (paper §6.2): hoard
+// profiles exist for every project, with priorities matching long-run
+// project popularity (the generator's Zipf ranks — project 0 is the
+// hottest). This is the hand management the paper's unmanaged runs
+// lacked; it recovers much of LRU's loss but still cannot follow
+// attention shifts the way clustering does.
+func newManagedCoda(gen *workload.Generator) baseline.Manager {
+	profile := baseline.Profile{}
+	projects := gen.Projects()
+	for i, files := range projects {
+		if len(files) == 0 {
+			continue
+		}
+		// All files of one project share a directory.
+		dir := files[0][:strings.LastIndex(files[0], "/")]
+		profile[dir] = int64(len(projects) - i)
+	}
+	return baseline.Rename(baseline.NewCodaBounded(profile, 5000), "coda-managed")
+}
+
+func newBaseline(name string) baseline.Manager {
+	switch name {
+	case "lru":
+		return baseline.NewLRU()
+	case "coda-static":
+		return baseline.NewCodaStatic(nil)
+	case "coda-bounded":
+		return baseline.NewCodaBounded(nil, 10000)
+	case "coda-bucket":
+		return baseline.NewCodaBucket(nil, 24*time.Hour)
+	}
+	return nil
+}
+
+// Baselines returns the configured baseline managers.
+func (m *Machine) Baselines() []baseline.Manager { return m.baselines }
+
+// feed runs one event through the correlator and all baselines.
+func (m *Machine) feed(ev trace.Event) *simfs.File {
+	switch ev.Op {
+	case trace.OpExec:
+		m.progOf[ev.PID] = ev.Prog
+	case trace.OpFork:
+		m.progOf[ev.PID] = m.progOf[ev.PPID]
+	case trace.OpExit:
+		defer delete(m.progOf, ev.PID)
+	}
+	m.Corr.Feed(ev)
+	path := ev.Path
+	if ev.Op == trace.OpRename {
+		path = ev.Path2
+	}
+	var f *simfs.File
+	if path != "" {
+		f = m.FS.Lookup(path)
+	}
+	for _, b := range m.baselines {
+		b.Observe(ev, f)
+	}
+	return f
+}
+
+// scannerProgs are programs whose references do not represent user
+// needs: their accesses neither define the working set nor count as
+// user-visible misses (a disconnected find simply sees fewer files).
+var scannerProgs = map[string]bool{"find": true, "xargs": true, "ls": true}
+
+// meaningfulRef reports whether the event is a successful user-level
+// reference to a regular file, and returns the file.
+func (m *Machine) meaningfulRef(ev trace.Event, f *simfs.File) bool {
+	if f == nil || ev.Failed || f.Kind != simfs.Regular {
+		return false
+	}
+	switch ev.Op {
+	case trace.OpOpen, trace.OpCreate, trace.OpExec, trace.OpStat, trace.OpRename:
+	default:
+		return false
+	}
+	if scannerProgs[m.progOf[ev.PID]] {
+		return false
+	}
+	if strings.HasPrefix(f.Path, "/tmp/") || strings.HasPrefix(f.Path, "/var/tmp/") {
+		return false
+	}
+	return true
+}
+
+// plans snapshots the inclusion order of every manager, keyed by name.
+func (m *Machine) plans() map[string]*hoard.Plan {
+	out := make(map[string]*hoard.Plan, 1+len(m.baselines))
+	out[SeerName] = m.Corr.Plan()
+	for _, b := range m.baselines {
+		out[b.Name()] = b.Plan()
+	}
+	return out
+}

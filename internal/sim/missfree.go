@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/workload"
+)
+
+// PeriodResult is the outcome of one simulated disconnection period
+// (paper §5.1.2): the working set and each manager's miss-free hoard
+// size.
+type PeriodResult struct {
+	Start time.Time
+	// WorkingSetBytes is the total size of distinct files meaningfully
+	// referenced during the period that existed at its start — the need
+	// of an optimal hoard manager.
+	WorkingSetBytes int64
+	// Refs is the number of distinct files in the working set.
+	Refs int
+	// MissFree maps manager name to the hoard size that would have
+	// avoided every miss this period.
+	MissFree map[string]int64
+	// Unhoardable maps manager name to the count of referenced files
+	// absent from its plan at hoard time.
+	Unhoardable map[string]int
+}
+
+// MissFreeResult aggregates one replay's periods.
+type MissFreeResult struct {
+	Machine string
+	Period  time.Duration
+	Periods []PeriodResult
+}
+
+// Means returns the mean working set and mean miss-free size per
+// manager, in bytes.
+func (r *MissFreeResult) Means() (ws float64, byManager map[string]float64) {
+	byManager = make(map[string]float64)
+	if len(r.Periods) == 0 {
+		return 0, byManager
+	}
+	counts := make(map[string]int)
+	for _, p := range r.Periods {
+		ws += float64(p.WorkingSetBytes)
+		for name, v := range p.MissFree {
+			byManager[name] += float64(v)
+			counts[name]++
+		}
+	}
+	ws /= float64(len(r.Periods))
+	for name := range byManager {
+		byManager[name] /= float64(counts[name])
+	}
+	return ws, byManager
+}
+
+// MissFree replays the machine's trace in fixed periods of the given
+// length, recomputing every manager's hoard plan at each boundary (the
+// "infinitesimal reconnection" of §5.1.2) and measuring the miss-free
+// hoard size against the next period's references. Periods inside the
+// warmup window, and periods with no meaningful references (machine
+// unused — excluded by the paper), are dropped.
+func MissFree(opts Options, period, warmup time.Duration) *MissFreeResult {
+	m := NewMachine(opts)
+	res := &MissFreeResult{Machine: opts.Profile.Name, Period: period}
+	boundary := m.Tr.Start.Add(period)
+	plans := m.plans()
+	referenced := make(map[simfs.FileID]bool)
+	boundarySeq := uint64(0)
+
+	flush := func(start time.Time) {
+		defer func() {
+			plans = m.plans()
+			referenced = make(map[simfs.FileID]bool)
+		}()
+		if len(referenced) == 0 || start.Before(m.Tr.Start.Add(warmup)) {
+			return
+		}
+		ids := make([]simfs.FileID, 0, len(referenced))
+		var ws int64
+		for id := range referenced {
+			ids = append(ids, id)
+			if f := m.FS.Get(id); f != nil {
+				ws += f.Size
+			}
+		}
+		pr := PeriodResult{
+			Start:           start,
+			WorkingSetBytes: ws,
+			Refs:            len(ids),
+			MissFree:        make(map[string]int64),
+			Unhoardable:     make(map[string]int),
+		}
+		for name, plan := range plans {
+			size, un := plan.MissFreeSize(ids)
+			pr.MissFree[name] = size
+			pr.Unhoardable[name] = un
+		}
+		res.Periods = append(res.Periods, pr)
+	}
+
+	for _, ev := range m.Tr.Events {
+		for !ev.Time.Before(boundary) {
+			flush(boundary.Add(-period))
+			boundary = boundary.Add(period)
+			boundarySeq = ev.Seq
+		}
+		f := m.feed(ev)
+		if m.meaningfulRef(ev, f) && f.CreatedSeq < maxU64(boundarySeq, 1) {
+			referenced[f.ID] = true
+		}
+	}
+	flush(boundary.Add(-period))
+	return res
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig2Cell is one aggregated measurement for Figure 2: means across
+// size seeds with 99% confidence half-widths, in megabytes.
+type Fig2Cell struct {
+	WorkingSetMB   float64
+	WorkingSetCI   float64
+	SeerMB         float64
+	SeerCI         float64
+	LruMB          float64
+	LruCI          float64
+	PeriodsPerSeed float64
+}
+
+// SeerOverheadMB returns the extra space SEER needs beyond the working
+// set (the middle stack element of Figure 2).
+func (c Fig2Cell) SeerOverheadMB() float64 { return c.SeerMB - c.WorkingSetMB }
+
+// LruOverheadMB returns the extra space LRU needs beyond SEER (the top
+// stack element of Figure 2).
+func (c Fig2Cell) LruOverheadMB() float64 { return c.LruMB - c.SeerMB }
+
+const mb = 1024 * 1024
+
+// Fig2Aggregate repeats the miss-free simulation across the given size
+// seeds (the paper's repetition methodology) and aggregates means and
+// 99% confidence intervals.
+func Fig2Aggregate(base Options, period, warmup time.Duration, sizeSeeds []int64) Fig2Cell {
+	// Generate the trace once; size seeds only change file sizes.
+	if base.Trace == nil {
+		gen := workload.NewGenerator(base.Profile, base.WorkloadSeed)
+		base.Generator = gen
+		base.Trace = gen.Generate()
+	}
+	var wsMeans, seerMeans, lruMeans, periods []float64
+	for _, seed := range sizeSeeds {
+		opts := base
+		opts.SizeSeed = seed
+		r := MissFree(opts, period, warmup)
+		ws, by := r.Means()
+		wsMeans = append(wsMeans, ws/mb)
+		seerMeans = append(seerMeans, by[SeerName]/mb)
+		lruMeans = append(lruMeans, by["lru"]/mb)
+		periods = append(periods, float64(len(r.Periods)))
+	}
+	return Fig2Cell{
+		WorkingSetMB:   stats.Mean(wsMeans),
+		WorkingSetCI:   stats.CI99(wsMeans),
+		SeerMB:         stats.Mean(seerMeans),
+		SeerCI:         stats.CI99(seerMeans),
+		LruMB:          stats.Mean(lruMeans),
+		LruCI:          stats.CI99(lruMeans),
+		PeriodsPerSeed: stats.Mean(periods),
+	}
+}
+
+// Fig3Series returns the per-period working set, SEER and LRU miss-free
+// sizes for one machine, sorted by working-set size (the paper's Figure
+// 3 sorts its X axis this way).
+func Fig3Series(opts Options, period, warmup time.Duration) []PeriodResult {
+	r := MissFree(opts, period, warmup)
+	out := make([]PeriodResult, len(r.Periods))
+	copy(out, r.Periods)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].WorkingSetBytes < out[j].WorkingSetBytes
+	})
+	return out
+}

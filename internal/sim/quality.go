@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// Cluster quality measurement. The paper's only complaint about SEER
+// was analytical: "the clusters produced by SEER often have contents
+// that are surprising to us, either by including apparently unrelated
+// files or by separating a single project into a few clusters" (§5.2).
+// With synthetic workloads we have the ground truth the authors lacked,
+// so the surprise can be quantified: for each true project, find the
+// inferred cluster that matches it best and report precision and recall.
+
+// QualityReport summarizes cluster-vs-project agreement for one machine.
+type QualityReport struct {
+	Machine string
+	// Projects is the number of ground-truth projects evaluated (those
+	// with at least one referenced file).
+	Projects int
+	// MeanPrecision is the mean, over projects, of |best ∩ truth| /
+	// |best| — how much of the matched cluster truly belongs.
+	MeanPrecision float64
+	// MeanRecall is the mean of |best ∩ truth| / |truth∩referenced| —
+	// how much of the (referenced) project the matched cluster covers.
+	MeanRecall float64
+	// MeanJaccard is the mean best-match Jaccard index.
+	MeanJaccard float64
+	// Fragmentation is the mean number of clusters a project's
+	// referenced files are spread across ("separating a single project
+	// into a few clusters").
+	Fragmentation float64
+	// Clusters is the number of inferred multi-member clusters.
+	Clusters int
+}
+
+// ClusterQuality replays the machine and scores the final clustering
+// against the generator's ground-truth projects. Only files actually
+// referenced during the trace count: SEER cannot know about files never
+// touched.
+func ClusterQuality(opts Options) QualityReport {
+	m := NewMachine(opts)
+	for _, ev := range m.Tr.Events {
+		m.feed(ev)
+	}
+	res := m.Corr.Clusters()
+
+	// Membership of every file id in multi-member clusters.
+	clustersOf := make(map[simfs.FileID][]int)
+	multi := 0
+	for _, cl := range res.Clusters {
+		if len(cl.Members) < 2 {
+			continue
+		}
+		multi++
+		for _, id := range cl.Members {
+			clustersOf[id] = append(clustersOf[id], cl.ID)
+		}
+	}
+	clusterMembers := make(map[int]map[simfs.FileID]bool)
+	for _, cl := range res.Clusters {
+		set := make(map[simfs.FileID]bool, len(cl.Members))
+		for _, id := range cl.Members {
+			set[id] = true
+		}
+		clusterMembers[cl.ID] = set
+	}
+
+	rep := QualityReport{Machine: opts.Profile.Name, Clusters: multi}
+	var precSum, recSum, jacSum, fragSum float64
+	lastRef := m.Corr.Observer().LastRefs()
+	for _, files := range m.Gen.Projects() {
+		// Referenced, non-excluded ground truth for this project.
+		truth := make(map[simfs.FileID]bool)
+		for _, path := range files {
+			f := m.FS.Lookup(path)
+			if f == nil || !f.Exists {
+				continue
+			}
+			if lastRef[f.ID] == 0 || m.Corr.Observer().IsExcluded(f.ID) {
+				continue
+			}
+			truth[f.ID] = true
+		}
+		if len(truth) < 3 {
+			continue
+		}
+		// Best-matching cluster by intersection; fragmentation counts
+		// the distinct clusters holding truth members.
+		counts := make(map[int]int)
+		for id := range truth {
+			for _, ci := range clustersOf[id] {
+				counts[ci]++
+			}
+		}
+		frag := len(counts)
+		bestCI, bestInter := -1, 0
+		cis := make([]int, 0, len(counts))
+		for ci := range counts {
+			cis = append(cis, ci)
+		}
+		sort.Ints(cis)
+		for _, ci := range cis {
+			if counts[ci] > bestInter {
+				bestCI, bestInter = ci, counts[ci]
+			}
+		}
+		rep.Projects++
+		if bestCI < 0 {
+			fragSum += float64(frag)
+			continue // project entirely unclustered: zero scores
+		}
+		best := clusterMembers[bestCI]
+		// Precision counts only project-attributable members: files
+		// under the user's project tree (tool binaries and mail that
+		// legitimately join clusters are not penalized).
+		attributable := 0
+		for id := range best {
+			if f := m.FS.Get(id); f != nil && strings.Contains(f.Path, "/proj") {
+				attributable++
+			}
+		}
+		if attributable > 0 {
+			precSum += float64(bestInter) / float64(attributable)
+		}
+		recSum += float64(bestInter) / float64(len(truth))
+		union := len(truth) + len(best) - bestInter
+		jacSum += float64(bestInter) / float64(union)
+		fragSum += float64(frag)
+	}
+	if rep.Projects > 0 {
+		n := float64(rep.Projects)
+		rep.MeanPrecision = precSum / n
+		rep.MeanRecall = recSum / n
+		rep.MeanJaccard = jacSum / n
+		rep.Fragmentation = fragSum / n
+	}
+	return rep
+}

@@ -1,0 +1,73 @@
+package simfs
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/wire"
+)
+
+func TestFSPersistRoundTrip(t *testing.T) {
+	fs := New(stats.NewRand(1))
+	fs.Create("/a", Regular, 100, 1)
+	fs.Create("/dir", Directory, 0, 2)
+	fs.Create("/dev/tty", Device, 0, 3)
+	fs.Create("/link", Symlink, 0, 4)
+	fs.Create("/gone", Regular, 50, 5)
+	fs.Remove("/gone")
+	fs.Create("/tmp/x", Regular, 10, 6)
+	fs.Rename("/tmp/x", "/kept", 7)
+
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	fs.Save(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFS(wire.NewReader(&buf), stats.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != fs.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), fs.Len())
+	}
+	if got.TotalBytes() != fs.TotalBytes() {
+		t.Fatalf("total = %d, want %d", got.TotalBytes(), fs.TotalBytes())
+	}
+	for _, f := range fs.Files() {
+		g := got.Lookup(f.Path)
+		if g == nil || g.ID != f.ID || g.Kind != f.Kind || g.Size != f.Size ||
+			g.CreatedSeq != f.CreatedSeq {
+			t.Errorf("file %s mismatched: %+v vs %+v", f.Path, g, f)
+		}
+	}
+	// Deleted files survive by ID (deletion-delay semantics).
+	gone := got.Lookup("/gone")
+	if gone == nil || gone.Exists {
+		t.Errorf("tombstone lost: %+v", gone)
+	}
+	// New interns continue from the saved ID space without collision.
+	fresh := got.Intern("/brand/new", Regular, 9)
+	for _, f := range fs.Files() {
+		if fresh.ID == f.ID {
+			t.Fatal("ID collision after restore")
+		}
+	}
+}
+
+func TestLoadFSTruncated(t *testing.T) {
+	fs := New(stats.NewRand(1))
+	fs.Create("/a", Regular, 100, 1)
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	fs.Save(w)
+	w.Flush()
+	data := buf.Bytes()
+	if _, err := LoadFS(wire.NewReader(bytes.NewReader(data[:len(data)/2])), nil); err == nil {
+		t.Error("truncated table accepted")
+	}
+	if _, err := LoadFS(wire.NewReader(bytes.NewReader(nil)), nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,245 @@
+package simfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fmg/seer/internal/stats"
+)
+
+func newFS() *FS { return New(stats.NewRand(1)) }
+
+func TestInternAssignsUniqueIDs(t *testing.T) {
+	fs := newFS()
+	a := fs.Intern("/a", Regular, 1)
+	b := fs.Intern("/b", Regular, 2)
+	if a.ID == b.ID {
+		t.Fatal("distinct paths share an ID")
+	}
+	if a2 := fs.Intern("/a", Regular, 3); a2 != a {
+		t.Error("re-intern returned a different file")
+	}
+	if fs.Len() != 2 {
+		t.Errorf("Len = %d, want 2", fs.Len())
+	}
+}
+
+func TestInternDrawsGeometricSizes(t *testing.T) {
+	fs := newFS()
+	var total int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		f := fs.Intern(pathN(i), Regular, uint64(i))
+		if f.Size < 1 {
+			t.Fatalf("file size %d < 1", f.Size)
+		}
+		total += f.Size
+	}
+	mean := float64(total) / n
+	if mean < 10000 || mean > 20000 {
+		t.Errorf("mean size = %g, want ≈14284", mean)
+	}
+	if fs.TotalBytes() != total {
+		t.Errorf("TotalBytes = %d, want %d", fs.TotalBytes(), total)
+	}
+}
+
+func pathN(i int) string {
+	return "/data/file" + string(rune('a'+i%26)) + "/" + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + string(rune('0'+i%10))
+}
+
+func TestDirectoriesHaveZeroSize(t *testing.T) {
+	fs := newFS()
+	d := fs.Intern("/home/u", Directory, 1)
+	if d.Size != 0 {
+		t.Errorf("directory size = %d", d.Size)
+	}
+	if fs.TotalBytes() != 0 {
+		t.Errorf("TotalBytes = %d after directory", fs.TotalBytes())
+	}
+}
+
+func TestRemoveAndReintern(t *testing.T) {
+	fs := newFS()
+	f := fs.Create("/x", Regular, 100, 1)
+	if !fs.Remove("/x") {
+		t.Fatal("Remove returned false")
+	}
+	if f.Exists {
+		t.Error("file still exists after Remove")
+	}
+	if fs.TotalBytes() != 0 {
+		t.Errorf("TotalBytes = %d after remove", fs.TotalBytes())
+	}
+	if fs.Remove("/x") {
+		t.Error("double Remove returned true")
+	}
+	if fs.Remove("/nope") {
+		t.Error("Remove of unknown path returned true")
+	}
+	// Re-interning a deleted path revives the same File (deletion delay
+	// semantics: relationship data follows the name).
+	g := fs.Intern("/x", Regular, 5)
+	if g.ID != f.ID {
+		t.Error("re-intern of deleted path changed ID")
+	}
+	if !g.Exists || g.CreatedSeq != 5 {
+		t.Errorf("revived file = %+v", g)
+	}
+	if fs.TotalBytes() != 100 {
+		t.Errorf("TotalBytes = %d after revival, want 100", fs.TotalBytes())
+	}
+}
+
+func TestCreateReplacesAndAccounts(t *testing.T) {
+	fs := newFS()
+	fs.Create("/x", Regular, 100, 1)
+	fs.Create("/x", Regular, 300, 2)
+	if fs.TotalBytes() != 300 {
+		t.Errorf("TotalBytes = %d, want 300", fs.TotalBytes())
+	}
+	fs.Create("/x", Directory, 0, 3)
+	if fs.TotalBytes() != 0 {
+		t.Errorf("TotalBytes = %d after kind change, want 0", fs.TotalBytes())
+	}
+}
+
+func TestRenameKeepsID(t *testing.T) {
+	fs := newFS()
+	f := fs.Create("/tmp/cc1.o", Regular, 50, 1)
+	if !fs.Rename("/tmp/cc1.o", "/home/u/main.o", 2) {
+		t.Fatal("Rename returned false")
+	}
+	if fs.Lookup("/tmp/cc1.o") != nil {
+		t.Error("old path still resolves")
+	}
+	g := fs.Lookup("/home/u/main.o")
+	if g == nil || g.ID != f.ID {
+		t.Error("new path does not resolve to the same file")
+	}
+	if fs.Rename("/nope", "/other", 3) {
+		t.Error("rename of missing file returned true")
+	}
+}
+
+func TestRenameOverDisplacesTarget(t *testing.T) {
+	fs := newFS()
+	fs.Create("/a", Regular, 10, 1)
+	old := fs.Create("/b", Regular, 20, 2)
+	fs.Rename("/a", "/b", 3)
+	if old.Exists {
+		t.Error("displaced file still exists")
+	}
+	if fs.TotalBytes() != 10 {
+		t.Errorf("TotalBytes = %d, want 10", fs.TotalBytes())
+	}
+	if got := fs.Lookup("/b"); got == nil || got.Size != 10 {
+		t.Error("rename target wrong")
+	}
+}
+
+func TestResize(t *testing.T) {
+	fs := newFS()
+	f := fs.Create("/x", Regular, 100, 1)
+	fs.Resize(f.ID, 250)
+	if f.Size != 250 || fs.TotalBytes() != 250 {
+		t.Errorf("size = %d total = %d", f.Size, fs.TotalBytes())
+	}
+	d := fs.Create("/d", Directory, 0, 2)
+	fs.Resize(d.ID, 99)
+	if d.Size != 0 {
+		t.Error("directory resize should be ignored")
+	}
+	fs.Resize(NoFile, 10) // must not panic
+}
+
+func TestFilesSortedAndLive(t *testing.T) {
+	fs := newFS()
+	fs.Create("/b", Regular, 1, 1)
+	fs.Create("/a", Regular, 1, 2)
+	fs.Create("/c", Regular, 1, 3)
+	fs.Remove("/b")
+	files := fs.Files()
+	if len(files) != 2 || files[0].Path != "/a" || files[1].Path != "/c" {
+		t.Errorf("Files() = %v", files)
+	}
+}
+
+func TestGetByID(t *testing.T) {
+	fs := newFS()
+	f := fs.Create("/x", Regular, 1, 1)
+	if fs.Get(f.ID) != f {
+		t.Error("Get(ID) mismatch")
+	}
+	if fs.Get(FileID(9999)) != nil {
+		t.Error("Get of unknown ID should be nil")
+	}
+}
+
+func TestDir(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/a/b/c", "/a/b"},
+		{"/a", "/"},
+		{"a", ""},
+		{"/", "/"},
+	}
+	for _, c := range cases {
+		if got := Dir(c.in); got != c.want {
+			t.Errorf("Dir(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDirDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"/home/u/p/a.c", "/home/u/p/b.c", 0},
+		{"/home/u/p/a.c", "/home/u/q/b.c", 2},
+		{"/home/u/p/a.c", "/home/u/p/sub/b.c", 1},
+		{"/home/u/p/a.c", "/usr/include/stdio.h", 5},
+		{"/a", "/b", 0},
+		{"/a/x", "/y", 1},
+	}
+	for _, c := range cases {
+		if got := DirDistance(c.a, c.b); got != c.want {
+			t.Errorf("DirDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDirDistanceProperties(t *testing.T) {
+	// Symmetric and non-negative for arbitrary path-ish strings.
+	f := func(a, b string) bool {
+		pa, pb := "/"+sanitize(a), "/"+sanitize(b)
+		d1, d2 := DirDistance(pa, pb), DirDistance(pb, pa)
+		return d1 == d2 && d1 >= 0 && DirDistance(pa, pa) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+func TestTotalBytesNeverNegative(t *testing.T) {
+	fs := newFS()
+	fs.Create("/a", Regular, 10, 1)
+	fs.Remove("/a")
+	fs.Remove("/a")
+	fs.Intern("/a", Regular, 2)
+	fs.Remove("/a")
+	if fs.TotalBytes() != 0 {
+		t.Errorf("TotalBytes = %d, want 0", fs.TotalBytes())
+	}
+}

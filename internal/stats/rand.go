@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with the domain-specific samplers the workload
+// generator and simulator need. All experiment randomness flows through
+// a seeded Rand so every table and figure is reproducible.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic Rand for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// FileSizeP is the parameter of the geometric file-size distribution
+// the paper's simulator used for files of unknown size (§5.1.2):
+// p = 0.00007, for a mean of about 14 284 bytes.
+const FileSizeP = 0.00007
+
+// Geometric samples a geometric distribution with success probability
+// p: the number of Bernoulli(p) trials up to and including the first
+// success, so the mean is 1/p. It uses the standard inversion method.
+func (r *Rand) Geometric(p float64) int64 {
+	if p <= 0 || p >= 1 {
+		return 1
+	}
+	u := r.Float64()
+	// Avoid log(0).
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	k := int64(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// FileSize samples a file size in bytes from the paper's geometric
+// distribution (mean ≈ 14 284 bytes).
+func (r *Rand) FileSize() int64 {
+	return r.Geometric(FileSizeP)
+}
+
+// LogNormal samples exp(N(mu, sigma)). Disconnection durations in live
+// usage (Table 3) are heavily right-skewed — medians of 1–3 hours with
+// maxima of hundreds — which a log-normal captures.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// LogNormalFromMeanMedian returns (mu, sigma) such that a log-normal has
+// the given median and mean (mean must exceed median). For a log-normal,
+// median = exp(mu) and mean = exp(mu + sigma²/2).
+func LogNormalFromMeanMedian(mean, median float64) (mu, sigma float64) {
+	if median <= 0 {
+		median = 1e-6
+	}
+	if mean <= median {
+		mean = median * 1.0001
+	}
+	mu = math.Log(median)
+	sigma = math.Sqrt(2 * math.Log(mean/median))
+	return mu, sigma
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. Project popularity follows a Zipf-like law: users spend
+// most time in a few projects and occasionally shift attention to the
+// long tail — exactly the behaviour that separates clustering hoards
+// from LRU hoards.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf precomputes the cumulative distribution for n ranks with
+// exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Exp samples an exponential with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}

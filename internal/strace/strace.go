@@ -1,0 +1,402 @@
+// Package strace converts the output of strace(1) into SEER trace
+// events, serving as the user-level observer on real Linux systems.
+//
+// The paper's observer was a kernel modification that traced system
+// calls (§4.11). Without a kernel module, the same reference stream can
+// be captured with
+//
+//	strace -f -tt -e trace=open,openat,creat,close,stat,lstat,access,
+//	    execve,fork,vfork,clone,unlink,unlinkat,rename,renameat,mkdir,
+//	    chdir,getdents,getdents64,exit_group -o trace.txt <shell>
+//
+// and fed to this parser. It tracks file descriptors per process so
+// close(fd) and getdents(fd) resolve to pathnames, handles the
+// `<unfinished ...>` / `<... resumed>` line splitting strace produces
+// under -f, and maps each call to the corresponding trace.Op.
+package strace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/trace"
+)
+
+// Parser converts strace output into events.
+type Parser struct {
+	// Uid is the user id stamped on produced events (strace output does
+	// not carry one); default 1000.
+	Uid int32
+	// BaseTime anchors relative/absent timestamps.
+	BaseTime time.Time
+
+	seq uint64
+	// fdTables maps pid → fd → path.
+	fdTables map[trace.PID]map[int]string
+	// unfinished stashes the prefix of an `<unfinished ...>` line until
+	// the matching `<... resumed>` arrives.
+	unfinished map[trace.PID]string
+	lastTime   time.Time
+}
+
+// NewParser returns a Parser with defaults.
+func NewParser() *Parser {
+	return &Parser{
+		Uid:        1000,
+		BaseTime:   time.Date(1997, 1, 6, 8, 0, 0, 0, time.UTC),
+		fdTables:   make(map[trace.PID]map[int]string),
+		unfinished: make(map[trace.PID]string),
+	}
+}
+
+// Parse consumes strace output and returns the events it could extract.
+// Unrecognized lines are skipped; a line that looks like strace output
+// but cannot be parsed is skipped silently too (strace emits plenty of
+// decoration: signals, exit markers, attach notices).
+func (p *Parser) Parse(r io.Reader) ([]trace.Event, error) {
+	var events []trace.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if ev, ok := p.ParseLine(sc.Text()); ok {
+			events = append(events, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return events, err
+	}
+	return events, nil
+}
+
+// ParseLine parses one line of strace output.
+func (p *Parser) ParseLine(line string) (trace.Event, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return trace.Event{}, false
+	}
+	// Leading pid (present under -f); without -f assume pid 1.
+	pid := trace.PID(1)
+	if i := leadingDigits(line); i > 0 {
+		n, _ := strconv.Atoi(line[:i])
+		pid = trace.PID(n)
+		line = strings.TrimSpace(line[i:])
+	}
+	// Optional timestamp: HH:MM:SS or HH:MM:SS.micro.
+	ts := p.lastTime
+	if t, rest, ok := parseTimestamp(line, p.BaseTime); ok {
+		ts = t
+		line = rest
+	}
+	if ts.IsZero() {
+		ts = p.BaseTime
+	}
+	if ts.Before(p.lastTime) {
+		ts = p.lastTime
+	}
+	p.lastTime = ts
+
+	// Exit markers: `+++ exited with 0 +++`.
+	if strings.HasPrefix(line, "+++") {
+		if strings.Contains(line, "exited") {
+			return p.emit(ts, pid, trace.Event{Op: trace.OpExit}), true
+		}
+		return trace.Event{}, false
+	}
+	// Signal lines: `--- SIGCHLD ... ---`.
+	if strings.HasPrefix(line, "---") {
+		return trace.Event{}, false
+	}
+	// Unfinished/resumed pairs.
+	if strings.HasSuffix(line, "<unfinished ...>") {
+		p.unfinished[pid] = strings.TrimSuffix(line, "<unfinished ...>")
+		return trace.Event{}, false
+	}
+	if strings.HasPrefix(line, "<...") {
+		prefix, ok := p.unfinished[pid]
+		if !ok {
+			return trace.Event{}, false
+		}
+		delete(p.unfinished, pid)
+		end := strings.Index(line, "resumed>")
+		if end < 0 {
+			return trace.Event{}, false
+		}
+		line = prefix + strings.TrimSpace(line[end+len("resumed>"):])
+	}
+
+	call, args, result, ok := splitCall(line)
+	if !ok {
+		return trace.Event{}, false
+	}
+	failed := strings.HasPrefix(result, "-1")
+	retval, _ := strconv.Atoi(firstField(result))
+
+	switch call {
+	case "open", "openat", "creat":
+		path, ok := pathArg(args, call == "openat")
+		if !ok {
+			return trace.Event{}, false
+		}
+		op := trace.OpOpen
+		if call == "creat" || strings.Contains(args, "O_CREAT") {
+			op = trace.OpCreate
+		}
+		if strings.Contains(args, "O_DIRECTORY") {
+			op = trace.OpReadDir
+		}
+		if !failed && retval >= 0 {
+			p.fdTable(pid)[retval] = path
+		}
+		return p.emit(ts, pid, trace.Event{Op: op, Path: path, Failed: failed}), true
+	case "close":
+		fd, err := strconv.Atoi(firstField(args))
+		if err != nil {
+			return trace.Event{}, false
+		}
+		path, ok := p.fdTable(pid)[fd]
+		if !ok {
+			return trace.Event{}, false
+		}
+		delete(p.fdTable(pid), fd)
+		return p.emit(ts, pid, trace.Event{Op: trace.OpClose, Path: path, Failed: failed}), true
+	case "stat", "stat64", "lstat", "lstat64", "access", "statx", "newfstatat", "faccessat":
+		path, ok := pathArg(args, call == "statx" || call == "newfstatat" || call == "faccessat")
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{Op: trace.OpStat, Path: path, Failed: failed}), true
+	case "execve":
+		path, ok := pathArg(args, false)
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{
+			Op: trace.OpExec, Path: path, Prog: basename(path), Failed: failed,
+		}), true
+	case "fork", "vfork", "clone", "clone3":
+		if failed || retval <= 0 {
+			return trace.Event{}, false
+		}
+		// The child pid is the return value; the caller is the parent.
+		return p.emit(ts, trace.PID(retval), trace.Event{Op: trace.OpFork, PPID: pid}), true
+	case "unlink", "unlinkat":
+		path, ok := pathArg(args, call == "unlinkat")
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{Op: trace.OpDelete, Path: path, Failed: failed}), true
+	case "rename", "renameat", "renameat2":
+		at := call != "rename"
+		from, to, ok := twoPathArgs(args, at)
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{
+			Op: trace.OpRename, Path: from, Path2: to, Failed: failed,
+		}), true
+	case "mkdir", "mkdirat":
+		path, ok := pathArg(args, call == "mkdirat")
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{Op: trace.OpMkdir, Path: path, Failed: failed}), true
+	case "chdir":
+		path, ok := pathArg(args, false)
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{Op: trace.OpChdir, Path: path, Failed: failed}), true
+	case "getdents", "getdents64":
+		fd, err := strconv.Atoi(firstField(args))
+		if err != nil {
+			return trace.Event{}, false
+		}
+		path, ok := p.fdTable(pid)[fd]
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{Op: trace.OpReadDir, Path: path, Failed: failed}), true
+	case "symlink", "symlinkat":
+		// symlink(target, linkpath) / symlinkat(target, dirfd, linkpath):
+		// the target string comes first in both; the quoted-string
+		// scanner skips the unquoted dirfd naturally.
+		target, link, ok := twoPathArgs(args, false)
+		if !ok {
+			return trace.Event{}, false
+		}
+		return p.emit(ts, pid, trace.Event{
+			Op: trace.OpSymlink, Path: link, Path2: target, Failed: failed,
+		}), true
+	case "dup", "dup2", "dup3":
+		// Descriptor duplication: the new fd aliases the old one's file,
+		// so a later close(newfd) resolves correctly.
+		if failed || retval < 0 {
+			return trace.Event{}, false
+		}
+		oldFd, err := strconv.Atoi(firstField(args))
+		if err != nil {
+			return trace.Event{}, false
+		}
+		if path, ok := p.fdTable(pid)[oldFd]; ok {
+			p.fdTable(pid)[retval] = path
+		}
+		return trace.Event{}, false
+	case "exit", "exit_group":
+		return p.emit(ts, pid, trace.Event{Op: trace.OpExit}), true
+	}
+	return trace.Event{}, false
+}
+
+func (p *Parser) emit(ts time.Time, pid trace.PID, ev trace.Event) trace.Event {
+	p.seq++
+	ev.Seq = p.seq
+	ev.Time = ts
+	ev.PID = pid
+	if ev.Uid == 0 {
+		ev.Uid = p.Uid
+	}
+	return ev
+}
+
+func (p *Parser) fdTable(pid trace.PID) map[int]string {
+	t := p.fdTables[pid]
+	if t == nil {
+		t = make(map[int]string)
+		p.fdTables[pid] = t
+	}
+	return t
+}
+
+func leadingDigits(s string) int {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	// Require whitespace after the pid so `open(...)` is not mistaken.
+	if i > 0 && i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		return i
+	}
+	return 0
+}
+
+// parseTimestamp accepts `HH:MM:SS` or `HH:MM:SS.micros` prefixes and
+// anchors them to base's date.
+func parseTimestamp(line string, base time.Time) (time.Time, string, bool) {
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return time.Time{}, line, false
+	}
+	tok := line[:sp]
+	var h, m int
+	var sec float64
+	if n, err := fmt.Sscanf(tok, "%d:%d:%f", &h, &m, &sec); n != 3 || err != nil {
+		return time.Time{}, line, false
+	}
+	t := time.Date(base.Year(), base.Month(), base.Day(), h, m, 0, 0, base.Location()).
+		Add(time.Duration(sec * float64(time.Second)))
+	return t, strings.TrimSpace(line[sp:]), true
+}
+
+// splitCall breaks `name(args) = result ...` into its parts.
+func splitCall(line string) (call, args, result string, ok bool) {
+	open := strings.IndexByte(line, '(')
+	if open <= 0 {
+		return "", "", "", false
+	}
+	call = line[:open]
+	if strings.ContainsAny(call, " \t<") {
+		return "", "", "", false
+	}
+	eq := strings.LastIndex(line, ") = ")
+	if eq < 0 {
+		return "", "", "", false
+	}
+	args = line[open+1 : eq]
+	result = strings.TrimSpace(line[eq+4:])
+	return call, args, result, true
+}
+
+// pathArg extracts the first quoted string argument; for *at calls the
+// dirfd argument precedes it and is skipped.
+func pathArg(args string, at bool) (string, bool) {
+	s := args
+	if at {
+		comma := strings.IndexByte(s, ',')
+		if comma < 0 {
+			return "", false
+		}
+		s = s[comma+1:]
+	}
+	return quotedString(s)
+}
+
+func twoPathArgs(args string, at bool) (string, string, bool) {
+	s := args
+	if at {
+		if comma := strings.IndexByte(s, ','); comma >= 0 {
+			s = s[comma+1:]
+		}
+	}
+	from, rest, ok := quotedStringRest(s)
+	if !ok {
+		return "", "", false
+	}
+	if at {
+		// renameat: ..., newdirfd, "newpath" — skip the fd.
+		if comma := strings.IndexByte(rest, ','); comma >= 0 {
+			rest = rest[comma+1:]
+		}
+	}
+	to, _, ok := quotedStringRest(rest)
+	if !ok {
+		return "", "", false
+	}
+	return from, to, true
+}
+
+func quotedString(s string) (string, bool) {
+	out, _, ok := quotedStringRest(s)
+	return out, ok
+}
+
+func quotedStringRest(s string) (string, string, bool) {
+	start := strings.IndexByte(s, '"')
+	if start < 0 {
+		return "", "", false
+	}
+	i := start + 1
+	var b strings.Builder
+	for i < len(s) {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			b.WriteByte(s[i+1])
+			i += 2
+			continue
+		}
+		if c == '"' {
+			return b.String(), s[i+1:], true
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", "", false
+}
+
+func firstField(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return strings.TrimSuffix(fields[0], ",")
+}
+
+func basename(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,287 @@
+package strace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fmg/seer/internal/trace"
+)
+
+func parseAll(t *testing.T, src string) []trace.Event {
+	t.Helper()
+	evs, err := NewParser().Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestOpenCloseRoundTrip(t *testing.T) {
+	src := `1234  12:00:01.000001 openat(AT_FDCWD, "/etc/hosts", O_RDONLY) = 3
+1234  12:00:01.000500 close(3) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Op != trace.OpOpen || evs[0].Path != "/etc/hosts" || evs[0].PID != 1234 {
+		t.Errorf("open = %+v", evs[0])
+	}
+	if evs[1].Op != trace.OpClose || evs[1].Path != "/etc/hosts" {
+		t.Errorf("close = %+v (fd not resolved)", evs[1])
+	}
+	if !evs[1].Time.After(evs[0].Time) {
+		t.Error("timestamps not ordered")
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Error("sequence numbers not increasing")
+	}
+}
+
+func TestCreateAndDirectoryFlags(t *testing.T) {
+	src := `1 openat(AT_FDCWD, "/home/u/new.c", O_WRONLY|O_CREAT|O_TRUNC, 0666) = 4
+1 openat(AT_FDCWD, "/home/u", O_RDONLY|O_DIRECTORY) = 5
+1 getdents64(5, 0x55..., 32768) = 120
+1 close(5) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d: %v", len(evs), evs)
+	}
+	if evs[0].Op != trace.OpCreate {
+		t.Errorf("O_CREAT open = %v, want create", evs[0].Op)
+	}
+	if evs[1].Op != trace.OpReadDir {
+		t.Errorf("O_DIRECTORY open = %v, want readdir", evs[1].Op)
+	}
+	if evs[2].Op != trace.OpReadDir || evs[2].Path != "/home/u" {
+		t.Errorf("getdents = %+v", evs[2])
+	}
+}
+
+func TestExecForkExit(t *testing.T) {
+	src := `100 execve("/usr/bin/make", ["make"], 0x7ffe... /* 30 vars */) = 0
+100 clone(child_stack=NULL, flags=CLONE_CHILD_CLEARTID|SIGCHLD) = 101
+101 execve("/usr/bin/cc", ["cc", "-c", "x.c"], ...) = 0
+101 +++ exited with 0 +++
+100 exit_group(0) = ?
+`
+	evs := parseAll(t, src)
+	if len(evs) != 5 {
+		t.Fatalf("events = %d: %v", len(evs), evs)
+	}
+	if evs[0].Op != trace.OpExec || evs[0].Prog != "make" {
+		t.Errorf("exec = %+v", evs[0])
+	}
+	if evs[1].Op != trace.OpFork || evs[1].PID != 101 || evs[1].PPID != 100 {
+		t.Errorf("fork = %+v", evs[1])
+	}
+	if evs[3].Op != trace.OpExit || evs[3].PID != 101 {
+		t.Errorf("exit marker = %+v", evs[3])
+	}
+	if evs[4].Op != trace.OpExit || evs[4].PID != 100 {
+		t.Errorf("exit_group = %+v", evs[4])
+	}
+}
+
+func TestFailedCalls(t *testing.T) {
+	src := `1 openat(AT_FDCWD, "/missing", O_RDONLY) = -1 ENOENT (No such file or directory)
+1 stat("/also/missing", 0x7ffd...) = -1 ENOENT (No such file or directory)
+`
+	evs := parseAll(t, src)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for _, ev := range evs {
+		if !ev.Failed {
+			t.Errorf("event not marked failed: %+v", ev)
+		}
+	}
+}
+
+func TestStatVariants(t *testing.T) {
+	src := `1 stat("/a", {st_mode=S_IFREG|0644, st_size=100, ...}) = 0
+1 lstat("/b", {...}) = 0
+1 access("/c", F_OK) = 0
+1 newfstatat(AT_FDCWD, "/d", {...}, 0) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	want := []string{"/a", "/b", "/c", "/d"}
+	for i, ev := range evs {
+		if ev.Op != trace.OpStat || ev.Path != want[i] {
+			t.Errorf("event %d = %+v, want stat %s", i, ev, want[i])
+		}
+	}
+}
+
+func TestRenameUnlinkMkdirChdir(t *testing.T) {
+	src := `1 rename("/tmp/x", "/home/u/x") = 0
+1 renameat2(AT_FDCWD, "/a", AT_FDCWD, "/b", RENAME_NOREPLACE) = 0
+1 unlink("/tmp/junk") = 0
+1 unlinkat(AT_FDCWD, "/tmp/other", 0) = 0
+1 mkdir("/home/u/dir", 0755) = 0
+1 chdir("/home/u/dir") = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 6 {
+		t.Fatalf("events = %d: %+v", len(evs), evs)
+	}
+	if evs[0].Op != trace.OpRename || evs[0].Path != "/tmp/x" || evs[0].Path2 != "/home/u/x" {
+		t.Errorf("rename = %+v", evs[0])
+	}
+	if evs[1].Path != "/a" || evs[1].Path2 != "/b" {
+		t.Errorf("renameat2 = %+v", evs[1])
+	}
+	if evs[2].Op != trace.OpDelete || evs[3].Op != trace.OpDelete {
+		t.Error("unlinks not deletes")
+	}
+	if evs[4].Op != trace.OpMkdir || evs[5].Op != trace.OpChdir {
+		t.Error("mkdir/chdir wrong")
+	}
+}
+
+func TestUnfinishedResumed(t *testing.T) {
+	src := `100 openat(AT_FDCWD, "/slow/file", O_RDONLY <unfinished ...>
+101 stat("/other", {...}) = 0
+100 <... openat resumed>) = 7
+100 close(7) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d: %+v", len(evs), evs)
+	}
+	if evs[0].Op != trace.OpStat || evs[0].PID != 101 {
+		t.Errorf("interleaved stat = %+v", evs[0])
+	}
+	if evs[1].Op != trace.OpOpen || evs[1].Path != "/slow/file" || evs[1].PID != 100 {
+		t.Errorf("resumed open = %+v", evs[1])
+	}
+	if evs[2].Op != trace.OpClose || evs[2].Path != "/slow/file" {
+		t.Errorf("close after resume = %+v (fd lost)", evs[2])
+	}
+}
+
+func TestNoiseSkipped(t *testing.T) {
+	src := `--- SIGCHLD {si_signo=SIGCHLD, si_code=CLD_EXITED} ---
+strace: Process 1234 attached
+
+1 read(3, "data", 4096) = 4
+1 write(4, "x", 1) = 1
+1 <... something resumed>) = 0
+garbage line
+`
+	evs := parseAll(t, src)
+	if len(evs) != 0 {
+		t.Fatalf("noise produced events: %+v", evs)
+	}
+}
+
+func TestEscapedPath(t *testing.T) {
+	src := `1 openat(AT_FDCWD, "/home/u/with \"quotes\" and space", O_RDONLY) = 3`
+	evs := parseAll(t, src)
+	if len(evs) != 1 || evs[0].Path != `/home/u/with "quotes" and space` {
+		t.Fatalf("escaped path = %+v", evs)
+	}
+}
+
+func TestCloseOfUnknownFdSkipped(t *testing.T) {
+	evs := parseAll(t, "1 close(99) = 0\n")
+	if len(evs) != 0 {
+		t.Fatalf("unknown fd close produced %+v", evs)
+	}
+}
+
+func TestNoPidNoTimestamp(t *testing.T) {
+	evs := parseAll(t, `openat(AT_FDCWD, "/x", O_RDONLY) = 3`+"\n")
+	if len(evs) != 1 || evs[0].PID != 1 {
+		t.Fatalf("bare line = %+v", evs)
+	}
+	if evs[0].Time.IsZero() {
+		t.Error("zero timestamp")
+	}
+}
+
+func TestTimePreservedMonotone(t *testing.T) {
+	src := `1 12:00:05.000000 stat("/a", {...}) = 0
+1 12:00:04.000000 stat("/b", {...}) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 2 {
+		t.Fatal("events")
+	}
+	if evs[1].Time.Before(evs[0].Time) {
+		t.Error("time went backwards across events")
+	}
+}
+
+func TestFeedsCorrelatorEndToEnd(t *testing.T) {
+	// A miniature compile under strace must produce distance pairs in
+	// the correlator — integration of strace → observer → semdist.
+	src := `50 execve("/usr/bin/cc", ["cc"], ...) = 0
+50 openat(AT_FDCWD, "/home/u/p/main.c", O_RDONLY) = 3
+50 openat(AT_FDCWD, "/home/u/p/defs.h", O_RDONLY) = 4
+50 close(4) = 0
+50 openat(AT_FDCWD, "/home/u/p/main.o", O_WRONLY|O_CREAT) = 5
+50 close(5) = 0
+50 close(3) = 0
+50 exit_group(0) = ?
+`
+	evs := parseAll(t, src)
+	if len(evs) != 8 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	ops := []trace.Op{trace.OpExec, trace.OpOpen, trace.OpOpen, trace.OpClose,
+		trace.OpCreate, trace.OpClose, trace.OpClose, trace.OpExit}
+	for i, want := range ops {
+		if evs[i].Op != want {
+			t.Errorf("event %d op = %v, want %v", i, evs[i].Op, want)
+		}
+	}
+}
+
+func TestDupTracksDescriptor(t *testing.T) {
+	src := `1 openat(AT_FDCWD, "/home/u/x", O_RDONLY) = 3
+1 dup(3) = 7
+1 close(3) = 0
+1 dup2(7, 11) = 11
+1 close(7) = 0
+1 close(11) = 0
+`
+	evs := parseAll(t, src)
+	// open + 3 closes, all resolving to the same path.
+	if len(evs) != 4 {
+		t.Fatalf("events = %d: %+v", len(evs), evs)
+	}
+	for _, ev := range evs[1:] {
+		if ev.Op != trace.OpClose || ev.Path != "/home/u/x" {
+			t.Errorf("close = %+v, want /home/u/x", ev)
+		}
+	}
+}
+
+func TestDupOfUnknownFd(t *testing.T) {
+	evs := parseAll(t, "1 dup(99) = 100\n1 close(100) = 0\n")
+	if len(evs) != 0 {
+		t.Fatalf("unknown dup produced events: %+v", evs)
+	}
+}
+
+func TestSymlink(t *testing.T) {
+	src := `1 symlink("/home/u/proj/prog", "/home/u/bin/prog") = 0
+1 symlinkat("/a/target", AT_FDCWD, "/b/link") = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d: %+v", len(evs), evs)
+	}
+	if evs[0].Op != trace.OpSymlink || evs[0].Path != "/home/u/bin/prog" ||
+		evs[0].Path2 != "/home/u/proj/prog" {
+		t.Errorf("symlink = %+v", evs[0])
+	}
+	if evs[1].Path != "/b/link" || evs[1].Path2 != "/a/target" {
+		t.Errorf("symlinkat = %+v", evs[1])
+	}
+}

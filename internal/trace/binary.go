@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/fmg/seer/internal/wire"
+)
+
+// The binary trace codec: a compact alternative to the text format for
+// month-scale traces (the paper's machine G logged ~326 million
+// operations; text encoding such traces is painful). The format
+// delta-encodes sequence numbers and timestamps and interns pathnames
+// in a string table, so steady-state events cost a few bytes each.
+const (
+	binMagic   = "SEERTRC"
+	binVersion = 1
+)
+
+// BinaryWriter serializes events in the binary trace format.
+type BinaryWriter struct {
+	w       *wire.Writer
+	started bool
+	lastSeq uint64
+	lastNs  int64
+	strings map[string]uint64
+	n       int
+}
+
+// NewBinaryWriter returns a BinaryWriter emitting to w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{
+		w:       wire.NewWriter(w),
+		strings: make(map[string]uint64),
+	}
+}
+
+// intern writes a string reference: index for known strings, index+
+// literal for new ones.
+func (bw *BinaryWriter) intern(s string) {
+	if idx, ok := bw.strings[s]; ok {
+		bw.w.U64(idx)
+		return
+	}
+	idx := uint64(len(bw.strings)) + 1
+	bw.strings[s] = idx
+	bw.w.U64(0) // 0 marks a new string
+	bw.w.Str(s)
+}
+
+// Write appends one event.
+func (bw *BinaryWriter) Write(e Event) error {
+	if !bw.started {
+		bw.started = true
+		bw.w.Str(binMagic)
+		bw.w.U64(binVersion)
+	}
+	bw.w.U64(e.Seq - bw.lastSeq)
+	bw.lastSeq = e.Seq
+	ns := e.Time.UnixNano()
+	bw.w.I64(ns - bw.lastNs)
+	bw.lastNs = ns
+	bw.w.U64(uint64(e.Op))
+	bw.w.I64(int64(e.PID))
+	bw.w.I64(int64(e.PPID))
+	bw.intern(e.Path)
+	bw.intern(e.Path2)
+	bw.intern(e.Prog)
+	bw.w.Bool(e.Failed)
+	bw.w.I64(int64(e.Uid))
+	if err := bw.w.Err(); err != nil {
+		return err
+	}
+	bw.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (bw *BinaryWriter) Count() int { return bw.n }
+
+// Flush completes the stream.
+func (bw *BinaryWriter) Flush() error {
+	if !bw.started {
+		bw.started = true
+		bw.w.Str(binMagic)
+		bw.w.U64(binVersion)
+	}
+	return bw.w.Flush()
+}
+
+// BinaryReader parses the binary trace format.
+type BinaryReader struct {
+	r       *wire.Reader
+	started bool
+	lastSeq uint64
+	lastNs  int64
+	strings []string
+	// err is the sticky decode-level error (bad string index, invalid
+	// op); IO/format errors live in the wire reader.
+	err error
+}
+
+// NewBinaryReader returns a BinaryReader consuming r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: wire.NewReader(r)}
+}
+
+func (br *BinaryReader) internedString() string {
+	idx := br.r.U64()
+	if idx == 0 {
+		s := br.r.Str()
+		br.strings = append(br.strings, s)
+		return s
+	}
+	if idx > uint64(len(br.strings)) {
+		if br.r.Err() == nil && br.err == nil {
+			br.err = fmt.Errorf("trace: bad string index %d", idx)
+		}
+		return ""
+	}
+	return br.strings[idx-1]
+}
+
+// Read returns the next event or io.EOF.
+func (br *BinaryReader) Read() (Event, error) {
+	if br.err != nil {
+		return Event{}, br.err
+	}
+	if !br.started {
+		magic := br.r.Str()
+		if err := br.r.Err(); err != nil {
+			return Event{}, err
+		}
+		if magic != binMagic {
+			return Event{}, fmt.Errorf("trace: not a binary trace (magic %q)", magic)
+		}
+		if v := br.r.U64(); v != binVersion {
+			return Event{}, fmt.Errorf("trace: unsupported binary trace version %d", v)
+		}
+		br.started = true
+	}
+	dseq := br.r.U64()
+	if err := br.r.Err(); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, err
+	}
+	br.lastSeq += dseq
+	br.lastNs += br.r.I64()
+	e := Event{
+		Seq:  br.lastSeq,
+		Time: time.Unix(0, br.lastNs),
+		Op:   Op(br.r.U64()),
+		PID:  PID(br.r.I64()),
+		PPID: PID(br.r.I64()),
+	}
+	e.Path = br.internedString()
+	e.Path2 = br.internedString()
+	e.Prog = br.internedString()
+	e.Failed = br.r.Bool()
+	e.Uid = int32(br.r.I64())
+	if br.err != nil {
+		return Event{}, br.err
+	}
+	if err := br.r.Err(); err != nil {
+		return Event{}, fmt.Errorf("trace: truncated binary event: %w", err)
+	}
+	if e.Op == OpInvalid || e.Op >= nOps {
+		return Event{}, fmt.Errorf("trace: invalid op %d", uint8(e.Op))
+	}
+	return e, nil
+}
+
+// ReadAuto detects the trace format (the binary format begins with a
+// 7-byte length prefix, text traces with a digit or '#') and reads all
+// events.
+func ReadAuto(r io.Reader) ([]Event, error) {
+	br := make([]byte, 1)
+	if _, err := io.ReadFull(r, br); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, err
+	}
+	rest := io.MultiReader(bytes.NewReader(br), r)
+	if br[0] == byte(len(binMagic)) {
+		return NewBinaryReader(rest).ReadAll()
+	}
+	return NewReader(rest).ReadAll()
+}
+
+// ReadAll consumes the remaining events.
+func (br *BinaryReader) ReadAll() ([]Event, error) {
+	var evs []Event
+	for {
+		ev, err := br.Read()
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The text codec stores one event per line:
+//
+//	seq timeNanos pid ppid op "path" "path2" "prog" failed uid
+//
+// Paths and program names are quoted with strconv.Quote so embedded
+// spaces and non-ASCII names round-trip. Lines beginning with '#' and
+// blank lines are ignored on read, so traces can carry comments.
+
+// Writer serializes events to an io.Writer in the text codec.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+	n   int
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Write appends one event. Errors are sticky and returned from Write
+// and Flush.
+func (w *Writer) Write(e Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	_, w.err = fmt.Fprintf(w.bw, "%d %d %d %d %s %s %s %s %t %d\n",
+		e.Seq, e.Time.UnixNano(), e.PID, e.PPID, e.Op,
+		strconv.Quote(e.Path), strconv.Quote(e.Path2),
+		strconv.Quote(e.Prog), e.Failed, e.Uid)
+	if w.err == nil {
+		w.n++
+	}
+	return w.err
+}
+
+// Count returns the number of events successfully written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Reader parses events from an io.Reader in the text codec.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader consuming r. Long pathnames are supported
+// up to 1 MiB per line.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next event, or io.EOF after the last one.
+func (r *Reader) Read() (Event, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseLine(line)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+		return ev, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// ReadAll consumes the remaining events.
+func (r *Reader) ReadAll() ([]Event, error) {
+	var evs []Event
+	for {
+		ev, err := r.Read()
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func parseLine(line string) (Event, error) {
+	var e Event
+	fields, err := splitQuoted(line)
+	if err != nil {
+		return e, err
+	}
+	if len(fields) != 10 {
+		return e, fmt.Errorf("want 10 fields, got %d", len(fields))
+	}
+	seq, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("seq: %w", err)
+	}
+	nanos, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("time: %w", err)
+	}
+	pid, err := strconv.ParseInt(fields[2], 10, 32)
+	if err != nil {
+		return e, fmt.Errorf("pid: %w", err)
+	}
+	ppid, err := strconv.ParseInt(fields[3], 10, 32)
+	if err != nil {
+		return e, fmt.Errorf("ppid: %w", err)
+	}
+	op, ok := ParseOp(fields[4])
+	if !ok {
+		return e, fmt.Errorf("unknown op %q", fields[4])
+	}
+	path, err := strconv.Unquote(fields[5])
+	if err != nil {
+		return e, fmt.Errorf("path: %w", err)
+	}
+	path2, err := strconv.Unquote(fields[6])
+	if err != nil {
+		return e, fmt.Errorf("path2: %w", err)
+	}
+	prog, err := strconv.Unquote(fields[7])
+	if err != nil {
+		return e, fmt.Errorf("prog: %w", err)
+	}
+	failed, err := strconv.ParseBool(fields[8])
+	if err != nil {
+		return e, fmt.Errorf("failed: %w", err)
+	}
+	uid, err := strconv.ParseInt(fields[9], 10, 32)
+	if err != nil {
+		return e, fmt.Errorf("uid: %w", err)
+	}
+	e = Event{
+		Seq:    seq,
+		Time:   time.Unix(0, nanos),
+		PID:    PID(pid),
+		PPID:   PID(ppid),
+		Op:     op,
+		Path:   path,
+		Path2:  path2,
+		Prog:   prog,
+		Failed: failed,
+		Uid:    int32(uid),
+	}
+	return e, nil
+}
+
+// splitQuoted splits on spaces while keeping strconv.Quote-d strings as
+// single fields.
+func splitQuoted(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			fields = append(fields, line[i:j+1])
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		fields = append(fields, line[i:j])
+		i = j
+	}
+	return fields, nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import "time"
+
+// Stream filters: utilities for slicing traces by time, process, or
+// predicate. The analysis tooling (cmd/seertrace) and tests use these
+// to isolate sub-traces — e.g. one disconnection period or one
+// process tree — without re-reading files.
+
+// Filter returns the events for which keep returns true, preserving
+// order. The input slice is not modified.
+func Filter(events []Event, keep func(Event) bool) []Event {
+	var out []Event
+	for _, ev := range events {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Between returns the events with Time in [from, to).
+func Between(events []Event, from, to time.Time) []Event {
+	return Filter(events, func(ev Event) bool {
+		return !ev.Time.Before(from) && ev.Time.Before(to)
+	})
+}
+
+// ByPID returns the events of one process.
+func ByPID(events []Event, pid PID) []Event {
+	return Filter(events, func(ev Event) bool { return ev.PID == pid })
+}
+
+// ProcessTree returns the events of a process and all its descendants
+// (following OpFork edges in trace order).
+func ProcessTree(events []Event, root PID) []Event {
+	member := map[PID]bool{root: true}
+	return Filter(events, func(ev Event) bool {
+		if ev.Op == OpFork && member[ev.PPID] {
+			member[ev.PID] = true
+		}
+		return member[ev.PID]
+	})
+}
+
+// FileRefs returns only successful file references (the inputs that
+// matter to hoarding analysis), dropping connectivity markers, process
+// lifecycle events and failed calls.
+func FileRefs(events []Event) []Event {
+	return Filter(events, func(ev Event) bool {
+		return ev.Op.IsFileRef() && !ev.Failed
+	})
+}
+
+// Paths returns the distinct pathnames referenced, in first-seen order.
+func Paths(events []Event) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ev := range events {
+		if !ev.Op.IsFileRef() || ev.Path == "" || seen[ev.Path] {
+			continue
+		}
+		seen[ev.Path] = true
+		out = append(out, ev.Path)
+	}
+	return out
+}
+
+// Disconnections extracts the [disconnect, reconnect) spans from a
+// trace's connectivity markers. An unterminated final disconnection is
+// closed at the last event's time.
+func Disconnections(events []Event) [][2]time.Time {
+	var out [][2]time.Time
+	var start time.Time
+	open := false
+	for _, ev := range events {
+		switch ev.Op {
+		case OpDisconnect:
+			if !open {
+				start = ev.Time
+				open = true
+			}
+		case OpReconnect:
+			if open {
+				out = append(out, [2]time.Time{start, ev.Time})
+				open = false
+			}
+		}
+	}
+	if open && len(events) > 0 {
+		out = append(out, [2]time.Time{start, events[len(events)-1].Time})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func filterFixture() []Event {
+	clk := NewClock(time.Unix(0, 0))
+	mk := func(pid PID, ppid PID, op Op, path string, gap time.Duration) Event {
+		clk.Advance(gap)
+		return clk.Stamp(Event{PID: pid, PPID: ppid, Op: op, Path: path, Uid: 1000})
+	}
+	return []Event{
+		mk(1, 0, OpOpen, "/a", time.Second),
+		mk(1, 0, OpClose, "/a", time.Second),
+		mk(0, 0, OpDisconnect, "", time.Second),
+		mk(2, 1, OpFork, "", time.Second),
+		mk(2, 0, OpOpen, "/b", time.Second),
+		mk(3, 2, OpFork, "", time.Second),
+		mk(3, 0, OpStat, "/c", time.Second),
+		mk(3, 0, OpStat, "/c", time.Second), // duplicate path
+		mk(9, 0, OpOpen, "/fail", time.Second),
+		mk(0, 0, OpReconnect, "", time.Second),
+		mk(0, 0, OpDisconnect, "", time.Second),
+	}
+}
+
+func TestBetween(t *testing.T) {
+	evs := filterFixture()
+	got := Between(evs, time.Unix(2, 0), time.Unix(5, 0))
+	if len(got) != 3 {
+		t.Fatalf("Between = %d events, want 3", len(got))
+	}
+}
+
+func TestByPID(t *testing.T) {
+	evs := filterFixture()
+	if got := ByPID(evs, 3); len(got) != 3 {
+		t.Fatalf("ByPID(3) = %d events, want fork + 2 stats", len(got))
+	}
+	if got := ByPID(evs, 42); len(got) != 0 {
+		t.Fatal("phantom pid events")
+	}
+}
+
+func TestProcessTree(t *testing.T) {
+	evs := filterFixture()
+	got := ProcessTree(evs, 1)
+	// pid 1 (2 events) + fork of 2 + open /b + fork of 3 + 2 stats = 7.
+	if len(got) != 7 {
+		t.Fatalf("ProcessTree(1) = %d events, want 7", len(got))
+	}
+	got = ProcessTree(evs, 2)
+	if len(got) != 5 {
+		t.Fatalf("ProcessTree(2) = %d events, want 5 (2's fork arrival included)", len(got))
+	}
+}
+
+func TestFileRefsAndPaths(t *testing.T) {
+	evs := filterFixture()
+	evs[8].Failed = true // the /fail open
+	refs := FileRefs(evs)
+	for _, ev := range refs {
+		if ev.Op.IsConnectivity() || ev.Failed || ev.Op == OpFork {
+			t.Fatalf("non-file ref leaked: %+v", ev)
+		}
+	}
+	paths := Paths(evs)
+	want := []string{"/a", "/b", "/c", "/fail"}
+	if len(paths) != len(want) {
+		t.Fatalf("Paths = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Paths[%d] = %s, want %s", i, paths[i], want[i])
+		}
+	}
+}
+
+func TestDisconnectionsSpans(t *testing.T) {
+	evs := filterFixture()
+	spans := Disconnections(evs)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want closed + unterminated", len(spans))
+	}
+	if !spans[0][0].Equal(time.Unix(3, 0)) || !spans[0][1].Equal(time.Unix(10, 0)) {
+		t.Errorf("first span = %v", spans[0])
+	}
+	// The unterminated disconnection closes at the last event.
+	if !spans[1][1].Equal(evs[len(evs)-1].Time) {
+		t.Errorf("unterminated span end = %v", spans[1][1])
+	}
+	if Disconnections(nil) != nil {
+		t.Error("nil events should yield nil spans")
+	}
+}
+
+func TestFilterDoesNotMutate(t *testing.T) {
+	evs := filterFixture()
+	n := len(evs)
+	Filter(evs, func(Event) bool { return false })
+	if len(evs) != n {
+		t.Fatal("Filter mutated input")
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace defines the file-reference event model that the SEER
+// observer consumes and everything downstream (correlator, simulator,
+// baselines) is driven by.
+//
+// An event corresponds to one traced system call (paper §4.11): SEER does
+// not track individual reads and writes, only whole-file operations such
+// as opens, closes, status inquiries, renames, process executions and
+// exits. Events carry a process id and parent process id so that the
+// correlator can separate the interleaved reference streams of a
+// multitasking user (paper §4.7) and inherit/merge reference histories
+// across fork and exit.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Op is the kind of file reference or process event observed.
+type Op uint8
+
+// The operation kinds. The set mirrors the whole-file operations SEER
+// traces on Linux (paper §4.8 and §4.11).
+const (
+	// OpInvalid is the zero Op and never appears in a valid trace.
+	OpInvalid Op = iota
+	// OpOpen is a file open for reading or writing.
+	OpOpen
+	// OpClose closes a previously opened file.
+	OpClose
+	// OpExec is the execution of a program image; treated as an open
+	// that lasts for the process lifetime (paper §4.8).
+	OpExec
+	// OpExit is process termination; closes the exec "open" and merges
+	// the child's reference history into the parent (paper §4.7).
+	OpExit
+	// OpFork creates a child process that inherits its parent's
+	// reference history (paper §4.7).
+	OpFork
+	// OpStat is an attribute examination (stat/access); treated as a
+	// simultaneous open/close pair unless immediately followed by an
+	// open of the same file (paper §4.8).
+	OpStat
+	// OpCreate creates a new regular file (also implies an open).
+	OpCreate
+	// OpDelete removes a file. Removal from internal tables is delayed
+	// (paper §4.8, File Deletion).
+	OpDelete
+	// OpRename renames Path to Path2; treated as a point-in-time
+	// reference to both names.
+	OpRename
+	// OpMkdir creates a directory.
+	OpMkdir
+	// OpReadDir is a directory open for reading entries. It is the key
+	// signal for the meaningless-process heuristic (paper §4.1).
+	OpReadDir
+	// OpChdir changes the process working directory; used by the
+	// observer to absolutize relative pathnames.
+	OpChdir
+	// OpDisconnect marks the beginning of a network disconnection in a
+	// trace. Synthetic traces and the simulator use these markers to
+	// delimit disconnection periods (paper §5.1).
+	OpDisconnect
+	// OpReconnect marks the end of a disconnection.
+	OpReconnect
+	// OpSuspend marks the machine entering power-saving suspension
+	// (paper §5.1.1: suspended time is excluded from statistics).
+	OpSuspend
+	// OpResume marks the machine resuming from suspension.
+	OpResume
+	// OpSymlink creates a symbolic link: Path is the new link, Path2 its
+	// target. Symlinks are non-file objects that take almost no space
+	// and are always hoarded (paper §4.6).
+	OpSymlink
+	nOps
+)
+
+var opNames = [nOps]string{
+	OpInvalid:    "invalid",
+	OpOpen:       "open",
+	OpClose:      "close",
+	OpExec:       "exec",
+	OpExit:       "exit",
+	OpFork:       "fork",
+	OpStat:       "stat",
+	OpCreate:     "create",
+	OpDelete:     "delete",
+	OpRename:     "rename",
+	OpMkdir:      "mkdir",
+	OpReadDir:    "readdir",
+	OpChdir:      "chdir",
+	OpDisconnect: "disconnect",
+	OpReconnect:  "reconnect",
+	OpSuspend:    "suspend",
+	OpResume:     "resume",
+	OpSymlink:    "symlink",
+}
+
+// String returns the lower-case operation name used by the text codec.
+func (o Op) String() string {
+	if o >= nOps {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opNames[o]
+}
+
+// ParseOp converts an operation name produced by Op.String back to the
+// Op value. It reports false for unknown names.
+func ParseOp(s string) (Op, bool) {
+	for i, n := range opNames {
+		if n == s && Op(i) != OpInvalid {
+			return Op(i), true
+		}
+	}
+	return OpInvalid, false
+}
+
+// IsFileRef reports whether the operation references a file path (as
+// opposed to pure process or connectivity events).
+func (o Op) IsFileRef() bool {
+	switch o {
+	case OpOpen, OpClose, OpExec, OpStat, OpCreate, OpDelete, OpRename,
+		OpMkdir, OpReadDir, OpChdir, OpSymlink:
+		return true
+	}
+	return false
+}
+
+// IsConnectivity reports whether the operation is a disconnection,
+// reconnection, suspend or resume marker.
+func (o Op) IsConnectivity() bool {
+	switch o {
+	case OpDisconnect, OpReconnect, OpSuspend, OpResume:
+		return true
+	}
+	return false
+}
+
+// PID identifies a traced process.
+type PID int32
+
+// Event is one observed reference. Fields that do not apply to a given
+// Op are left zero: for example connectivity markers carry no PID or
+// path, and only OpRename uses Path2.
+type Event struct {
+	// Seq is a monotonically increasing sequence number assigned by the
+	// trace source. The correlator relies on Seq ordering, not on Time,
+	// to compute sequence-based measures (paper Definition 2/3).
+	Seq uint64
+	// Time is the (possibly simulated) wall-clock instant of the event.
+	Time time.Time
+	// PID is the process issuing the reference.
+	PID PID
+	// PPID is the parent process id; meaningful on OpFork (the forked
+	// child is PID, the parent PPID) and OpExec.
+	PPID PID
+	// Op is the operation kind.
+	Op Op
+	// Path is the (possibly relative) pathname referenced.
+	Path string
+	// Path2 is the rename destination for OpRename.
+	Path2 string
+	// Prog is the program name of the issuing process when known; used
+	// by the meaningless-process history (paper §4.1).
+	Prog string
+	// Failed records that the traced call returned an error. Calls are
+	// traced after completion so success is known (paper §4.11).
+	Failed bool
+	// Uid is the numeric user id of the caller; superuser (0) calls are
+	// mostly ignored to avoid deadlock-style feedback (paper §4.10).
+	Uid int32
+}
+
+// String renders the event in the single-line text-codec form.
+func (e Event) String() string {
+	return fmt.Sprintf("%d %d %d %d %s %q %q %q %t %d",
+		e.Seq, e.Time.UnixNano(), e.PID, e.PPID, e.Op,
+		e.Path, e.Path2, e.Prog, e.Failed, e.Uid)
+}
+
+// Clock generates monotonically increasing simulated time and sequence
+// numbers for synthetic trace construction.
+type Clock struct {
+	seq uint64
+	now time.Time
+}
+
+// NewClock returns a Clock starting at the given instant.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Seq returns the last sequence number issued.
+func (c *Clock) Seq() uint64 { return c.seq }
+
+// Advance moves simulated time forward by d.
+func (c *Clock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// Stamp fills in the next sequence number and current time on e and
+// returns it.
+func (c *Clock) Stamp(e Event) Event {
+	c.seq++
+	e.Seq = c.seq
+	e.Time = c.now
+	return e
+}

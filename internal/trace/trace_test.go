@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOpStringParseRoundTrip(t *testing.T) {
+	for op := OpOpen; op < nOps; op++ {
+		got, ok := ParseOp(op.String())
+		if !ok {
+			t.Fatalf("ParseOp(%q) not recognized", op.String())
+		}
+		if got != op {
+			t.Errorf("ParseOp(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+}
+
+func TestParseOpRejectsUnknown(t *testing.T) {
+	if _, ok := ParseOp("frobnicate"); ok {
+		t.Error("ParseOp accepted unknown op")
+	}
+	if _, ok := ParseOp("invalid"); ok {
+		t.Error("ParseOp accepted the invalid sentinel")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	fileRefs := []Op{OpOpen, OpClose, OpExec, OpStat, OpCreate, OpDelete,
+		OpRename, OpMkdir, OpReadDir, OpChdir}
+	for _, op := range fileRefs {
+		if !op.IsFileRef() {
+			t.Errorf("%v.IsFileRef() = false, want true", op)
+		}
+		if op.IsConnectivity() {
+			t.Errorf("%v.IsConnectivity() = true, want false", op)
+		}
+	}
+	conns := []Op{OpDisconnect, OpReconnect, OpSuspend, OpResume}
+	for _, op := range conns {
+		if op.IsFileRef() {
+			t.Errorf("%v.IsFileRef() = true, want false", op)
+		}
+		if !op.IsConnectivity() {
+			t.Errorf("%v.IsConnectivity() = false, want true", op)
+		}
+	}
+	if OpExit.IsFileRef() || OpFork.IsFileRef() {
+		t.Error("exit/fork should not be file references")
+	}
+}
+
+func TestClockStamping(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewClock(start)
+	e1 := c.Stamp(Event{Op: OpOpen, Path: "/a"})
+	if e1.Seq != 1 || !e1.Time.Equal(start) {
+		t.Fatalf("first stamp = seq %d time %v", e1.Seq, e1.Time)
+	}
+	c.Advance(3 * time.Second)
+	e2 := c.Stamp(Event{Op: OpClose, Path: "/a"})
+	if e2.Seq != 2 {
+		t.Errorf("second seq = %d, want 2", e2.Seq)
+	}
+	if want := start.Add(3 * time.Second); !e2.Time.Equal(want) {
+		t.Errorf("second time = %v, want %v", e2.Time, want)
+	}
+	if c.Seq() != 2 {
+		t.Errorf("Seq() = %d, want 2", c.Seq())
+	}
+}
+
+func sampleEvents() []Event {
+	base := time.Unix(500, 123456789)
+	return []Event{
+		{Seq: 1, Time: base, PID: 100, PPID: 1, Op: OpExec,
+			Path: "/usr/bin/cc", Prog: "cc", Uid: 1000},
+		{Seq: 2, Time: base.Add(time.Millisecond), PID: 100, Op: OpOpen,
+			Path: "/home/u/main file.c", Prog: "cc", Uid: 1000},
+		{Seq: 3, Time: base.Add(2 * time.Millisecond), PID: 100, Op: OpRename,
+			Path: "/tmp/cc001.o", Path2: "/home/u/main.o", Prog: "cc", Uid: 1000},
+		{Seq: 4, Time: base.Add(3 * time.Millisecond), PID: 100, Op: OpStat,
+			Path: "/home/u/üñïçödé.h", Prog: "cc", Failed: true, Uid: 1000},
+		{Seq: 5, Time: base.Add(time.Second), Op: OpDisconnect},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != len(events) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(events))
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !got[i].Time.Equal(events[i].Time) {
+			t.Errorf("event %d time = %v, want %v", i, got[i].Time, events[i].Time)
+		}
+		got[i].Time = events[i].Time // Equal but different monotonic/loc repr.
+		if !reflect.DeepEqual(got[i], events[i]) {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n" + sampleEvents()[0].String() + "\n   \n# end\n"
+	got, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("read %d events, want 1", len(got))
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"too few fields", `1 2 3 4 open "/a" "" "x" false`},
+		{"bad op", `1 2 3 4 explode "/a" "" "x" false 0`},
+		{"bad seq", `x 2 3 4 open "/a" "" "x" false 0`},
+		{"bad bool", `1 2 3 4 open "/a" "" "x" maybe 0`},
+		{"unterminated quote", `1 2 3 4 open "/a "" "x" false 0`},
+		{"bad pid", `1 2 x 4 open "/a" "" "x" false 0`},
+	}
+	for _, c := range cases {
+		_, err := NewReader(strings.NewReader(c.line)).Read()
+		if err == nil || err == io.EOF {
+			t.Errorf("%s: Read() err = %v, want parse error", c.name, err)
+		}
+	}
+}
+
+func TestReadAfterEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("second err = %v, want io.EOF", err)
+	}
+}
+
+// TestCodecQuick property: any event with printable or not path strings
+// survives a write/read cycle.
+func TestCodecQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seq uint64, pid, ppid int32, pathBytes, path2Bytes []byte, failed bool, uid int32) bool {
+		op := Op(1 + rng.Intn(int(nOps)-1))
+		e := Event{
+			Seq:    seq,
+			Time:   time.Unix(0, rng.Int63()),
+			PID:    PID(pid),
+			PPID:   PID(ppid),
+			Op:     op,
+			Path:   string(pathBytes),
+			Path2:  string(path2Bytes),
+			Prog:   "p",
+			Failed: failed,
+			Uid:    uid,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.Write(e) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return got.Seq == e.Seq && got.PID == e.PID && got.PPID == e.PPID &&
+			got.Op == e.Op && got.Path == e.Path && got.Path2 == e.Path2 &&
+			got.Failed == e.Failed && got.Uid == e.Uid &&
+			got.Time.Equal(e.Time)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	e := sampleEvents()[0]
+	// Fill the buffer until the underlying writer is hit.
+	var err error
+	for i := 0; i < 100000; i++ {
+		if err = w.Write(e); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		t.Fatal("expected error from failing writer")
+	}
+	if got := w.Write(e); got == nil {
+		t.Error("Write after error = nil, want sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,100 @@
+package webcache
+
+import (
+	"fmt"
+
+	"github.com/fmg/seer/internal/stats"
+)
+
+// BrowseProfile parameterizes a synthetic browsing workload: sites with
+// stable page sets, Zipf site popularity, and session locality (a
+// session navigates within one site before moving on) — the Web
+// analogue of projects and attention shifts.
+type BrowseProfile struct {
+	Sites        int
+	PagesPerSite int
+	// Sessions is the number of browsing sessions to generate.
+	Sessions int
+	// PagesPerSession is the mean pages fetched in one session.
+	PagesPerSession int
+	// SiteSwitchProb is the chance a session hops to another site
+	// mid-stream (following an external link).
+	SiteSwitchProb float64
+	// ZipfS skews site popularity.
+	ZipfS float64
+}
+
+// DefaultBrowseProfile returns a workload with strong revisit locality.
+func DefaultBrowseProfile() BrowseProfile {
+	return BrowseProfile{
+		Sites:           30,
+		PagesPerSite:    25,
+		Sessions:        400,
+		PagesPerSession: 12,
+		SiteSwitchProb:  0.08,
+		ZipfS:           1.1,
+	}
+}
+
+// Fetch is one page request.
+type Fetch struct {
+	Session int
+	URL     string
+	Size    int64
+}
+
+// GenerateBrowsing produces a fetch stream for the profile.
+func GenerateBrowsing(p BrowseProfile, seed int64) []Fetch {
+	rng := stats.NewRand(seed)
+	zipf := stats.NewZipf(p.Sites, p.ZipfS)
+	// Stable page sizes per URL (HTML + assets; mean ~12 KB).
+	sizes := make(map[string]int64)
+	urlOf := func(site, page int) string {
+		return fmt.Sprintf("http://site%02d.example.com/page%03d.html", site, page)
+	}
+	sizeOf := func(u string) int64 {
+		if s, ok := sizes[u]; ok {
+			return s
+		}
+		s := rng.Geometric(0.00008)
+		sizes[u] = s
+		return s
+	}
+	var out []Fetch
+	for sess := 0; sess < p.Sessions; sess++ {
+		site := zipf.Sample(rng)
+		n := p.PagesPerSession/2 + rng.Intn(p.PagesPerSession+1)
+		// Sessions start at the site's entry page and walk a biased
+		// path over its pages: entry pages and low-numbered pages are
+		// hotter, like real navigation hierarchies.
+		page := 0
+		for i := 0; i < n; i++ {
+			if rng.Bool(p.SiteSwitchProb) {
+				site = zipf.Sample(rng)
+				page = 0
+			}
+			u := urlOf(site, page)
+			out = append(out, Fetch{Session: sess, URL: u, Size: sizeOf(u)})
+			// Next page: mostly near the current one.
+			step := rng.Intn(5) - 1
+			page += step
+			if page < 0 {
+				page = 0
+			}
+			if page >= p.PagesPerSite {
+				page = p.PagesPerSite - 1
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate replays a fetch stream through a cache and returns it for
+// stats inspection.
+func Evaluate(fetches []Fetch, budget int64, pred *Predictor) *Cache {
+	c := NewCache(budget, pred)
+	for _, f := range fetches {
+		c.Request(f.Session, f.URL, f.Size)
+	}
+	return c
+}

@@ -1,0 +1,246 @@
+// Package webcache applies SEER's predictive machinery to Web caching —
+// the first of the future applications the paper proposes in §7 ("the
+// predictive and inferential methods pioneered by SEER hold promise for
+// other applications, such as Web caching, network file systems, and
+// directory reorganization").
+//
+// The mapping is direct: URLs play the role of files, a browsing
+// session plays the role of a process reference stream, lifetime
+// semantic distance relates pages fetched near each other, and the
+// shared-neighbor clustering groups pages into "sites" or "tasks". A
+// predictive cache then prefetches the cluster mates of each demand
+// fetch, exactly as SEER hoards whole projects rather than single
+// files.
+package webcache
+
+import (
+	"container/list"
+
+	"github.com/fmg/seer/internal/cluster"
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/proc"
+	"github.com/fmg/seer/internal/semdist"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+)
+
+// Predictor learns URL relationships from the fetch stream.
+type Predictor struct {
+	p       config.Params
+	fs      *simfs.FS
+	tbl     *semdist.Table
+	streams map[int]*proc.Stream
+	// res is the cached clustering, invalidated on observation.
+	res   *cluster.Result
+	dirty bool
+}
+
+// NewPredictor returns a predictor. Sizes of unknown pages are drawn
+// from the same geometric distribution as files; seed fixes them.
+func NewPredictor(p config.Params, seed int64) *Predictor {
+	return &Predictor{
+		p:       p,
+		fs:      simfs.New(stats.NewRand(seed)),
+		tbl:     semdist.NewTable(p, stats.NewRand(seed+1)),
+		streams: make(map[int]*proc.Stream),
+		dirty:   true,
+	}
+}
+
+// Intern registers a URL with a known size.
+func (p *Predictor) Intern(url string, size int64) simfs.FileID {
+	f := p.fs.Lookup(url)
+	if f == nil {
+		f = p.fs.Create(url, simfs.Regular, size, 0)
+	}
+	return f.ID
+}
+
+// URL returns the URL for an id.
+func (p *Predictor) URL(id simfs.FileID) string {
+	if f := p.fs.Get(id); f != nil {
+		return f.Path
+	}
+	return ""
+}
+
+// Size returns the page size.
+func (p *Predictor) Size(id simfs.FileID) int64 {
+	if f := p.fs.Get(id); f != nil {
+		return f.Size
+	}
+	return 0
+}
+
+// Observe records a fetch of url within a browsing session. A page
+// fetch is a point reference: it "opens and closes" instantly, so
+// Definition 3 degrades to sequence distance within the session — which
+// is the natural measure for page streams.
+func (p *Predictor) Observe(session int, url string, size int64) simfs.FileID {
+	id := p.Intern(url, size)
+	s := p.streams[session]
+	if s == nil {
+		s = proc.NewStream(p.p.Window)
+		p.streams[session] = s
+	}
+	p.tbl.TickOpen()
+	for _, pair := range s.PointRef(id) {
+		p.tbl.Observe(pair.From, id, pair.Dist, pair.Clamped)
+	}
+	p.dirty = true
+	return id
+}
+
+// EndSession discards a session's stream (a closed browser tab).
+func (p *Predictor) EndSession(session int) {
+	delete(p.streams, session)
+}
+
+// Related returns the cluster mates of a URL — the pages to prefetch
+// when it is fetched.
+func (p *Predictor) Related(id simfs.FileID) []simfs.FileID {
+	if p.dirty {
+		p.res = cluster.Build(p.tbl, cluster.Options{},
+			float64(p.p.KNear), float64(p.p.KFar))
+		p.dirty = false
+	}
+	var out []simfs.FileID
+	seen := map[simfs.FileID]bool{id: true}
+	for _, ci := range p.res.ClustersOf(id) {
+		for _, m := range p.res.Clusters[ci].Members {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// Cache is a byte-budgeted LRU page cache with optional prediction.
+type Cache struct {
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent
+	items  map[simfs.FileID]*list.Element
+	pred   *Predictor
+	// anon interns URLs when no predictor is attached.
+	anon *simfs.FS
+
+	// Stats.
+	Hits        uint64
+	Misses      uint64
+	Prefetches  uint64
+	PrefetchHit uint64 // hits on pages that were brought in by prefetch
+	FetchBytes  int64  // bytes transferred (demand + prefetch)
+}
+
+type cacheItem struct {
+	id         simfs.FileID
+	size       int64
+	prefetched bool
+}
+
+// NewCache returns a cache with the given byte budget. pred may be nil
+// for a plain LRU cache.
+func NewCache(budget int64, pred *Predictor) *Cache {
+	return &Cache{
+		budget: budget,
+		lru:    list.New(),
+		items:  make(map[simfs.FileID]*list.Element),
+		pred:   pred,
+	}
+}
+
+// Contains reports whether the page is cached.
+func (c *Cache) Contains(id simfs.FileID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// UsedBytes returns the bytes cached.
+func (c *Cache) UsedBytes() int64 { return c.used }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.items) }
+
+// HitRate returns hits/(hits+misses), 0 when no requests were made.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Request services a page fetch: a hit touches the page; a miss
+// "transfers" it and inserts it. With a predictor, a miss (or a hit on
+// a prefetched page — evidence the prediction stream is live) also
+// prefetches the page's cluster mates that fit in the budget.
+func (c *Cache) Request(session int, url string, size int64) (hit bool) {
+	var id simfs.FileID
+	if c.pred != nil {
+		id = c.pred.Observe(session, url, size)
+	} else {
+		id = internAnon(c, url, size)
+	}
+	if el, ok := c.items[id]; ok {
+		c.Hits++
+		item := el.Value.(*cacheItem)
+		if item.prefetched {
+			c.PrefetchHit++
+			item.prefetched = false
+		}
+		c.lru.MoveToFront(el)
+		return true
+	}
+	c.Misses++
+	c.insert(id, size, false)
+	c.FetchBytes += size
+	if c.pred != nil {
+		c.prefetchRelated(id)
+	}
+	return false
+}
+
+// internAnon assigns stable ids per URL for the predictor-less cache.
+func internAnon(c *Cache, url string, size int64) simfs.FileID {
+	if c.anon == nil {
+		c.anon = simfs.New(stats.NewRand(0))
+	}
+	f := c.anon.Lookup(url)
+	if f == nil {
+		f = c.anon.Create(url, simfs.Regular, size, 0)
+	}
+	return f.ID
+}
+
+func (c *Cache) prefetchRelated(id simfs.FileID) {
+	for _, rel := range c.pred.Related(id) {
+		if c.Contains(rel) {
+			continue
+		}
+		size := c.pred.Size(rel)
+		if size <= 0 || c.used+size > c.budget {
+			continue
+		}
+		c.insert(rel, size, true)
+		c.Prefetches++
+		c.FetchBytes += size
+	}
+}
+
+func (c *Cache) insert(id simfs.FileID, size int64, prefetched bool) {
+	for c.used+size > c.budget && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		item := back.Value.(*cacheItem)
+		c.used -= item.size
+		delete(c.items, item.id)
+		c.lru.Remove(back)
+	}
+	if c.used+size > c.budget {
+		return // page larger than the whole cache
+	}
+	c.items[id] = c.lru.PushFront(&cacheItem{id: id, size: size, prefetched: prefetched})
+	c.used += size
+}

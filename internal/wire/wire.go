@@ -1,0 +1,150 @@
+// Package wire provides the small binary encoding layer used to persist
+// SEER's correlator database (paper §5.3 notes that storing the
+// database on disk "would be relatively simple"; this is that code).
+//
+// The format is little-endian with varint integers and length-prefixed
+// strings. Writers and readers carry sticky errors so call sites stay
+// linear.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer serializes values.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush completes the stream.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// U64 writes an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.bw.Write(buf[:n])
+}
+
+// I64 writes a signed varint (zig-zag).
+func (w *Writer) I64(v int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, w.err = w.bw.Write(buf[:n])
+}
+
+// Int writes an int as a signed varint.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes a float64 as its IEEE bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool writes a boolean byte.
+func (w *Writer) Bool(v bool) {
+	var b uint64
+	if v {
+		b = 1
+	}
+	w.U64(b)
+}
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U64(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.bw.WriteString(s)
+}
+
+// Reader deserializes values written by Writer.
+type Reader struct {
+	br  *bufio.Reader
+	err error
+	// MaxString bounds string allocations against corrupt input.
+	MaxString uint64
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r), MaxString: 1 << 20}
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		r.err = err
+	}
+	return v
+}
+
+// I64 reads a signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.br)
+	if err != nil {
+		r.err = err
+	}
+	return v
+}
+
+// Int reads an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U64() != 0 }
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.U64()
+	if r.err != nil {
+		return ""
+	}
+	if n > r.MaxString {
+		r.err = fmt.Errorf("wire: string length %d exceeds limit %d", n, r.MaxString)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(buf)
+}

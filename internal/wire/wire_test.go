@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.I64(-1)
+	w.I64(math.MinInt64)
+	w.Int(42)
+	w.F64(3.14159)
+	w.F64(math.Inf(-1))
+	w.Bool(true)
+	w.Bool(false)
+	w.Str("")
+	w.Str("héllo wörld")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if r.U64() != 0 || r.U64() != math.MaxUint64 {
+		t.Error("u64")
+	}
+	if r.I64() != -1 || r.I64() != math.MinInt64 {
+		t.Error("i64")
+	}
+	if r.Int() != 42 {
+		t.Error("int")
+	}
+	if r.F64() != 3.14159 || !math.IsInf(r.F64(), -1) {
+		t.Error("f64")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool")
+	}
+	if r.Str() != "" || r.Str() != "héllo wörld" {
+		t.Error("str")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	// Reading past the end yields an error.
+	r.U64()
+	if r.Err() == nil {
+		t.Error("no error past end")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, fl float64, b bool, s string) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.U64(u)
+		w.I64(i)
+		w.F64(fl)
+		w.Bool(b)
+		w.Str(s)
+		if w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		gotU, gotI, gotF, gotB, gotS := r.U64(), r.I64(), r.F64(), r.Bool(), r.Str()
+		if r.Err() != nil {
+			return false
+		}
+		sameF := gotF == fl || (math.IsNaN(gotF) && math.IsNaN(fl))
+		return gotU == u && gotI == i && sameF && gotB == b && gotS == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1 << 30) // claims a gigabyte-long string
+	w.Flush()
+	r := NewReader(&buf)
+	r.Str()
+	if r.Err() == nil {
+		t.Error("oversized string accepted")
+	}
+}
+
+func TestStickyWriteError(t *testing.T) {
+	w := NewWriter(failingWriter{})
+	for i := 0; i < 100000; i++ {
+		w.U64(uint64(i))
+	}
+	if w.Flush() == nil {
+		t.Fatal("no error from failing writer")
+	}
+	w.Str("after error")
+	if w.Err() == nil {
+		t.Error("error not sticky")
+	}
+}
+
+func TestStickyReadError(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	r.U64()
+	if r.Err() == nil {
+		t.Fatal("no error on empty input")
+	}
+	if r.Str() != "" || r.Bool() || r.F64() != 0 || r.Int() != 0 {
+		t.Error("reads after error not zero")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

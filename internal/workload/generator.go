@@ -1,0 +1,692 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/fmg/seer/internal/investigate"
+	"github.com/fmg/seer/internal/stats"
+	"github.com/fmg/seer/internal/trace"
+)
+
+// Span is a time interval.
+type Span struct {
+	Start, End time.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Contains reports whether t lies in [Start, End).
+func (s Span) Contains(t time.Time) bool {
+	return !t.Before(s.Start) && t.Before(s.End)
+}
+
+// Trace is a generated workload: the event stream plus the ground-truth
+// disconnection schedule.
+type Trace struct {
+	Events         []trace.Event
+	Disconnections []Span
+	Start, End     time.Time
+}
+
+// Role classifies a file for severity modelling: when a hoard miss
+// occurs, the impact depends on what kind of file was missing (§4.4).
+type Role uint8
+
+// The file roles.
+const (
+	RoleOther Role = iota
+	// RoleMain is a project's primary source file — missing it changes
+	// the task (severity 1).
+	RoleMain
+	// RoleSource is project source — activity within the task changes
+	// (severity 2).
+	RoleSource
+	// RoleHeader is a header or auxiliary build input (severity 2–3).
+	RoleHeader
+	// RoleDoc is an informational file (severity 3).
+	RoleDoc
+	// RoleData is bulk project data (severity 3–4).
+	RoleData
+	// RoleObject is a derived file, regenerable (severity 4).
+	RoleObject
+	// RoleSystem is a tool or library.
+	RoleSystem
+	// RoleArchive is stale bulk data (old tarballs, datasets) that is
+	// rarely touched but keeps the disk full — the paper's observation
+	// that "only a small fraction of all files are actually needed by
+	// the user on any given day" (§5.2.1).
+	RoleArchive
+)
+
+// SizeMultiplier returns the factor applied to the base geometric file
+// size (mean ≈ 14 KB, paper §5.1.2) for each role, reflecting that
+// documents, datasets and libraries are larger than sources.
+func (r Role) SizeMultiplier() float64 {
+	switch r {
+	case RoleHeader:
+		return 0.5
+	case RoleDoc:
+		return 4
+	case RoleData:
+		return 20
+	case RoleObject:
+		return 2
+	case RoleSystem:
+		return 40
+	case RoleArchive:
+		return 150
+	default:
+		return 1
+	}
+}
+
+// project is the generator's ground truth for one project.
+type project struct {
+	name    string
+	dir     string
+	mkfile  string
+	sources []string
+	headers []string
+	docs    []string
+	data    []string
+	binary  string
+	// includes maps each source to the headers it #includes.
+	includes map[string][]string
+}
+
+func (p *project) object(src int) string {
+	return fmt.Sprintf("%s/src%02d.o", p.dir, src)
+}
+
+// allFiles returns every pathname belonging to the project.
+func (p *project) allFiles() []string {
+	out := []string{p.mkfile}
+	out = append(out, p.sources...)
+	out = append(out, p.headers...)
+	out = append(out, p.docs...)
+	out = append(out, p.data...)
+	return out
+}
+
+// Generator produces a Trace from a Profile. Construction is cheap;
+// Generate does the work. A Generator is single-use.
+type Generator struct {
+	prof Profile
+	rng  *stats.Rand
+	zipf *stats.Zipf
+
+	clock *trace.Clock
+
+	projects []*project
+	libs     []string
+	sysHdrs  []string
+	tools    map[string]string
+	dotfiles []string
+	mailbox  string
+	mailDir  string
+	archive  []string
+	support  []string
+
+	// transitions is the time-sorted connectivity schedule awaiting
+	// interleaving into the event stream.
+	transitions []trace.Event
+	nextTrans   int
+
+	events     []trace.Event
+	discs      []Span
+	curProject int
+	nextPID    trace.PID
+	mailPID    trace.PID
+
+	dirSizes map[string]int
+	roles    map[string]Role
+	// linked tracks which projects have had their ~/bin symlink created.
+	linked map[string]bool
+}
+
+// NewGenerator returns a generator for the profile with deterministic
+// randomness from seed.
+func NewGenerator(prof Profile, seed int64) *Generator {
+	g := &Generator{
+		prof:     prof,
+		rng:      stats.NewRand(seed),
+		zipf:     stats.NewZipf(maxInt(prof.Projects, 1), prof.ZipfS),
+		nextPID:  100,
+		dirSizes: make(map[string]int),
+		roles:    make(map[string]Role),
+		tools:    make(map[string]string),
+		linked:   make(map[string]bool),
+	}
+	g.setup()
+	return g
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// home is the simulated user's home directory.
+const home = "/home/u"
+
+func (g *Generator) setup() {
+	// System tools and shared libraries.
+	for _, t := range []string{"sh", "emacs", "make", "cc", "ld", "find", "mail", "ls"} {
+		g.tools[t] = "/usr/bin/" + t
+		g.roles["/usr/bin/"+t] = RoleSystem
+	}
+	g.libs = []string{"/lib/libc.so.5", "/lib/libm.so.5", "/usr/lib/libcurses.so"}
+	for _, l := range g.libs {
+		g.roles[l] = RoleSystem
+	}
+	// Editor support files, loaded at every editor startup: like shared
+	// libraries they are referenced by every session and end up in the
+	// frequently-referenced set, where they both stay hoarded and act as
+	// the natural separation between one session's references and the
+	// next's (§4.2).
+	for i := 0; i < 12; i++ {
+		p := fmt.Sprintf("/usr/share/emacs/lisp/lisp%02d.el", i)
+		g.support = append(g.support, p)
+		g.roles[p] = RoleHeader // small text files
+	}
+	g.sysHdrs = []string{"/usr/include/stdio.h", "/usr/include/stdlib.h", "/usr/include/string.h"}
+	for _, h := range g.sysHdrs {
+		g.roles[h] = RoleHeader
+	}
+	g.dotfiles = []string{home + "/.profile", home + "/.exrc", home + "/.mailrc"}
+	g.mailbox = "/var/spool/mail/u"
+	g.mailDir = home + "/Mail"
+	g.roles[g.mailbox] = RoleOther
+
+	// Stale bulk data: old tarballs and datasets that keep the disk
+	// fuller than any reasonable hoard budget.
+	for i := 0; i < 24; i++ {
+		p := fmt.Sprintf("%s/archive/old%02d.tar", home, i)
+		g.archive = append(g.archive, p)
+		g.roles[p] = RoleArchive
+	}
+	g.dirSizes[home+"/archive"] = len(g.archive)
+
+	// Projects.
+	for i := 0; i < g.prof.Projects; i++ {
+		g.projects = append(g.projects, g.makeProject(i))
+	}
+	// Directory fan-outs for the meaningless-process heuristic.
+	g.dirSizes[home] = len(g.projects) + 5
+	g.dirSizes["/usr/bin"] = 40
+	g.dirSizes[g.mailDir] = 12
+}
+
+func (g *Generator) makeProject(i int) *project {
+	n := g.prof.FilesPerProject
+	n = n/2 + g.rng.Intn(maxInt(n, 1)) // n/2 .. 3n/2
+	if n < 6 {
+		n = 6
+	}
+	p := &project{
+		name:     fmt.Sprintf("proj%02d", i),
+		dir:      fmt.Sprintf("%s/proj%02d", home, i),
+		includes: make(map[string][]string),
+	}
+	p.mkfile = p.dir + "/Makefile"
+	nSrc := maxInt(n*2/5, 2)
+	nHdr := maxInt(n/4, 1)
+	nDoc := maxInt(n/5, 1)
+	nDat := maxInt(n-nSrc-nHdr-nDoc, 0)
+	for s := 0; s < nSrc; s++ {
+		path := fmt.Sprintf("%s/src%02d.c", p.dir, s)
+		p.sources = append(p.sources, path)
+		if s == 0 {
+			g.roles[path] = RoleMain
+		} else {
+			g.roles[path] = RoleSource
+		}
+	}
+	for h := 0; h < nHdr; h++ {
+		path := fmt.Sprintf("%s/hdr%02d.h", p.dir, h)
+		p.headers = append(p.headers, path)
+		g.roles[path] = RoleHeader
+	}
+	for d := 0; d < nDoc; d++ {
+		path := fmt.Sprintf("%s/doc%02d.txt", p.dir, d)
+		p.docs = append(p.docs, path)
+		g.roles[path] = RoleDoc
+	}
+	for d := 0; d < nDat; d++ {
+		path := fmt.Sprintf("%s/data%02d.dat", p.dir, d)
+		p.data = append(p.data, path)
+		g.roles[path] = RoleData
+	}
+	p.binary = p.dir + "/prog"
+	g.roles[p.binary] = RoleObject
+	for s, src := range p.sources {
+		incs := []string{p.headers[s%nHdr]}
+		if nHdr > 1 {
+			incs = append(incs, p.headers[(s+1)%nHdr])
+		}
+		incs = append(incs, g.sysHdrs[s%len(g.sysHdrs)])
+		p.includes[src] = incs
+		g.roles[p.object(s)] = RoleObject
+	}
+	// Objects count toward the directory listing too.
+	g.dirSizes[p.dir] = len(p.allFiles()) + nSrc + 1
+	return p
+}
+
+// DirSize reports the fan-out of a directory; it is the generator-side
+// implementation of the observer's DirSizer.
+func (g *Generator) DirSize(path string) int {
+	if n, ok := g.dirSizes[path]; ok {
+		return n
+	}
+	return 8
+}
+
+// FileRole reports the ground-truth role of a pathname.
+func (g *Generator) FileRole(path string) Role {
+	if r, ok := g.roles[path]; ok {
+		return r
+	}
+	return RoleOther
+}
+
+// InvestigatorRelations returns the C-include relations an external
+// investigator would extract from the project sources (paper §3.2): one
+// relation per source file linking it to its headers.
+func (g *Generator) InvestigatorRelations(strength float64) []investigate.Relation {
+	var rels []investigate.Relation
+	for _, p := range g.projects {
+		for _, src := range p.sources {
+			rels = append(rels, investigate.Relation{
+				Files:    append([]string{src}, p.includes[src]...),
+				Strength: strength,
+			})
+		}
+		// The makefile investigator's whole-project relation.
+		group := append([]string{p.mkfile}, p.sources...)
+		group = append(group, p.binary)
+		rels = append(rels, investigate.Relation{Files: group, Strength: strength})
+	}
+	return rels
+}
+
+// Projects returns each project's file list (ground truth for tests).
+func (g *Generator) Projects() [][]string {
+	out := make([][]string, len(g.projects))
+	for i, p := range g.projects {
+		out[i] = p.allFiles()
+	}
+	return out
+}
+
+// Generate produces the full trace for the profile's measured period.
+func (g *Generator) Generate() *Trace {
+	start := time.Date(1997, 1, 6, 8, 0, 0, 0, time.UTC)
+	g.clock = trace.NewClock(start)
+	g.scheduleDisconnections(start)
+
+	for day := 0; day < g.prof.DaysMeasured; day++ {
+		dayStart := start.AddDate(0, 0, day)
+		g.generateDay(day, dayStart)
+	}
+	// Flush any connectivity transitions after the last activity.
+	g.flushTransitions(g.clock.Now().Add(365 * 24 * time.Hour))
+	return &Trace{
+		Events:         g.events,
+		Disconnections: g.discs,
+		Start:          start,
+		End:            g.clock.Now(),
+	}
+}
+
+// scheduleDisconnections draws the profile's disconnection periods from
+// a log-normal calibrated to the Table 3 mean and median, clamped to
+// [15 min, max], and spreads them over the measured period without
+// overlap.
+func (g *Generator) scheduleDisconnections(start time.Time) {
+	mu, sigma := stats.LogNormalFromMeanMedian(g.prof.MeanDiscHours, g.prof.MedianDiscHours)
+	total := time.Duration(g.prof.DaysMeasured) * 24 * time.Hour
+	starts := make([]time.Duration, g.prof.Disconnections)
+	for i := range starts {
+		starts[i] = time.Duration(g.rng.Float64() * float64(total))
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	var prevEnd time.Time
+	for _, off := range starts {
+		hours := g.rng.LogNormal(mu, sigma)
+		if hours < 0.25 {
+			hours = 0.25
+		}
+		if hours > g.prof.MaxDiscHours {
+			hours = g.prof.MaxDiscHours
+		}
+		s := start.Add(off)
+		if s.Before(prevEnd.Add(15 * time.Minute)) {
+			s = prevEnd.Add(15 * time.Minute)
+		}
+		e := s.Add(Hours(hours))
+		g.discs = append(g.discs, Span{Start: s, End: e})
+		prevEnd = e
+	}
+	for _, d := range g.discs {
+		g.transitions = append(g.transitions,
+			trace.Event{Time: d.Start, Op: trace.OpDisconnect},
+			trace.Event{Time: d.End, Op: trace.OpReconnect})
+	}
+	sort.Slice(g.transitions, func(i, j int) bool {
+		return g.transitions[i].Time.Before(g.transitions[j].Time)
+	})
+}
+
+// flushTransitions emits connectivity markers scheduled at or before t.
+func (g *Generator) flushTransitions(t time.Time) {
+	for g.nextTrans < len(g.transitions) && !g.transitions[g.nextTrans].Time.After(t) {
+		ev := g.transitions[g.nextTrans]
+		g.nextTrans++
+		g.append(ev)
+	}
+}
+
+func (g *Generator) append(ev trace.Event) {
+	ev.Seq = uint64(len(g.events) + 1)
+	g.events = append(g.events, ev)
+}
+
+// emit stamps and appends one activity event at the current clock.
+func (g *Generator) emit(op trace.Op, pid trace.PID, path string) {
+	g.emitFull(trace.Event{Op: op, PID: pid, Path: path, Uid: 1000})
+}
+
+func (g *Generator) emitFull(ev trace.Event) {
+	g.flushTransitions(g.clock.Now())
+	ev.Time = g.clock.Now()
+	g.append(ev)
+	// Each call advances simulated time slightly (traced operations are
+	// not instantaneous).
+	g.clock.Advance(time.Duration(20+g.rng.Intn(200)) * time.Millisecond)
+}
+
+// step advances simulated time.
+func (g *Generator) step(d time.Duration) { g.clock.Advance(d) }
+
+// spawn forks a child of the shell and execs the tool, returning its pid.
+func (g *Generator) spawn(tool string) trace.PID {
+	g.nextPID++
+	pid := g.nextPID
+	g.emitFull(trace.Event{Op: trace.OpFork, PID: pid, PPID: 50, Uid: 1000})
+	g.emitFull(trace.Event{Op: trace.OpExec, PID: pid, Path: g.tools[tool], Prog: tool, Uid: 1000})
+	// Program startup maps the shared libraries (§4.2).
+	for _, l := range g.libs {
+		g.emit(trace.OpOpen, pid, l)
+		g.emit(trace.OpClose, pid, l)
+	}
+	// The editor additionally loads its support files on every start.
+	if tool == "emacs" {
+		for _, sf := range g.support {
+			g.emit(trace.OpOpen, pid, sf)
+			g.emit(trace.OpClose, pid, sf)
+		}
+	}
+	return pid
+}
+
+func (g *Generator) exitProc(pid trace.PID) {
+	g.emitFull(trace.Event{Op: trace.OpExit, PID: pid, Uid: 1000})
+}
+
+func (g *Generator) generateDay(day int, dayStart time.Time) {
+	if g.clock.Now().Before(dayStart) {
+		g.clock.Advance(dayStart.Sub(g.clock.Now()))
+	}
+	if g.rng.Bool(g.prof.IdleDayProb) && day != 0 {
+		return // machine suspended all day
+	}
+	g.emitFull(trace.Event{Op: trace.OpResume, Uid: 1000})
+	// Login file activity on the first day and after occasional reboots
+	// (§4.3: critical files are rarely referenced).
+	if day == 0 || g.rng.Bool(0.05) {
+		for _, df := range g.dotfiles {
+			g.emit(trace.OpOpen, 50, df)
+			g.emit(trace.OpClose, 50, df)
+		}
+	}
+	sessions := int(g.prof.SessionsPerDay*(0.5+g.rng.Float64()) + 0.5)
+	if sessions < 1 {
+		sessions = 1
+	}
+	activeSpan := Hours(g.prof.ActiveHoursPerDay * (0.7 + 0.6*g.rng.Float64()))
+	gap := activeSpan / time.Duration(sessions+1)
+	for s := 0; s < sessions; s++ {
+		g.pickProject()
+		switch {
+		case g.rng.Bool(g.prof.FindScansPerDay / g.prof.SessionsPerDay):
+			g.findScan()
+		case g.rng.Bool(g.prof.MailSessionsPerDay / g.prof.SessionsPerDay):
+			g.mailSession()
+		case g.rng.Bool(0.03):
+			g.archiveSession()
+		default:
+			g.editSession()
+			if g.rng.Bool(g.prof.CompileProb) {
+				g.compileSession()
+			}
+		}
+		g.step(time.Duration(g.rng.Float64() * float64(gap)))
+	}
+	g.emitFull(trace.Event{Op: trace.OpSuspend, Uid: 1000})
+}
+
+// pickProject applies the attention-shift model: usually stay on the
+// current project, sometimes shift to a Zipf-drawn one.
+func (g *Generator) pickProject() {
+	if len(g.projects) == 0 {
+		return
+	}
+	if g.rng.Bool(g.prof.AttentionShiftProb) || g.curProject >= len(g.projects) {
+		g.curProject = g.zipf.Sample(g.rng)
+	}
+}
+
+// editSession simulates browsing and editing project files in an editor.
+func (g *Generator) editSession() {
+	p := g.projects[g.curProject]
+	pid := g.spawn("emacs")
+	// Filename completion reads the project directory (§4.1: editors
+	// read directories but stay meaningful).
+	g.emit(trace.OpReadDir, pid, p.dir)
+	main := p.sources[g.rng.Intn(len(p.sources))]
+	g.emit(trace.OpOpen, pid, main)
+	pool := p.allFiles()
+	touch := int(g.prof.BrowseFraction * float64(len(pool)))
+	for i := 0; i < touch; i++ {
+		f := pool[g.rng.Intn(len(pool))]
+		if f == main {
+			continue
+		}
+		if g.rng.Bool(0.2) {
+			// Examine attributes first (often folded into the open).
+			g.emit(trace.OpStat, pid, f)
+		}
+		g.emit(trace.OpOpen, pid, f)
+		g.step(time.Duration(g.rng.Intn(30)) * time.Second)
+		g.emit(trace.OpClose, pid, f)
+		// Concurrent mail stream: the user glances at mail while the
+		// editor is open (§4.7).
+		if g.rng.Bool(0.05) {
+			g.mailGlance()
+		}
+	}
+	// Save the file in place.
+	g.emit(trace.OpClose, pid, main)
+	g.exitProc(pid)
+}
+
+// compileSession simulates make driving cc over the project.
+func (g *Generator) compileSession() {
+	p := g.projects[g.curProject]
+	makePID := g.spawn("make")
+	g.emit(trace.OpOpen, makePID, p.mkfile)
+	// make stats every target and prerequisite (§4.8: attribute
+	// examinations with semantic meaning).
+	for i, src := range p.sources {
+		g.emit(trace.OpStat, makePID, src)
+		g.emit(trace.OpStat, makePID, p.object(i))
+	}
+	rebuild := 1 + g.rng.Intn(len(p.sources))
+	for i := 0; i < rebuild; i++ {
+		src := i
+		ccPID := g.nextPID + 1
+		g.nextPID++
+		g.emitFull(trace.Event{Op: trace.OpFork, PID: ccPID, PPID: makePID, Uid: 1000})
+		g.emitFull(trace.Event{Op: trace.OpExec, PID: ccPID, Path: g.tools["cc"], Prog: "cc", Uid: 1000})
+		for _, l := range g.libs[:1] {
+			g.emit(trace.OpOpen, ccPID, l)
+			g.emit(trace.OpClose, ccPID, l)
+		}
+		// The source stays open while its headers are read — the
+		// motivating example for lifetime semantic distance (§3.1.1).
+		g.emit(trace.OpOpen, ccPID, p.sources[src])
+		tmp := fmt.Sprintf("/tmp/cc%05d.i", int(ccPID))
+		g.emit(trace.OpCreate, ccPID, tmp)
+		for _, h := range p.includes[p.sources[src]] {
+			g.emit(trace.OpOpen, ccPID, h)
+			g.emit(trace.OpClose, ccPID, h)
+		}
+		// Standard headers are pulled in by every compilation of every
+		// project; like the shared libraries they must end up filtered
+		// by the frequent-file heuristic or they would eventually link
+		// all projects into one cluster (§4.2).
+		for _, h := range g.sysHdrs {
+			g.emit(trace.OpOpen, ccPID, h)
+			g.emit(trace.OpClose, ccPID, h)
+		}
+		g.emit(trace.OpCreate, ccPID, p.object(src))
+		g.emit(trace.OpClose, ccPID, p.object(src))
+		g.emit(trace.OpClose, ccPID, p.sources[src])
+		g.emit(trace.OpDelete, ccPID, tmp)
+		g.exitProc(ccPID)
+		if g.rng.Bool(0.1) {
+			g.mailGlance()
+		}
+	}
+	// Link: ld reads every object and produces the binary via a
+	// temporary that is renamed into place (§4.8: renames matter).
+	ldPID := g.spawn("ld")
+	for i := range p.sources {
+		g.emit(trace.OpOpen, ldPID, p.object(i))
+	}
+	tmpBin := p.dir + "/prog.tmp"
+	g.emit(trace.OpCreate, ldPID, tmpBin)
+	g.emit(trace.OpClose, ldPID, tmpBin)
+	for i := range p.sources {
+		g.emit(trace.OpClose, ldPID, p.object(i))
+	}
+	g.emitFull(trace.Event{Op: trace.OpRename, PID: ldPID, Path: tmpBin, Path2: p.binary, Uid: 1000})
+	// The first successful build installs a convenience symlink in the
+	// user's bin directory — a non-file object SEER always hoards (§4.6).
+	if !g.linked[p.name] {
+		g.linked[p.name] = true
+		g.emitFull(trace.Event{
+			Op: trace.OpSymlink, PID: ldPID,
+			Path: home + "/bin/" + p.name, Path2: p.binary, Uid: 1000,
+		})
+	}
+	g.exitProc(ldPID)
+	g.emit(trace.OpClose, makePID, p.mkfile)
+	g.exitProc(makePID)
+}
+
+// mailGlance emits a couple of events from the long-running mail reader,
+// interleaved with whatever else is happening.
+func (g *Generator) mailGlance() {
+	if g.mailPID == 0 {
+		g.mailPID = g.spawn("mail")
+		g.emit(trace.OpOpen, g.mailPID, g.mailbox)
+	}
+	g.emit(trace.OpOpen, g.mailPID, fmt.Sprintf("%s/msg%03d", g.mailDir, g.rng.Intn(200)))
+	g.emit(trace.OpClose, g.mailPID, fmt.Sprintf("%s/msg%03d", g.mailDir, g.rng.Intn(200)))
+}
+
+// mailSession is a dedicated mail-reading period.
+func (g *Generator) mailSession() {
+	pid := g.spawn("mail")
+	g.emit(trace.OpReadDir, pid, g.mailDir)
+	g.emit(trace.OpOpen, pid, g.mailbox)
+	n := 3 + g.rng.Intn(8)
+	for i := 0; i < n; i++ {
+		msg := fmt.Sprintf("%s/msg%03d", g.mailDir, g.rng.Intn(200))
+		g.emit(trace.OpOpen, pid, msg)
+		g.step(time.Duration(g.rng.Intn(60)) * time.Second)
+		g.emit(trace.OpClose, pid, msg)
+	}
+	g.emit(trace.OpClose, pid, g.mailbox)
+	g.exitProc(pid)
+}
+
+// archiveSession is a rare dip into stale bulk data (checking an old
+// tarball, grepping an old dataset).
+func (g *Generator) archiveSession() {
+	pid := g.spawn("ls")
+	g.emit(trace.OpReadDir, pid, home+"/archive")
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		f := g.archive[g.rng.Intn(len(g.archive))]
+		g.emit(trace.OpOpen, pid, f)
+		g.step(time.Duration(g.rng.Intn(120)) * time.Second)
+		g.emit(trace.OpClose, pid, f)
+	}
+	g.exitProc(pid)
+}
+
+// findScan sweeps the whole home tree, touching every file — the
+// meaningless activity of §4.1 that destroys LRU history.
+func (g *Generator) findScan() {
+	pid := g.spawn("find")
+	g.emit(trace.OpReadDir, pid, home)
+	for _, p := range g.projects {
+		g.emit(trace.OpReadDir, pid, p.dir)
+		for _, f := range p.allFiles() {
+			g.emit(trace.OpStat, pid, f)
+		}
+		for i := range p.sources {
+			g.emit(trace.OpStat, pid, p.object(i))
+		}
+	}
+	g.emit(trace.OpReadDir, pid, home+"/archive")
+	for _, f := range g.archive {
+		g.emit(trace.OpStat, pid, f)
+	}
+	g.exitProc(pid)
+}
+
+// GroundFiles returns every pathname the generator can ever reference,
+// so the simulator can pre-create them with role-appropriate sizes.
+func (g *Generator) GroundFiles() []string {
+	var out []string
+	for _, t := range g.tools {
+		out = append(out, t)
+	}
+	out = append(out, g.libs...)
+	out = append(out, g.support...)
+	out = append(out, g.sysHdrs...)
+	out = append(out, g.dotfiles...)
+	out = append(out, g.mailbox)
+	for i := 0; i < 200; i++ {
+		out = append(out, fmt.Sprintf("%s/msg%03d", g.mailDir, i))
+	}
+	out = append(out, g.archive...)
+	for _, p := range g.projects {
+		out = append(out, p.allFiles()...)
+		for i := range p.sources {
+			out = append(out, p.object(i))
+		}
+		out = append(out, p.binary)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+package seer
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// feedProject emits an edit session over the given files in one process.
+func feedProject(s *Seer, pid PID, seq *uint64, base time.Time, files []string) {
+	emit := func(op Op, path string) {
+		*seq++
+		s.Observe(Event{
+			Seq: *seq, Time: base.Add(time.Duration(*seq) * time.Second),
+			PID: pid, Op: op, Path: path, Uid: 1000,
+		})
+	}
+	emit(OpOpen, files[0])
+	for _, f := range files[1:] {
+		emit(OpOpen, f)
+		emit(OpClose, f)
+	}
+	emit(OpClose, files[0])
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	s := New(WithSeed(7))
+	base := time.Unix(1_000_000, 0)
+	var seq uint64
+	alpha := []string{"/home/u/alpha/a.c", "/home/u/alpha/a.h", "/home/u/alpha/b.c", "/home/u/alpha/Makefile2"}
+	beta := []string{"/home/u/beta/x.c", "/home/u/beta/y.c", "/home/u/beta/z.h", "/home/u/beta/doc.txt"}
+	for i := 0; i < 6; i++ {
+		feedProject(s, 1, &seq, base, alpha)
+		feedProject(s, 2, &seq, base, beta)
+	}
+	if s.Events() == 0 || s.KnownFiles() < 8 {
+		t.Fatalf("events=%d known=%d", s.Events(), s.KnownFiles())
+	}
+	clusters := s.Clusters()
+	if len(clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	var alphaCluster *Cluster
+	for i := range clusters {
+		for _, f := range clusters[i].Files {
+			if f == alpha[0] {
+				alphaCluster = &clusters[i]
+			}
+		}
+	}
+	if alphaCluster == nil {
+		t.Fatal("alpha file not clustered")
+	}
+	found := 0
+	for _, f := range alphaCluster.Files {
+		if strings.HasPrefix(f, "/home/u/alpha/") {
+			found++
+		}
+		if strings.HasPrefix(f, "/home/u/beta/") {
+			t.Errorf("beta file %s in alpha's cluster", f)
+		}
+	}
+	if found < len(alpha) {
+		t.Errorf("alpha cluster holds %d alpha files, want %d", found, len(alpha))
+	}
+
+	plan := s.HoardPlan()
+	if len(plan) < 8 {
+		t.Fatalf("plan entries = %d", len(plan))
+	}
+	var cum int64
+	for _, e := range plan {
+		cum += e.Size
+		if e.Cum != cum {
+			t.Fatalf("cumulative size mismatch at %s", e.Path)
+		}
+		if e.Reason == "" {
+			t.Fatalf("entry without reason: %+v", e)
+		}
+	}
+
+	hoarded := s.Hoard(plan[len(plan)-1].Cum)
+	if len(hoarded) != len(plan) {
+		t.Errorf("full-budget hoard = %d files, want %d", len(hoarded), len(plan))
+	}
+	if got := s.Hoard(0); len(got) != 0 {
+		t.Errorf("zero-budget hoard = %v", got)
+	}
+}
+
+func TestObserveStrace(t *testing.T) {
+	s := New(WithSeed(1))
+	src := `100 execve("/usr/bin/cc", ["cc"], ...) = 0
+100 openat(AT_FDCWD, "/home/u/p/main.c", O_RDONLY) = 3
+100 openat(AT_FDCWD, "/home/u/p/defs.h", O_RDONLY) = 4
+100 close(4) = 0
+100 close(3) = 0
+100 exit_group(0) = ?
+`
+	if err := s.ObserveStrace(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	if s.KnownFiles() < 3 {
+		t.Errorf("known files = %d", s.KnownFiles())
+	}
+	plan := s.HoardPlan()
+	var sawMain bool
+	for _, e := range plan {
+		if e.Path == "/home/u/p/main.c" {
+			sawMain = true
+		}
+	}
+	if !sawMain {
+		t.Error("strace-observed file missing from plan")
+	}
+}
+
+func TestInvestigators(t *testing.T) {
+	s := New(WithSeed(1))
+	s.InvestigateC(map[string][]byte{
+		"/p/a.c": []byte("#include \"shared.h\"\n"),
+		"/p/b.c": []byte("#include \"shared.h\"\n"),
+	}, nil, 50)
+	s.InvestigateMakefile("/p/Makefile", []byte("prog: a.o b.o\n\tcc -o prog\n"), 50)
+	clusters := s.Clusters()
+	var together bool
+	for _, c := range clusters {
+		hasA, hasB := false, false
+		for _, f := range c.Files {
+			if f == "/p/a.c" {
+				hasA = true
+			}
+			if f == "/p/b.c" {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			together = true
+		}
+	}
+	if !together {
+		t.Error("investigated files not clustered together")
+	}
+}
+
+func TestSetFileSize(t *testing.T) {
+	s := New(WithSeed(1))
+	s.SetFileSize("/big/file", 12345)
+	var seq uint64
+	feedProject(s, 1, &seq, time.Unix(0, 0), []string{"/big/file", "/other"})
+	for _, e := range s.HoardPlan() {
+		if e.Path == "/big/file" && e.Size != 12345 {
+			t.Errorf("size = %d, want 12345", e.Size)
+		}
+	}
+}
+
+func TestOptions(t *testing.T) {
+	p := DefaultParams()
+	p.KNear = 7
+	ctl := DefaultControl()
+	s := New(WithParams(p), WithControl(ctl), WithSeed(3),
+		WithDirSize(func(string) int { return 5 }))
+	if s == nil {
+		t.Fatal("New returned nil")
+	}
+	if s.Events() != 0 {
+		t.Error("fresh Seer has events")
+	}
+}
