@@ -1,0 +1,27 @@
+# Development targets. `make check` is the gate for every change: it
+# vets, builds, and race-tests the whole tree (the daemon's concurrent
+# paths — HTTP handlers vs. the tailing goroutine — only misbehave
+# under the race detector).
+
+GO ?= go
+
+.PHONY: check vet build test test-race fuzz
+
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the snapshot loader; extend -fuzztime for a
+# deeper run.
+fuzz:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/core/

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/fmg/seer/internal/core"
+)
+
+// bakSuffix names the rotated previous snapshot kept beside the
+// primary: saveDB moves the last good snapshot there before renaming a
+// new one into place, so a corrupted primary never costs more than one
+// checkpoint interval of learning.
+const bakSuffix = ".bak"
+
+// restoreDB implements the startup recovery ladder: the primary
+// snapshot, then its .bak rotation, then a fresh database. Months of
+// accumulated semantic-distance state is the daemon's whole value, so a
+// truncated or bit-flipped snapshot is downgraded and logged — never a
+// fatal error.
+func restoreDB(path string, opts core.Options) *core.Correlator {
+	if path == "" {
+		return core.New(opts)
+	}
+	sawAny := false
+	for _, cand := range []string{path, path + bakSuffix} {
+		f, err := os.Open(cand)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "seerd: open %s: %v\n", cand, err)
+				sawAny = true
+			}
+			continue
+		}
+		sawAny = true
+		c, lerr := core.Load(f, opts)
+		f.Close()
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "seerd: snapshot %s unusable: %v\n", cand, lerr)
+			continue
+		}
+		if cand != path {
+			fmt.Fprintf(os.Stderr, "seerd: primary snapshot lost; recovered from backup %s\n", cand)
+		}
+		fmt.Fprintf(os.Stderr, "seerd: restored %d events, %d files from %s\n",
+			c.Events(), c.FS().Len(), cand)
+		return c
+	}
+	if sawAny {
+		fmt.Fprintf(os.Stderr, "seerd: no usable snapshot; starting with a fresh database\n")
+	}
+	return core.New(opts)
+}
+
+// saveDB checkpoints the correlator crash-safely under the daemon lock.
+func saveDB(d *daemon, path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return writeSnapshot(d.corr, path)
+}
+
+// writeSnapshot writes an fsync'd snapshot next to path and rotates it
+// into place: serialize to a temp file, fsync, move the previous
+// snapshot to .bak, rename the temp over path, and fsync the directory.
+// A crash at any step leaves a loadable snapshot at path or path.bak,
+// which is exactly the ladder restoreDB climbs.
+func writeSnapshot(c *core.Correlator, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+bakSuffix); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so completed renames survive power loss.
+// Best effort: some filesystems refuse directory fsync, and losing the
+// rename ordering there is no worse than the pre-fsync behaviour.
+func syncDir(dir string) {
+	df, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	df.Sync()
+	df.Close()
+}

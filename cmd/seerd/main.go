@@ -16,16 +16,24 @@
 // budget), /clusters, /stats, /miss?path=... (record a hoard miss and
 // force the file's project into future plans, §4.4). Without -listen,
 // seerd prints the hoard list once and exits.
+//
+// Durability: with -db, the database is restored at startup through a
+// recovery ladder (snapshot, then its .bak rotation, then a fresh
+// database — corruption is logged, never fatal), checkpointed
+// atomically with fsync while following, and checkpointed a final time
+// on SIGINT/SIGTERM before a graceful HTTP shutdown.
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/fmg/seer/internal/core"
@@ -60,43 +68,35 @@ func main() {
 	}
 
 	opts := core.Options{Seed: 1}
-	corr := core.New(opts)
-	if *dbPath != "" {
-		if f, err := os.Open(*dbPath); err == nil {
-			restored, err := core.Load(f, opts)
-			f.Close()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "seerd: load %s: %v\n", *dbPath, err)
-				os.Exit(1)
-			}
-			corr = restored
-			fmt.Fprintf(os.Stderr, "seerd: restored %d events, %d files from %s\n",
-				corr.Events(), corr.FS().Len(), *dbPath)
-		}
-	}
 	d := &daemon{
-		corr:   corr,
+		corr:   restoreDB(*dbPath, opts),
 		budget: *budgetMB << 20,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	parser := strace.NewParser()
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		if ev, ok := parser.ParseLine(sc.Text()); ok {
+	err := feedLines(in, maxLineLen, func(line string) {
+		if ev, ok := parser.ParseLine(line); ok {
 			d.mu.Lock()
 			d.corr.Feed(ev)
 			d.mu.Unlock()
 		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "seerd: read: %v\n", err)
-		os.Exit(1)
+	})
+	if err != nil {
+		// A bad input stream costs the unread tail, not the accumulated
+		// database: keep going with what was learned.
+		fmt.Fprintf(os.Stderr, "seerd: read: %v (continuing with %d events)\n",
+			err, d.corr.Events())
 	}
 
 	if *dbPath != "" {
 		if err := saveDB(d, *dbPath); err != nil {
 			fmt.Fprintf(os.Stderr, "seerd: save %s: %v\n", *dbPath, err)
-			os.Exit(1)
+			if *listen == "" {
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -105,7 +105,7 @@ func main() {
 		return
 	}
 	if *follow && *stracePath != "-" {
-		go d.followFile(*stracePath, *dbPath)
+		go d.followFile(ctx, *stracePath, *dbPath)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/plan", d.handlePlan)
@@ -113,75 +113,36 @@ func main() {
 	mux.HandleFunc("/clusters", d.handleClusters)
 	mux.HandleFunc("/stats", d.handleStats)
 	mux.HandleFunc("/miss", d.handleMiss)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "seerd: signal received, shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
 	fmt.Fprintf(os.Stderr, "seerd: %d events observed, serving on %s\n",
 		d.corr.Events(), *listen)
-	if err := http.ListenAndServe(*listen, mux); err != nil {
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// followFile tails the strace file for appended lines, feeding them to
-// the correlator as they arrive (and checkpointing the database every
-// few minutes when one is configured).
-func (d *daemon) followFile(path, dbPath string) {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "seerd: follow: %v\n", err)
-		return
-	}
-	defer f.Close()
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		fmt.Fprintf(os.Stderr, "seerd: follow: %v\n", err)
-		return
-	}
-	parser := strace.NewParser()
-	rd := bufio.NewReader(f)
-	lastSave := time.Now()
-	var partial string
-	for {
-		line, err := rd.ReadString('\n')
-		if err != nil {
-			// At EOF: stash any partial line and poll for growth.
-			partial += line
-			time.Sleep(time.Second)
-			continue
+	// Graceful exit: one final checkpoint so nothing learned since the
+	// last periodic save is lost.
+	if *dbPath != "" {
+		if err := saveDB(d, *dbPath); err != nil {
+			fmt.Fprintf(os.Stderr, "seerd: final checkpoint: %v\n", err)
+			os.Exit(1)
 		}
-		line = partial + line
-		partial = ""
-		if ev, ok := parser.ParseLine(line); ok {
-			d.mu.Lock()
-			d.corr.Feed(ev)
-			d.mu.Unlock()
-		}
-		if dbPath != "" && time.Since(lastSave) > 5*time.Minute {
-			lastSave = time.Now()
-			if err := saveDB(d, dbPath); err != nil {
-				fmt.Fprintf(os.Stderr, "seerd: checkpoint: %v\n", err)
-			}
-		}
+		fmt.Fprintf(os.Stderr, "seerd: final checkpoint saved to %s\n", *dbPath)
 	}
-}
-
-// saveDB checkpoints the correlator atomically (write + rename).
-func saveDB(d *daemon, path string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := d.corr.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 func (d *daemon) printHoard(w io.Writer) {

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/trace"
+)
+
+func TestFeedLinesDeliversAll(t *testing.T) {
+	var got []string
+	err := feedLines(strings.NewReader("a\nbb\nccc"), 100, func(s string) {
+		got = append(got, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "bb", "ccc"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFeedLinesSkipsOversized(t *testing.T) {
+	// An oversized line between two normal ones is skipped, not fatal —
+	// the bufio.Scanner this replaced died with ErrTooLong here.
+	huge := strings.Repeat("x", 300)
+	in := "before\n" + huge + "\nafter\n"
+	var got []string
+	if err := feedLines(strings.NewReader(in), 100, func(s string) {
+		got = append(got, s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Fatalf("got %v, want [before after]", got)
+	}
+}
+
+func TestFeedLinesSkipsOversizedTail(t *testing.T) {
+	huge := strings.Repeat("x", 300)
+	var got []string
+	if err := feedLines(strings.NewReader("ok\n"+huge), 100, func(s string) {
+		got = append(got, s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "ok" {
+		t.Fatalf("got %v, want [ok]", got)
+	}
+}
+
+// seededCorrelator returns a correlator with a few learned events.
+func seededCorrelator(opts core.Options) *core.Correlator {
+	c := core.New(opts)
+	clk := trace.NewClock(time.Unix(1_000_000, 0))
+	for i := 0; i < 6; i++ {
+		path := "/home/u/a.c"
+		if i%2 == 1 {
+			path = "/home/u/b.h"
+		}
+		c.Feed(clk.Stamp(trace.Event{PID: 9, Op: trace.OpOpen, Path: path, Uid: 1000}))
+		c.Feed(clk.Stamp(trace.Event{PID: 9, Op: trace.OpClose, Path: path, Uid: 1000}))
+	}
+	return c
+}
+
+func TestSnapshotRotationAndRecoveryLadder(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "seer.db")
+	opts := core.Options{Seed: 1}
+	c := seededCorrelator(opts)
+
+	// First checkpoint: primary only.
+	if err := writeSnapshot(c, db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(db + bakSuffix); !os.IsNotExist(err) {
+		t.Fatal("backup exists after first checkpoint")
+	}
+	// Second checkpoint rotates the first to .bak.
+	if err := writeSnapshot(c, db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(db + bakSuffix); err != nil {
+		t.Fatal("no backup after second checkpoint")
+	}
+
+	// Intact primary restores.
+	r := restoreDB(db, opts)
+	if r.Events() != c.Events() {
+		t.Fatalf("restored %d events, want %d", r.Events(), c.Events())
+	}
+
+	// Corrupt primary: the ladder falls back to the backup.
+	data, err := os.ReadFile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte{}, data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if err := os.WriteFile(db, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r = restoreDB(db, opts)
+	if r.Events() != c.Events() {
+		t.Fatalf("backup recovery lost events: %d, want %d", r.Events(), c.Events())
+	}
+
+	// Corrupt both: a fresh database, not a crash.
+	if err := os.WriteFile(db+bakSuffix, corrupt[:len(corrupt)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r = restoreDB(db, opts)
+	if r == nil {
+		t.Fatal("no correlator from double corruption")
+	}
+	if r.Events() != 0 {
+		t.Fatalf("fresh database has %d events", r.Events())
+	}
+
+	// Missing files entirely: also fresh.
+	r = restoreDB(filepath.Join(dir, "nonexistent.db"), opts)
+	if r == nil || r.Events() != 0 {
+		t.Fatal("missing database did not yield a fresh start")
+	}
+}
+
+func TestSaveDBThenRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "seer.db")
+	opts := core.Options{Seed: 1}
+	d := &daemon{corr: seededCorrelator(opts), budget: 1 << 20}
+	if err := saveDB(d, db); err != nil {
+		t.Fatal(err)
+	}
+	r := restoreDB(db, opts)
+	if r.Events() != d.corr.Events() {
+		t.Fatalf("restored %d events, want %d", r.Events(), d.corr.Events())
+	}
+	// No leftover temp file.
+	if _, err := os.Stat(db + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}
+
+// waitEvents polls until the daemon has seen at least n events.
+func waitEvents(t *testing.T, d *daemon, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		d.mu.Lock()
+		got := d.corr.Events()
+		d.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reached %d events", n)
+}
+
+func TestFollowFileSurvivesTruncationAndRotation(t *testing.T) {
+	oldPoll := followPoll
+	followPoll = 10 * time.Millisecond
+	defer func() { followPoll = oldPoll }()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seer.strace")
+	line1 := `100  12:00:01.000001 openat(AT_FDCWD, "/etc/hosts", O_RDONLY) = 3` + "\n"
+	line2 := `100  12:00:02.000001 openat(AT_FDCWD, "/etc/passwd", O_RDONLY) = 4` + "\n"
+	line3 := `100  12:00:03.000001 openat(AT_FDCWD, "/etc/group", O_RDONLY) = 5` + "\n"
+	if err := os.WriteFile(path, []byte("ignored: started before follow\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &daemon{corr: core.New(core.Options{Seed: 1})}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		d.followFile(ctx, path, "")
+		close(done)
+	}()
+
+	// Appended lines are consumed.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let the tailer seek to the end
+	if _, err := f.WriteString(line1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	waitEvents(t, d, 1)
+
+	// Truncation: the file is rewritten shorter. The tailer must reopen
+	// from the start and consume the fresh contents.
+	if err := os.WriteFile(path, []byte(line2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitEvents(t, d, 2)
+
+	// Rotation: the file is replaced via rename (new inode).
+	tmp := filepath.Join(dir, "rotated.strace")
+	if err := os.WriteFile(tmp, []byte(line3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	waitEvents(t, d, 3)
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("followFile did not stop on context cancellation")
+	}
+}

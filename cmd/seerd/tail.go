@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/strace"
+)
+
+// maxLineLen bounds a single strace line. Longer lines (a pathological
+// argument list, a corrupt trace) are skipped with a warning; a
+// bufio.Scanner would instead stop the whole stream with ErrTooLong.
+const maxLineLen = 1 << 20
+
+// checkpointEvery is the follow-mode checkpoint interval.
+const checkpointEvery = 5 * time.Minute
+
+// followPoll is how long followFile waits at EOF before polling again
+// (a variable so tests can tighten the loop).
+var followPoll = time.Second
+
+// feedLines delivers each newline-terminated line of r (and a trailing
+// unterminated line at EOF) to fn with the newline stripped. Lines
+// longer than maxLine are skipped with a warning instead of aborting
+// the stream.
+func feedLines(r io.Reader, maxLine int, fn func(string)) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var partial []byte
+	skipping := false
+	for {
+		chunk, err := br.ReadString('\n')
+		if skipping {
+			if err == nil {
+				// The oversized line finally ended; resume normally.
+				skipping = false
+			}
+		} else {
+			partial = append(partial, chunk...)
+			complete := err == nil
+			if len(partial) > maxLine {
+				fmt.Fprintf(os.Stderr, "seerd: skipping oversized line (%d+ bytes)\n", len(partial))
+				partial = partial[:0]
+				skipping = !complete
+			} else if complete {
+				fn(strings.TrimSuffix(string(partial), "\n"))
+				partial = partial[:0]
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				if !skipping && len(partial) > 0 {
+					fn(string(partial))
+				}
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// followFile tails the strace file for appended lines, feeding them to
+// the correlator as they arrive and checkpointing the database
+// periodically when one is configured. It survives the file being
+// truncated or rotated (size shrank or inode changed): the new file is
+// reopened from the start instead of polling a dead offset forever. It
+// returns when ctx is cancelled.
+func (d *daemon) followFile(ctx context.Context, path, dbPath string) {
+	parser := strace.NewParser()
+	var (
+		f        *os.File
+		br       *bufio.Reader
+		offset   int64
+		partial  []byte
+		skipping bool
+	)
+	open := func(seekEnd bool) error {
+		nf, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		var off int64
+		if seekEnd {
+			if off, err = nf.Seek(0, io.SeekEnd); err != nil {
+				nf.Close()
+				return err
+			}
+		}
+		if f != nil {
+			f.Close()
+		}
+		f, br, offset = nf, bufio.NewReaderSize(nf, 64*1024), off
+		partial, skipping = nil, false
+		parser = strace.NewParser()
+		return nil
+	}
+	if err := open(true); err != nil {
+		fmt.Fprintf(os.Stderr, "seerd: follow: %v\n", err)
+		return
+	}
+	defer func() { f.Close() }()
+	lastSave := time.Now()
+	for {
+		chunk, err := br.ReadString('\n')
+		offset += int64(len(chunk))
+		if err == nil {
+			if skipping {
+				skipping = false
+			} else {
+				partial = append(partial, chunk...)
+				if len(partial) > maxLineLen {
+					fmt.Fprintf(os.Stderr, "seerd: follow: skipping oversized line (%d bytes)\n", len(partial))
+				} else if ev, ok := parser.ParseLine(strings.TrimSuffix(string(partial), "\n")); ok {
+					d.mu.Lock()
+					d.corr.Feed(ev)
+					d.mu.Unlock()
+				}
+				partial = partial[:0]
+			}
+		} else {
+			// At EOF: stash the partial line, wait for growth, and watch
+			// for the file shrinking or being replaced underneath us.
+			if !skipping {
+				partial = append(partial, chunk...)
+				if len(partial) > maxLineLen {
+					fmt.Fprintf(os.Stderr, "seerd: follow: skipping oversized line (%d+ bytes)\n", len(partial))
+					partial = partial[:0]
+					skipping = true
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(followPoll):
+			}
+			if st, serr := os.Stat(path); serr == nil {
+				cur, ferr := f.Stat()
+				rotated := ferr == nil && !os.SameFile(st, cur)
+				truncated := !rotated && st.Size() < offset
+				if rotated || truncated {
+					why := "rotated"
+					if truncated {
+						why = "truncated"
+					}
+					fmt.Fprintf(os.Stderr, "seerd: follow: %s was %s; reopening from start\n", path, why)
+					if oerr := open(false); oerr != nil {
+						fmt.Fprintf(os.Stderr, "seerd: follow: reopen: %v\n", oerr)
+					}
+				}
+			}
+		}
+		if dbPath != "" && time.Since(lastSave) > checkpointEvery {
+			lastSave = time.Now()
+			if err := saveDB(d, dbPath); err != nil {
+				fmt.Fprintf(os.Stderr, "seerd: checkpoint: %v\n", err)
+			}
+		}
+	}
+}

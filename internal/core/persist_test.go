@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/investigate"
 	"github.com/fmg/seer/internal/trace"
+	"github.com/fmg/seer/internal/wire"
 	"github.com/fmg/seer/internal/workload"
 )
 
@@ -156,6 +158,115 @@ func TestSnapshotSizeReasonable(t *testing.T) {
 	// easy on-disk encoding; ours should be well under that on disk.
 	if perFile > 2048 {
 		t.Errorf("snapshot uses %d bytes/file, want < 2048", perFile)
+	}
+}
+
+// tinyCorrelator builds a correlator small enough that its snapshot can
+// be attacked byte by byte without the test taking noticeable time.
+func tinyCorrelator() (*Correlator, Options) {
+	p := config.Defaults()
+	p.Window = 4
+	opts := Options{Params: &p, Seed: 3}
+	c := New(opts)
+	clk := trace.NewClock(time.Unix(1_000_000, 0))
+	paths := []string{"/a/x.c", "/a/y.h", "/b/z.txt"}
+	for i := 0; i < 12; i++ {
+		path := paths[i%len(paths)]
+		c.Feed(clk.Stamp(trace.Event{PID: 7, Op: trace.OpOpen, Path: path, Uid: 1000}))
+		c.Feed(clk.Stamp(trace.Event{PID: 7, Op: trace.OpClose, Path: path, Uid: 1000}))
+	}
+	return c, opts
+}
+
+func TestLoadV1Compat(t *testing.T) {
+	// A v1 snapshot — what the seed release wrote — must still load and
+	// reproduce the same plan.
+	orig, _, opts := replayWorkload(t, 10)
+	var buf bytes.Buffer
+	if err := orig.saveV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Events() != orig.Events() {
+		t.Errorf("events = %d, want %d", restored.Events(), orig.Events())
+	}
+	plansEqual(t, orig, restored)
+}
+
+func TestLoadTruncateEveryByte(t *testing.T) {
+	// Every proper prefix of a snapshot must load with an error — never
+	// a panic, never silent acceptance of partial state.
+	orig, opts := tinyCorrelator()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for n := 0; n < len(data); n++ {
+		if _, err := Load(bytes.NewReader(data[:n]), opts); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(data))
+		}
+	}
+	// The full snapshot still loads.
+	if _, err := Load(bytes.NewReader(data), opts); err != nil {
+		t.Fatalf("intact snapshot rejected: %v", err)
+	}
+}
+
+func TestLoadDetectsEveryBitFlip(t *testing.T) {
+	// The v2 framing checksums every section, so any single flipped bit
+	// anywhere in the snapshot must be rejected.
+	orig, opts := tinyCorrelator()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			flipped := bytes.Clone(data)
+			flipped[i] ^= 1 << bit
+			if _, err := Load(bytes.NewReader(flipped), opts); err == nil {
+				t.Fatalf("flip of byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsNegativeCounts(t *testing.T) {
+	// Hand-craft v2 snapshots whose relation / forced-file counts are
+	// negative: both must surface as CorruptError, not loop or panic.
+	c, opts := tinyCorrelator()
+	craft := func(relBody, forcedBody func(*wire.Writer)) []byte {
+		var buf bytes.Buffer
+		w := wire.NewWriter(&buf)
+		w.Str(dbMagic)
+		w.U64(dbVersion2)
+		w.Frame("meta", func(w *wire.Writer) { w.U64(c.events) })
+		w.Frame("fs", func(w *wire.Writer) { c.fs.Save(w) })
+		w.Frame("tbl", func(w *wire.Writer) { c.tbl.Save(w) })
+		w.Frame("obs", func(w *wire.Writer) { c.obs.Save(w) })
+		w.Frame("rel", relBody)
+		w.Frame("forced", forcedBody)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	empty := func(w *wire.Writer) { w.Int(0) }
+	negative := func(w *wire.Writer) { w.Int(-1) }
+
+	var ce *CorruptError
+	_, err := Load(bytes.NewReader(craft(negative, empty)), opts)
+	if !errors.As(err, &ce) || ce.Section != "rel" {
+		t.Errorf("negative relation count: got %v, want CorruptError in rel", err)
+	}
+	_, err = Load(bytes.NewReader(craft(empty, negative)), opts)
+	if !errors.As(err, &ce) || ce.Section != "forced" {
+		t.Errorf("negative forced count: got %v, want CorruptError in forced", err)
 	}
 }
 

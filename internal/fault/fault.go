@@ -1,0 +1,124 @@
+// Package fault provides fault-injection wrappers for testing SEER's
+// durability and degradation paths: io.Reader/io.Writer decorators that
+// truncate, flip bits, short-write, or fail transiently, and a
+// Replicator decorator that makes fetches flaky.
+//
+// A daemon for mobile, crash-prone machines earns its keep on the bad
+// days — battery death mid-checkpoint, a radio link dropping packets,
+// a disk returning EIO. These wrappers make those days reproducible in
+// unit tests, so every recovery path in the tree is exercised by code,
+// not just claimed in comments.
+package fault
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the permanent error returned by failing wrappers.
+var ErrInjected = errors.New("fault: injected failure")
+
+// ErrTransient is the error returned for injected failures that a
+// retry may clear (the moral equivalent of a dropped packet).
+var ErrTransient = errors.New("fault: transient failure")
+
+// TruncateReader returns a reader that yields at most n bytes of r and
+// then reports io.EOF, simulating a snapshot cut short by a crash.
+func TruncateReader(r io.Reader, n int64) io.Reader {
+	return io.LimitReader(r, n)
+}
+
+// BitFlipReader flips bits in a byte stream at a fixed offset,
+// simulating at-rest corruption.
+type BitFlipReader struct {
+	R io.Reader
+	// Offset is the zero-based byte position to corrupt.
+	Offset int64
+	// Mask is XORed into the byte at Offset (0 disables the flip; use
+	// 1<<k to flip bit k).
+	Mask byte
+
+	pos int64
+}
+
+// Read implements io.Reader.
+func (b *BitFlipReader) Read(p []byte) (int, error) {
+	n, err := b.R.Read(p)
+	if n > 0 && b.Offset >= b.pos && b.Offset < b.pos+int64(n) {
+		p[b.Offset-b.pos] ^= b.Mask
+	}
+	b.pos += int64(n)
+	return n, err
+}
+
+// FlakyReader fails every FailEvery'th Read call with ErrTransient,
+// simulating a link that drops intermittently but recovers.
+type FlakyReader struct {
+	R io.Reader
+	// FailEvery makes every FailEvery'th Read fail (0 disables).
+	FailEvery int
+
+	calls int
+}
+
+// Read implements io.Reader.
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	f.calls++
+	if f.FailEvery > 0 && f.calls%f.FailEvery == 0 {
+		return 0, ErrTransient
+	}
+	return f.R.Read(p)
+}
+
+// ShortWriter accepts at most N bytes and then fails with ErrInjected,
+// simulating a disk filling up (or a battery dying) mid-checkpoint. A
+// final partial write delivers the prefix that fits, as a real short
+// write would.
+type ShortWriter struct {
+	W io.Writer
+	// N is the byte budget; writes beyond it fail.
+	N int64
+
+	written int64
+}
+
+// Write implements io.Writer.
+func (s *ShortWriter) Write(p []byte) (int, error) {
+	room := s.N - s.written
+	if room <= 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) <= room {
+		n, err := s.W.Write(p)
+		s.written += int64(n)
+		return n, err
+	}
+	n, err := s.W.Write(p[:room])
+	s.written += int64(n)
+	if err == nil {
+		err = ErrInjected
+	}
+	return n, err
+}
+
+// Written returns the bytes accepted so far.
+func (s *ShortWriter) Written() int64 { return s.written }
+
+// FlakyWriter fails every FailEvery'th Write call with ErrTransient
+// without consuming the payload.
+type FlakyWriter struct {
+	W io.Writer
+	// FailEvery makes every FailEvery'th Write fail (0 disables).
+	FailEvery int
+
+	calls int
+}
+
+// Write implements io.Writer.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.FailEvery > 0 && f.calls%f.FailEvery == 0 {
+		return 0, ErrTransient
+	}
+	return f.W.Write(p)
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTruncateReader(t *testing.T) {
+	got, err := io.ReadAll(TruncateReader(strings.NewReader("snapshot"), 4))
+	if err != nil || string(got) != "snap" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestBitFlipReader(t *testing.T) {
+	src := []byte{0x00, 0x00, 0x00, 0x00}
+	r := &BitFlipReader{R: bytes.NewReader(src), Offset: 2, Mask: 1 << 3}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x00, 0x00, 0x08, 0x00}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestBitFlipReaderAcrossSmallReads(t *testing.T) {
+	// The flip must land even when the target byte arrives in a later
+	// Read call.
+	r := &BitFlipReader{R: iotest(strings.NewReader("abcdef")), Offset: 4, Mask: 0xff}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[4] == 'e' {
+		t.Error("flip missed under one-byte reads")
+	}
+	if string(got[:4]) != "abcd" || got[5] != 'f' {
+		t.Errorf("neighbors damaged: %q", got)
+	}
+}
+
+// iotest returns a reader that delivers one byte per Read.
+func iotest(r io.Reader) io.Reader { return oneByteReader{r} }
+
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestFlakyReader(t *testing.T) {
+	r := &FlakyReader{R: iotest(strings.NewReader("xyz")), FailEvery: 2}
+	var got []byte
+	transients := 0
+	for {
+		buf := make([]byte, 1)
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if errors.Is(err, ErrTransient) {
+			transients++
+			continue
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(got) != "xyz" {
+		t.Errorf("data lost across transients: %q", got)
+	}
+	if transients == 0 {
+		t.Error("no transient failures injected")
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &ShortWriter{W: &buf, N: 5}
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write: %d, %v", n, err)
+	}
+	n, err = w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("overflow write: %d, %v", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Errorf("sink holds %q, want abcde", buf.String())
+	}
+	if _, err := w.Write([]byte("h")); !errors.Is(err, ErrInjected) {
+		t.Error("writes after exhaustion succeed")
+	}
+	if w.Written() != 5 {
+		t.Errorf("written = %d", w.Written())
+	}
+}
+
+func TestFlakyWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FlakyWriter{W: &buf, FailEvery: 3}
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if _, err := w.Write([]byte{'a'}); errors.Is(err, ErrTransient) {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("fails = %d, want 3", fails)
+	}
+	if buf.Len() != 6 {
+		t.Errorf("sink holds %d bytes, want 6", buf.Len())
+	}
+}

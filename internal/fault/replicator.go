@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+)
+
+// FlakyReplicator decorates a replic.Replicator with injected Fetch
+// failures: probabilistically (a lossy link) or for a deterministic
+// window of fetch calls (an outage). All other operations pass through
+// untouched. Randomness comes from a seeded stats.Rand, so flaky tests
+// are reproducible.
+type FlakyReplicator struct {
+	// Inner is the decorated substrate.
+	Inner replic.Replicator
+	// FailProb is the probability in [0,1] that any given Fetch fails
+	// with ErrTransient.
+	FailProb float64
+	// Rand drives probabilistic failures; required when FailProb > 0.
+	Rand *stats.Rand
+	// FailFrom and FailTo fail every Fetch whose zero-based call index
+	// lies in [FailFrom, FailTo) — a deterministic outage window.
+	// FailTo 0 disables the window.
+	FailFrom, FailTo int
+
+	fetches  int
+	injected int
+}
+
+var _ replic.Replicator = (*FlakyReplicator)(nil)
+
+// Fetch implements replic.Replicator, possibly failing by injection.
+func (f *FlakyReplicator) Fetch(id simfs.FileID) error {
+	call := f.fetches
+	f.fetches++
+	if f.FailTo > 0 && call >= f.FailFrom && call < f.FailTo {
+		f.injected++
+		return fmt.Errorf("fetch %v (outage window, call %d): %w", id, call, ErrTransient)
+	}
+	if f.FailProb > 0 && f.Rand != nil && f.Rand.Bool(f.FailProb) {
+		f.injected++
+		return fmt.Errorf("fetch %v: %w", id, ErrTransient)
+	}
+	return f.Inner.Fetch(id)
+}
+
+// Evict implements replic.Replicator.
+func (f *FlakyReplicator) Evict(id simfs.FileID) { f.Inner.Evict(id) }
+
+// HasLocal implements replic.Replicator.
+func (f *FlakyReplicator) HasLocal(id simfs.FileID) bool { return f.Inner.HasLocal(id) }
+
+// Access implements replic.Replicator.
+func (f *FlakyReplicator) Access(id simfs.FileID) replic.AccessResult { return f.Inner.Access(id) }
+
+// Connected implements replic.Replicator.
+func (f *FlakyReplicator) Connected() bool { return f.Inner.Connected() }
+
+// SetConnected implements replic.Replicator.
+func (f *FlakyReplicator) SetConnected(up bool) replic.ReconcileReport {
+	return f.Inner.SetConnected(up)
+}
+
+// Fetches returns the number of Fetch calls seen.
+func (f *FlakyReplicator) Fetches() int { return f.fetches }
+
+// Injected returns the number of failures injected.
+func (f *FlakyReplicator) Injected() int { return f.injected }

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+)
+
+func newPair() (*replic.CheapRumor, simfs.FileID) {
+	fs := simfs.New(stats.NewRand(1))
+	f := fs.Create("/f", simfs.Regular, 10, 1)
+	r := replic.NewCheapRumor(fs)
+	r.ServerCreate(f.ID)
+	return r, f.ID
+}
+
+func TestFlakyReplicatorWindow(t *testing.T) {
+	inner, id := newPair()
+	fr := &FlakyReplicator{Inner: inner, FailFrom: 1, FailTo: 3}
+	results := []error{fr.Fetch(id), fr.Fetch(id), fr.Fetch(id), fr.Fetch(id)}
+	for i, want := range []bool{false, true, true, false} {
+		if got := errors.Is(results[i], ErrTransient); got != want {
+			t.Errorf("fetch %d transient = %v, want %v (%v)", i, got, want, results[i])
+		}
+	}
+	if fr.Fetches() != 4 || fr.Injected() != 2 {
+		t.Errorf("fetches=%d injected=%d", fr.Fetches(), fr.Injected())
+	}
+	if !inner.HasLocal(id) {
+		t.Error("successful fetch not applied to inner substrate")
+	}
+}
+
+func TestFlakyReplicatorProbabilistic(t *testing.T) {
+	inner, id := newPair()
+	fr := &FlakyReplicator{Inner: inner, FailProb: 0.3, Rand: stats.NewRand(7)}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		fr.Fetch(id)
+	}
+	rate := float64(fr.Injected()) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("injection rate %.3f far from 0.3", rate)
+	}
+	// Same seed, same outcome: the flakiness is reproducible.
+	inner2, id2 := newPair()
+	fr2 := &FlakyReplicator{Inner: inner2, FailProb: 0.3, Rand: stats.NewRand(7)}
+	for i := 0; i < n; i++ {
+		fr2.Fetch(id2)
+	}
+	if fr2.Injected() != fr.Injected() {
+		t.Errorf("same seed diverged: %d vs %d", fr2.Injected(), fr.Injected())
+	}
+}
+
+func TestFlakyReplicatorPassthrough(t *testing.T) {
+	inner, id := newPair()
+	fr := &FlakyReplicator{Inner: inner}
+	if err := fr.Fetch(id); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.HasLocal(id) || fr.Access(id) != replic.AccessLocal {
+		t.Error("passthrough reads wrong")
+	}
+	if !fr.Connected() {
+		t.Error("connected state wrong")
+	}
+	fr.SetConnected(false)
+	if fr.Connected() {
+		t.Error("disconnect not forwarded")
+	}
+	fr.SetConnected(true)
+	fr.Evict(id)
+	if fr.HasLocal(id) {
+		t.Error("evict not forwarded")
+	}
+}

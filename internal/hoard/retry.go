@@ -1,0 +1,138 @@
+package hoard
+
+import (
+	"errors"
+	"time"
+
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+)
+
+// RetryPolicy configures fetch retries during hoard synchronization.
+// Mobile links are flaky by nature (paper §1: low-bandwidth, unreliable
+// networks), so a failed fetch is retried with exponential backoff and
+// jitter before the file is given up for this fill; a permanent failure
+// degrades the fill rather than aborting it, and the next refill tries
+// again.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per file (minimum 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// each further attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+	// Jitter is the fraction of the delay randomized away (0..1): the
+	// actual sleep is delay * (1 - Jitter*u) for uniform u, decorrelating
+	// retry storms from many clients.
+	Jitter float64
+	// Rand drives jitter; nil disables jitter.
+	Rand *stats.Rand
+	// Sleep is the delay function; nil means time.Sleep. Tests inject a
+	// stub to run instantly.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is a sensible policy for interactive refills: four
+// attempts spanning roughly a second and a half.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   100 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+	Jitter:      0.5,
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// delay returns the jittered backoff before attempt (1-based: the wait
+// preceding attempt+1).
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	if p.Rand != nil && p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 - p.Jitter*p.Rand.Float64()))
+	}
+	return d
+}
+
+// FetchWithRetry fetches one file, retrying transient failures per the
+// policy. replic.ErrNotReplicated is permanent (the server simply does
+// not have the file) and is returned without retry; every other error
+// is assumed transient.
+func FetchWithRetry(rep replic.Replicator, id simfs.FileID, pol RetryPolicy) error {
+	pol = pol.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = rep.Fetch(id)
+		if err == nil || errors.Is(err, replic.ErrNotReplicated) {
+			return err
+		}
+		if attempt >= pol.MaxAttempts {
+			return err
+		}
+		pol.Sleep(pol.delay(attempt))
+	}
+}
+
+// SyncReport summarizes one retrying hoard synchronization.
+type SyncReport struct {
+	// Fetched counts files brought into the hoard.
+	Fetched int
+	// Evicted counts files dropped.
+	Evicted int
+	// Failed lists files whose fetch failed even after retries; they
+	// remain un-hoarded and eligible for the next refill.
+	Failed []simfs.FileID
+}
+
+// SyncWithRetry applies a fetch/evict diff against the substrate,
+// retrying each failed fetch with backoff. Unlike a bare loop over
+// Fetch, a file that stays unreachable is recorded and skipped — one
+// dead file cannot abort the rest of the fill.
+func SyncWithRetry(rep replic.Replicator, fetch, evict []simfs.FileID, pol RetryPolicy) SyncReport {
+	var rp SyncReport
+	for _, id := range fetch {
+		if err := FetchWithRetry(rep, id, pol); err != nil {
+			rp.Failed = append(rp.Failed, id)
+			continue
+		}
+		rp.Fetched++
+	}
+	for _, id := range evict {
+		rep.Evict(id)
+		rp.Evicted++
+	}
+	return rp
+}
+
+// RefillSync runs one damped refill and synchronizes the diff against
+// the substrate with retries. Files whose fetch ultimately failed are
+// removed from the refiller's view of the hoard, so the next RefillSync
+// retries them — under a transiently flaky link, repeated fills
+// converge to the fault-free hoard contents.
+func (r *Refiller) RefillSync(plan *Plan, rep replic.Replicator, pol RetryPolicy) SyncReport {
+	fetch, evict := r.Refill(plan)
+	rp := SyncWithRetry(rep, fetch, evict, pol)
+	for _, id := range rp.Failed {
+		delete(r.current, id)
+		delete(r.fetchedAt, id)
+	}
+	return rp
+}

@@ -58,7 +58,7 @@ func LoadTable(r *wire.Reader, p config.Params, rng *stats.Rand) (*Table, error)
 			return nil, fmt.Errorf("semdist: implausible neighbor count %d", nn)
 		}
 		e := &entry{id: id, index: make(map[simfs.FileID]int, nn)}
-		for j := 0; j < nn; j++ {
+		for j := 0; j < nn && r.Err() == nil; j++ {
 			nb := Neighbor{
 				ID:         simfs.FileID(r.U64()),
 				sumLog:     r.F64(),

@@ -9,11 +9,17 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
+
+// castagnoli is the CRC32-C polynomial table used for frame checksums
+// (hardware-accelerated on most platforms).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Writer serializes values.
 type Writer struct {
@@ -82,17 +88,48 @@ func (w *Writer) Str(s string) {
 	_, w.err = w.bw.WriteString(s)
 }
 
+// Frame writes a CRC32-framed section: a tag string, the payload length
+// as a varint, the payload bytes produced by body, and a CRC32-C of the
+// payload. Readers can verify a frame's integrity before decoding its
+// contents, so a flipped bit inside a section is detected as corruption
+// rather than silently misparsed.
+func (w *Writer) Frame(tag string, body func(*Writer)) {
+	if w.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	sub := NewWriter(&buf)
+	body(sub)
+	if err := sub.Flush(); err != nil {
+		w.err = err
+		return
+	}
+	payload := buf.Bytes()
+	w.Str(tag)
+	w.U64(uint64(len(payload)))
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.err = err
+		return
+	}
+	w.U64(uint64(crc32.Checksum(payload, castagnoli)))
+}
+
 // Reader deserializes values written by Writer.
 type Reader struct {
 	br  *bufio.Reader
 	err error
 	// MaxString bounds string allocations against corrupt input.
 	MaxString uint64
+	// MaxFrame bounds frame payload sizes against corrupt input.
+	MaxFrame uint64
 }
 
 // NewReader returns a Reader on r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{br: bufio.NewReader(r), MaxString: 1 << 20}
+	return &Reader{br: bufio.NewReader(r), MaxString: 1 << 20, MaxFrame: 1 << 30}
 }
 
 // Err returns the first error encountered.
@@ -130,6 +167,88 @@ func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 
 // Bool reads a boolean.
 func (r *Reader) Bool() bool { return r.U64() != 0 }
+
+// Frame reads a section written by Writer.Frame, verifies the tag and
+// the CRC32-C checksum, and invokes body with a Reader over the payload.
+// Any frame-level failure (wrong tag, truncation, checksum mismatch)
+// and any error returned by body become the result; the outer reader's
+// sticky error is set as well so callers can stay linear.
+//
+// The declared payload length is read in bounded chunks, so an
+// adversarial length header cannot force a huge allocation: reading
+// fails as soon as the underlying stream runs dry.
+func (r *Reader) Frame(tag string, body func(*Reader) error) error {
+	if r.err != nil {
+		return r.err
+	}
+	fail := func(err error) error {
+		r.err = err
+		return err
+	}
+	got := r.Str()
+	if r.err != nil {
+		return fmt.Errorf("wire: section %q: %w", tag, r.err)
+	}
+	if got != tag {
+		return fail(fmt.Errorf("wire: section %q: found %q instead", tag, got))
+	}
+	n := r.U64()
+	if r.err != nil {
+		return fmt.Errorf("wire: section %q: %w", tag, r.err)
+	}
+	if n > r.MaxFrame {
+		return fail(fmt.Errorf("wire: section %q: length %d exceeds limit %d", tag, n, r.MaxFrame))
+	}
+	payload, err := readBounded(r.br, n)
+	if err != nil {
+		return fail(fmt.Errorf("wire: section %q: %w", tag, err))
+	}
+	want := r.U64()
+	if r.err != nil {
+		return fmt.Errorf("wire: section %q: %w", tag, r.err)
+	}
+	if sum := uint64(crc32.Checksum(payload, castagnoli)); sum != want {
+		return fail(fmt.Errorf("wire: section %q: checksum mismatch (got %#x, want %#x)", tag, sum, want))
+	}
+	sub := NewReader(bytes.NewReader(payload))
+	sub.MaxString = r.MaxString
+	sub.MaxFrame = r.MaxFrame
+	if err := body(sub); err != nil {
+		return fail(err)
+	}
+	if sub.Err() != nil {
+		return fail(sub.Err())
+	}
+	return nil
+}
+
+// readBounded reads exactly n bytes in fixed-size chunks. Unlike a
+// single make([]byte, n), a corrupt length only costs memory for bytes
+// actually present in the stream.
+func readBounded(br *bufio.Reader, n uint64) ([]byte, error) {
+	const chunk = 64 * 1024
+	cap0 := n
+	if cap0 > chunk {
+		cap0 = chunk
+	}
+	buf := make([]byte, 0, cap0)
+	var tmp [chunk]byte
+	for uint64(len(buf)) < n {
+		want := n - uint64(len(buf))
+		if want > chunk {
+			want = chunk
+		}
+		m, err := io.ReadFull(br, tmp[:want])
+		buf = append(buf, tmp[:m]...)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
 
 // Str reads a length-prefixed string.
 func (r *Reader) Str() string {

@@ -119,3 +119,116 @@ func TestStickyReadError(t *testing.T) {
 type failingWriter struct{}
 
 func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func frameBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Frame("hdr", func(w *Writer) {
+		w.U64(7)
+		w.Str("payload")
+	})
+	w.Frame("tail", func(w *Writer) {
+		w.Int(-3)
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	data := frameBytes(t)
+	r := NewReader(bytes.NewReader(data))
+	err := r.Frame("hdr", func(sr *Reader) error {
+		if sr.U64() != 7 || sr.Str() != "payload" {
+			t.Error("hdr payload mangled")
+		}
+		return sr.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Frame("tail", func(sr *Reader) error {
+		if sr.Int() != -3 {
+			t.Error("tail payload mangled")
+		}
+		return sr.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameDetectsBitFlips(t *testing.T) {
+	data := frameBytes(t)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			flipped := bytes.Clone(data)
+			flipped[i] ^= 1 << bit
+			r := NewReader(bytes.NewReader(flipped))
+			err1 := r.Frame("hdr", func(sr *Reader) error {
+				sr.U64()
+				sr.Str()
+				return sr.Err()
+			})
+			err2 := r.Frame("tail", func(sr *Reader) error {
+				sr.Int()
+				return sr.Err()
+			})
+			if err1 == nil && err2 == nil {
+				t.Fatalf("flip of byte %d bit %d undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestFrameDetectsTruncation(t *testing.T) {
+	data := frameBytes(t)
+	for n := 0; n < len(data); n++ {
+		r := NewReader(bytes.NewReader(data[:n]))
+		err1 := r.Frame("hdr", func(sr *Reader) error { return nil })
+		err2 := r.Frame("tail", func(sr *Reader) error { return nil })
+		if err1 == nil && err2 == nil {
+			t.Fatalf("truncation at %d undetected", n)
+		}
+	}
+}
+
+func TestFrameWrongTag(t *testing.T) {
+	data := frameBytes(t)
+	r := NewReader(bytes.NewReader(data))
+	if err := r.Frame("other", func(sr *Reader) error { return nil }); err == nil {
+		t.Error("wrong tag accepted")
+	}
+}
+
+func TestFrameLengthBounded(t *testing.T) {
+	// A frame claiming an enormous payload must fail fast without a
+	// matching allocation.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Str("hdr")
+	w.U64(1 << 40)
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.MaxFrame = 1 << 50 // the stream, not the limit, must stop it
+	if err := r.Frame("hdr", func(sr *Reader) error { return nil }); err == nil {
+		t.Error("lying length accepted")
+	}
+
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	if err := r.Frame("hdr", func(sr *Reader) error { return nil }); err == nil {
+		t.Error("length above MaxFrame accepted")
+	}
+}
+
+func TestFrameBodyErrorSticky(t *testing.T) {
+	data := frameBytes(t)
+	r := NewReader(bytes.NewReader(data))
+	if err := r.Frame("hdr", func(sr *Reader) error { return io.ErrClosedPipe }); err != io.ErrClosedPipe {
+		t.Fatalf("body error not propagated: %v", err)
+	}
+	if r.Err() != io.ErrClosedPipe {
+		t.Error("body error not sticky on outer reader")
+	}
+}
