@@ -5,7 +5,19 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race fuzz
+# Benchmark regression gate. `make bench` re-records the committed
+# baselines; `make bench-check` reruns the same benchmarks and fails on
+# >BENCH_TOLERANCE ns/op growth (or >BENCH_ALLOC_TOLERANCE allocs/op
+# growth) against them. allocs/op is machine-independent, so its
+# tolerance stays tight even where wall-clock comparisons need slack
+# (CI runs with BENCH_TOLERANCE=2.0 for that reason).
+BENCH_TOLERANCE ?= 0.15
+BENCH_ALLOC_TOLERANCE ?= 0.15
+BENCH_TIME ?= 5x
+BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$
+BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
+
+.PHONY: check vet build test test-race fuzz bench bench-check
 
 check: vet build test-race
 
@@ -25,3 +37,19 @@ test-race:
 # deeper run.
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/core/
+
+bench:
+	$(GO) build -o bin/benchcmp ./cmd/benchcmp
+	$(GO) test -run '^$$' -bench '$(BENCH_CLUSTER)' -benchmem -benchtime=$(BENCH_TIME) . \
+		| bin/benchcmp -record BENCH_cluster.json
+	$(GO) test -run '^$$' -bench '$(BENCH_SIM)' -benchmem -benchtime=1x . \
+		| bin/benchcmp -record BENCH_sim.json
+
+bench-check:
+	$(GO) build -o bin/benchcmp ./cmd/benchcmp
+	$(GO) test -run '^$$' -bench '$(BENCH_CLUSTER)' -benchmem -benchtime=$(BENCH_TIME) . \
+		| bin/benchcmp -check BENCH_cluster.json \
+			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
+	$(GO) test -run '^$$' -bench '$(BENCH_SIM)' -benchmem -benchtime=1x . \
+		| bin/benchcmp -check BENCH_sim.json \
+			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)

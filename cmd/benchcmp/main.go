@@ -1,0 +1,90 @@
+// Command benchcmp records and checks benchmark baselines. It reads
+// `go test -bench -benchmem` output on stdin, echoes it through to
+// stdout, and either writes the parsed results to a JSON baseline
+// (-record) or compares them against one (-check), exiting non-zero on
+// any regression beyond the tolerances.
+//
+//	go test -bench . -benchmem | benchcmp -record BENCH_cluster.json
+//	go test -bench . -benchmem | benchcmp -check BENCH_cluster.json -tolerance 0.15
+//
+// A missing baseline file in -check mode is a warning, not an error:
+// fresh clones and new benchmarks must not fail the build before a
+// baseline has ever been recorded.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/fmg/seer/internal/benchcmp"
+)
+
+func main() {
+	record := flag.String("record", "", "write parsed results to this baseline file")
+	check := flag.String("check", "", "compare parsed results against this baseline file")
+	nsTol := flag.Float64("tolerance", 0.15, "allowed fractional ns/op growth before failing")
+	allocTol := flag.Float64("alloc-tolerance", 0.15, "allowed fractional allocs/op growth before failing")
+	flag.Parse()
+	if (*record == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchcmp: exactly one of -record or -check is required")
+		os.Exit(2)
+	}
+
+	var buf bytes.Buffer
+	if _, err := io.Copy(io.MultiWriter(os.Stdout, &buf), os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := benchcmp.Parse(&buf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: parse: %v\n", err)
+		os.Exit(1)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cur.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: write %s: %v\n", *record, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchcmp: recorded %d benchmarks to %s\n",
+			len(cur.Benchmarks), *record)
+		return
+	}
+
+	f, err := os.Open(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: no baseline %s (%v); skipping check\n", *check, err)
+		return
+	}
+	base, err := benchcmp.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	regs := benchcmp.Compare(base, cur, *nsTol, *allocTol)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmarks within tolerance of %s\n",
+			len(cur.Benchmarks), *check)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchcmp: REGRESSION %s\n", r)
+	}
+	os.Exit(1)
+}

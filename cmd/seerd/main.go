@@ -15,7 +15,10 @@
 // Endpoints: /plan (inclusion order), /hoard (chosen files at the
 // budget), /clusters, /stats, /miss?path=... (record a hoard miss and
 // force the file's project into future plans, §4.4). Without -listen,
-// seerd prints the hoard list once and exits.
+// seerd prints the hoard list once and exits. With -debug-addr, a
+// second listener serves net/http/pprof profiles and expvar counters
+// (events fed, plans built, cluster-cache hits/misses, last clustering
+// duration) for live performance inspection.
 //
 // Durability: with -db, the database is restored at startup through a
 // recovery ladder (snapshot, then its .bak rotation, then a fresh
@@ -26,10 +29,12 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -45,6 +50,53 @@ type daemon struct {
 	mu     sync.Mutex
 	corr   *core.Correlator
 	budget int64
+
+	// plansBuilt counts hoard-plan constructions (the /plan and /hoard
+	// endpoints plus the one-shot print path); exported via expvar when
+	// -debug-addr is set.
+	plansBuilt expvar.Int
+}
+
+// serveDebug exposes profiling and operational counters on a separate
+// listener, opt-in via -debug-addr, so the decision endpoints never
+// share a port with introspection. The pprof handlers are registered
+// explicitly on a private mux; nothing is served from the default mux.
+func (d *daemon) serveDebug(addr string) {
+	expvar.Publish("seer.events_fed", expvar.Func(func() any {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.corr.Events()
+	}))
+	expvar.Publish("seer.plans_built", expvar.Func(func() any {
+		return d.plansBuilt.Value()
+	}))
+	expvar.Publish("seer.cluster_cache", expvar.Func(func() any {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		hits, misses := d.corr.CacheStats()
+		return map[string]uint64{"hits": hits, "misses": misses}
+	}))
+	expvar.Publish("seer.last_cluster_ms", expvar.Func(func() any {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.corr.LastClusterDuration()) / float64(time.Millisecond)
+	}))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "seerd: debug endpoints on %s\n", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "seerd: debug listener: %v\n", err)
+	}
 }
 
 func main() {
@@ -54,6 +106,8 @@ func main() {
 	dbPath := flag.String("db", "", "database file: restored at start, saved after input")
 	follow := flag.Bool("follow", false,
 		"keep tailing the strace file for appended lines (requires -listen)")
+	debugAddr := flag.String("debug-addr", "",
+		"optional listen address for pprof and expvar debug endpoints (requires -listen)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -107,6 +161,9 @@ func main() {
 	if *follow && *stracePath != "-" {
 		go d.followFile(ctx, *stracePath, *dbPath)
 	}
+	if *debugAddr != "" {
+		go d.serveDebug(*debugAddr)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/plan", d.handlePlan)
 	mux.HandleFunc("/hoard", d.handleHoard)
@@ -148,6 +205,7 @@ func main() {
 func (d *daemon) printHoard(w io.Writer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.plansBuilt.Add(1)
 	contents := d.corr.Fill(d.budget)
 	fmt.Fprintf(w, "# hoard: %d files, %d bytes of %d budget\n",
 		contents.Len(), contents.UsedBytes(), contents.Budget())
@@ -174,6 +232,7 @@ func (d *daemon) printHoard(w io.Writer) {
 func (d *daemon) handlePlan(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.plansBuilt.Add(1)
 	for i, e := range d.corr.Plan().Entries {
 		fmt.Fprintf(w, "%5d %8s %10d %12d %s\n",
 			i, e.Reason, e.File.Size, e.Cum, e.File.Path)

@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/fmg/seer/internal/config"
@@ -40,6 +42,41 @@ type runConfig struct {
 	warmupDays int
 	fig3       string
 	budgetMB   int64
+	parallel   int
+}
+
+// forEach runs n independent jobs across cfg.parallel goroutines and
+// prints each job's output in job order, so the report is byte-identical
+// at every parallelism level. Each simulation cell is self-contained
+// (own workload generator, own correlator), which is what makes the
+// fan-out safe.
+func forEach(cfg runConfig, n int, job func(i int) string) {
+	workers := cfg.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fmt.Print(job(i))
+		}
+		return
+	}
+	out := make([]string, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			out[i] = job(i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	for _, s := range out {
+		fmt.Print(s)
+	}
 }
 
 func main() {
@@ -60,6 +97,8 @@ func main() {
 		"machine for the Figure 3 per-period series")
 	flag.Int64Var(&cfg.budgetMB, "budget", 0,
 		"hoard budget in MB for the live tables (0 = paper values: 50, 98 for G)")
+	flag.IntVar(&cfg.parallel, "parallel", 1,
+		"simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	flag.Parse()
 	cfg.machines = strings.Split(machines, ",")
 
@@ -118,6 +157,13 @@ func runFig2(cfg runConfig) {
 	fmt.Printf("%-4s %-7s %14s %14s %14s %8s %8s\n",
 		"mach", "period", "workingset", "seer", "lru", "seer-ov", "lru-ov")
 	starred := map[string]bool{"B": true, "F": true, "G": true}
+	type fig2Cell struct {
+		label  string
+		opts   sim.Options
+		period time.Duration
+		pname  string
+	}
+	var cells []fig2Cell
 	for _, m := range cfg.machines {
 		prof, ok := profileFor(cfg, m)
 		if !ok {
@@ -141,17 +187,23 @@ func runFig2(cfg runConfig) {
 				name string
 				d    time.Duration
 			}{{"daily", day}, {"weekly", week}} {
-				cell := sim.Fig2Aggregate(base, period.d,
-					time.Duration(cfg.warmupDays)*day, seeds(cfg.seeds))
-				fmt.Printf("%-4s %-7s %7.1f ±%4.1f %7.1f ±%4.1f %7.1f ±%4.1f %8.1f %8.1f\n",
-					label, period.name,
-					cell.WorkingSetMB, cell.WorkingSetCI,
-					cell.SeerMB, cell.SeerCI,
-					cell.LruMB, cell.LruCI,
-					cell.SeerOverheadMB(), cell.LruOverheadMB())
+				cells = append(cells, fig2Cell{
+					label: label, opts: base, period: period.d, pname: period.name,
+				})
 			}
 		}
 	}
+	forEach(cfg, len(cells), func(i int) string {
+		c := cells[i]
+		cell := sim.Fig2Aggregate(c.opts, c.period,
+			time.Duration(cfg.warmupDays)*day, seeds(cfg.seeds))
+		return fmt.Sprintf("%-4s %-7s %7.1f ±%4.1f %7.1f ±%4.1f %7.1f ±%4.1f %8.1f %8.1f\n",
+			c.label, c.pname,
+			cell.WorkingSetMB, cell.WorkingSetCI,
+			cell.SeerMB, cell.SeerCI,
+			cell.LruMB, cell.LruCI,
+			cell.SeerOverheadMB(), cell.LruOverheadMB())
+	})
 	fmt.Println()
 }
 
@@ -186,7 +238,10 @@ func liveBudget(cfg runConfig, machine string) int64 {
 	return 50 * mb
 }
 
-var liveCache = map[string]*sim.LiveResult{}
+var (
+	liveCacheMu sync.Mutex
+	liveCache   = map[string]*sim.LiveResult{}
+)
 
 func liveFor(cfg runConfig, machine string) (*sim.LiveResult, workload.Profile, bool) {
 	prof, ok := profileFor(cfg, machine)
@@ -194,12 +249,20 @@ func liveFor(cfg runConfig, machine string) (*sim.LiveResult, workload.Profile, 
 		return nil, prof, false
 	}
 	key := fmt.Sprintf("%s/%d/%d", prof.Name, cfg.days, cfg.budgetMB)
-	if r, ok := liveCache[key]; ok {
+	liveCacheMu.Lock()
+	r, hit := liveCache[key]
+	liveCacheMu.Unlock()
+	if hit {
 		return r, prof, true
 	}
+	// Simulate outside the lock: concurrent table jobs cover distinct
+	// machines, so duplicated work is possible only for a repeated
+	// -machines entry and correctness never depends on uniqueness.
 	opts := sim.Options{Profile: prof, WorkloadSeed: cfg.wseed, SizeSeed: 100}
-	r := sim.Live(opts, liveBudget(cfg, prof.Name))
+	r = sim.Live(opts, liveBudget(cfg, prof.Name))
+	liveCacheMu.Lock()
 	liveCache[key] = r
+	liveCacheMu.Unlock()
 	return r, prof, true
 }
 
@@ -218,41 +281,44 @@ func runLiveTables(cfg runConfig, which string) {
 		fmt.Printf("%-4s %-4s %3s %7s %7s %7s %7s %7s\n",
 			"user", "sev", "n", "mean", "median", "sigma", "min", "max")
 	}
-	for _, m := range cfg.machines {
-		r, prof, ok := liveFor(cfg, m)
+	forEach(cfg, len(cfg.machines), func(i int) string {
+		r, prof, ok := liveFor(cfg, cfg.machines[i])
 		if !ok {
-			continue
+			return ""
 		}
 		switch which {
 		case "table3":
 			row := r.Table3(prof.DaysMeasured)
-			fmt.Printf("%-4s %6d %7d %9.0f %7.2f %7.2f %7.2f %8.2f\n",
+			return fmt.Sprintf("%-4s %6d %7d %9.0f %7.2f %7.2f %7.2f %8.2f\n",
 				row.Machine, row.DaysMeasured, row.Disconnections,
 				row.TotalHours, row.MeanHours, row.MedianHours,
 				row.StddevHours, row.MaxHours)
 		case "table4":
 			row := r.Table4()
 			if row.AnySeverity == 0 && row.Auto == 0 {
-				continue // the paper omits all-zero rows
+				return "" // the paper omits all-zero rows
 			}
-			fmt.Printf("%-4s %6d %4d %4d %4d %4d %4d %5d %5d\n",
+			return fmt.Sprintf("%-4s %6d %4d %4d %4d %4d %4d %5d %5d\n",
 				row.Machine, row.HoardSizeMB,
 				row.BySeverity[0], row.BySeverity[1], row.BySeverity[2],
 				row.BySeverity[3], row.BySeverity[4],
 				row.AnySeverity, row.Auto)
 		case "table5":
+			var sb strings.Builder
 			for _, row := range r.Table5() {
 				med := fmt.Sprintf("%7.1f", row.Stats.Median)
 				if row.Stats.N < 4 {
 					med = "      —" // the paper omits medians under 4 samples
 				}
-				fmt.Printf("%-4s %-4s %3d %7.1f %s %7.1f %7.2f %7.1f\n",
+				fmt.Fprintf(&sb, "%-4s %-4s %3d %7.1f %s %7.1f %7.2f %7.1f\n",
 					row.Machine, row.Severity, row.Stats.N,
 					row.Stats.Mean, med, row.Stats.Stddev,
 					row.Stats.Min, row.Stats.Max)
 			}
+			return sb.String()
 		}
-	}
+		return ""
+	})
 	fmt.Println()
 }
 
@@ -292,21 +358,21 @@ func runAblation(cfg runConfig) {
 		{"arithmetic-style (kn loose)", func(p *config.Params) { p.KNear, p.KFar = 2, 1 }},
 	}
 	fmt.Printf("%-28s %10s %10s %10s\n", "variant", "workingset", "seer", "lru")
-	for _, v := range variants {
+	forEach(cfg, len(variants), func(i int) string {
+		v := variants[i]
 		p := sim.DefaultParams()
 		v.mutate(&p)
 		if err := p.Validate(); err != nil {
-			fmt.Printf("%-28s invalid: %v\n", v.name, err)
-			continue
+			return fmt.Sprintf("%-28s invalid: %v\n", v.name, err)
 		}
 		opts := sim.Options{
 			Profile: prof, WorkloadSeed: cfg.wseed, SizeSeed: 100, Params: &p,
 		}
 		r := sim.MissFree(opts, day, time.Duration(cfg.warmupDays)*day)
 		ws, by := r.Means()
-		fmt.Printf("%-28s %10.1f %10.1f %10.1f\n",
+		return fmt.Sprintf("%-28s %10.1f %10.1f %10.1f\n",
 			v.name, ws/mb, by[sim.SeerName]/mb, by["lru"]/mb)
-	}
+	})
 	fmt.Println()
 }
 
@@ -384,10 +450,10 @@ func runQuality(cfg runConfig) {
 	fmt.Println("Cluster quality vs ground-truth projects (§5.2)")
 	fmt.Printf("%-4s %8s %10s %8s %8s %6s %9s\n",
 		"mach", "projects", "precision", "recall", "jaccard", "frag", "clusters")
-	for _, m := range cfg.machines {
-		prof, ok := profileFor(cfg, m)
+	forEach(cfg, len(cfg.machines), func(i int) string {
+		prof, ok := profileFor(cfg, cfg.machines[i])
 		if !ok {
-			continue
+			return ""
 		}
 		if cfg.days == 0 {
 			prof = prof.Light(60)
@@ -395,9 +461,9 @@ func runQuality(cfg runConfig) {
 		q := sim.ClusterQuality(sim.Options{
 			Profile: prof, WorkloadSeed: cfg.wseed, SizeSeed: 100,
 		})
-		fmt.Printf("%-4s %8d %10.2f %8.2f %8.2f %6.1f %9d\n",
+		return fmt.Sprintf("%-4s %8d %10.2f %8.2f %8.2f %6.1f %9d\n",
 			q.Machine, q.Projects, q.MeanPrecision, q.MeanRecall,
 			q.MeanJaccard, q.Fragmentation, q.Clusters)
-	}
+	})
 	fmt.Println()
 }

@@ -1,0 +1,163 @@
+// Package benchcmp parses `go test -bench -benchmem` output into a
+// JSON-serializable report and compares a current run against a
+// committed baseline, flagging regressions beyond a tolerance. It is
+// the engine behind `make bench` (record) and `make bench-check`
+// (compare); the baselines live in BENCH_*.json at the repo root.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's measured costs.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is a set of benchmark results, ordered as emitted.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the named benchmark, or nil.
+func (r *Report) Find(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// Parse extracts benchmark result lines from `go test -bench` output.
+// Lines look like
+//
+//	BenchmarkCluster20k     10   63136654 ns/op   14359405 B/op   919 allocs/op
+//
+// possibly with a -N GOMAXPROCS suffix on the name and extra custom
+// metrics (e.g. "bytes/file") interleaved; only ns/op, B/op and
+// allocs/op are kept. When a benchmark appears more than once, the run
+// with the lowest ns/op wins (benchstat's "best observed" convention
+// for single-shot comparisons).
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev := rep.Find(b.Name); prev != nil {
+			if b.NsPerOp < prev.NsPerOp {
+				*prev = b
+			}
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -N parallelism suffix go test appends when GOMAXPROCS>1.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return Benchmark{}, false // iteration count must be an integer
+	}
+	b := Benchmark{Name: name}
+	seenNs := false
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, seenNs
+}
+
+// Regression is one metric of one benchmark exceeding its tolerance.
+type Regression struct {
+	Name      string
+	Metric    string
+	Base, Cur float64
+	Ratio     float64
+	Tolerance float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx, tolerance %.2fx)",
+		r.Name, r.Metric, r.Base, r.Cur, r.Ratio, 1+r.Tolerance)
+}
+
+// Compare flags every benchmark of cur whose ns/op or allocs/op grew
+// beyond the respective tolerance relative to base (0.15 = 15%).
+// Benchmarks present on only one side are ignored: a new benchmark has
+// no baseline yet, and a deleted one has nothing to regress.
+func Compare(base, cur *Report, nsTol, allocTol float64) []Regression {
+	var regs []Regression
+	for _, c := range cur.Benchmarks {
+		b := base.Find(c.Name)
+		if b == nil {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsTol) {
+			regs = append(regs, Regression{
+				Name: c.Name, Metric: "ns/op",
+				Base: b.NsPerOp, Cur: c.NsPerOp,
+				Ratio: c.NsPerOp / b.NsPerOp, Tolerance: nsTol,
+			})
+		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+allocTol) {
+			regs = append(regs, Regression{
+				Name: c.Name, Metric: "allocs/op",
+				Base: b.AllocsPerOp, Cur: c.AllocsPerOp,
+				Ratio: c.AllocsPerOp / b.AllocsPerOp, Tolerance: allocTol,
+			})
+		}
+	}
+	return regs
+}
+
+// WriteJSON serializes the report, indented for reviewable diffs.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON loads a report written by WriteJSON.
+func ReadJSON(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	if err := json.NewDecoder(r).Decode(rep); err != nil {
+		return nil, fmt.Errorf("benchcmp: decode baseline: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,112 @@
+package benchcmp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/fmg/seer
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCluster20k 	       5	  72805107 ns/op	14367603 B/op	     919 allocs/op
+BenchmarkHoardPlan-8	       5	   2084914 ns/op	  273537 B/op	     521 allocs/op
+BenchmarkMemoryPerFile 	       2	  37679119 ns/op	       692.8 bytes/file	16693432 B/op	   20177 allocs/op
+BenchmarkCluster20k 	       5	  70000000 ns/op	14367603 B/op	     919 allocs/op
+PASS
+ok  	github.com/fmg/seer	0.854s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	c := rep.Find("BenchmarkCluster20k")
+	if c == nil {
+		t.Fatal("Cluster20k missing")
+	}
+	// Duplicate lines keep the faster run.
+	if c.NsPerOp != 70000000 {
+		t.Errorf("ns/op = %g, want the min of the two runs", c.NsPerOp)
+	}
+	if c.AllocsPerOp != 919 || c.BytesPerOp != 14367603 {
+		t.Errorf("allocs/bytes = %g/%g", c.AllocsPerOp, c.BytesPerOp)
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	if rep.Find("BenchmarkHoardPlan") == nil {
+		t.Error("HoardPlan (suffixed) missing")
+	}
+	// Custom metrics (bytes/file) are skipped but the line still parses.
+	m := rep.Find("BenchmarkMemoryPerFile")
+	if m == nil || m.AllocsPerOp != 20177 {
+		t.Errorf("MemoryPerFile = %+v", m)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d",
+			len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	for i := range rep.Benchmarks {
+		if back.Benchmarks[i] != rep.Benchmarks[i] {
+			t.Errorf("benchmark %d changed: %+v != %+v",
+				i, back.Benchmarks[i], rep.Benchmarks[i])
+		}
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "Gone", NsPerOp: 100},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 114, AllocsPerOp: 11},  // within 15%
+		{Name: "B", NsPerOp: 200, AllocsPerOp: 100}, // both regressed
+		{Name: "New", NsPerOp: 999},                 // no baseline: ignored
+	}}
+	regs := Compare(base, cur, 0.15, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want ns/op and allocs/op of B", regs)
+	}
+	for _, r := range regs {
+		if r.Name != "B" {
+			t.Errorf("unexpected regression %v", r)
+		}
+	}
+	// Exactly at the boundary is not a regression (0.5 is exactly
+	// representable, so 100*(1+0.5) == 150 with no rounding).
+	cur2 := &Report{Benchmarks: []Benchmark{{Name: "A", NsPerOp: 150, AllocsPerOp: 10}}}
+	if regs := Compare(base, cur2, 0.5, 0.5); len(regs) != 0 {
+		t.Errorf("boundary flagged: %v", regs)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBad abc def\nnot a line\nBenchmarkNoNs 3 5 widgets/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("garbage parsed as %+v", rep.Benchmarks)
+	}
+}

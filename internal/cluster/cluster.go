@@ -13,10 +13,22 @@
 // belongs to every project that uses it). External information —
 // directory distance and investigator-reported relations — adjusts the
 // shared-neighbor count before thresholding (paper §3.3.3).
+//
+// The implementation interns the sparse FileIDs into a dense 0..n-1
+// space once per run (simfs.Interner) and then works entirely on
+// slice-indexed state: shared-neighbor counts come from an
+// epoch-stamped counter array rather than per-file membership maps, and
+// the union-find parent/size tables are flat slices. Pair generation
+// shards across a worker pool; each worker writes into a pre-computed
+// span of the output slice, so the result is byte-identical for every
+// worker count.
 package cluster
 
 import (
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
 
 	"github.com/fmg/seer/internal/simfs"
 )
@@ -31,23 +43,39 @@ type Pair struct {
 // NeighborSource supplies the semantic-distance neighbor lists; it is
 // implemented by semdist.Table.
 type NeighborSource interface {
-	// Files lists every file with relationship state.
+	// Files lists every file with relationship state. The returned slice
+	// is read, never mutated.
 	Files() []simfs.FileID
 	// Neighbors lists the files on id's closest-neighbor list.
 	Neighbors(id simfs.FileID) []simfs.FileID
+}
+
+// AppendSource is an optional NeighborSource extension: AppendNeighbors
+// appends id's neighbor list to dst and returns the extended slice,
+// letting the clustering pass gather every list into one buffer instead
+// of allocating a slice per file.
+type AppendSource interface {
+	AppendNeighbors(id simfs.FileID, dst []simfs.FileID) []simfs.FileID
 }
 
 // Options configures pair generation.
 type Options struct {
 	// Adjust, when non-nil, returns an additive adjustment to the
 	// shared-neighbor count of a pair: negative for directory distance,
-	// positive for investigator relations (paper §3.3.3).
+	// positive for investigator relations (paper §3.3.3). BuildPairs
+	// calls Adjust from several goroutines when Workers != 1, so it must
+	// be safe for concurrent use (read-only adjusters, like the directory
+	// distance over an otherwise idle file table, qualify).
 	Adjust func(a, b simfs.FileID) float64
 	// ExtraPairs lists investigator-reported pairs that are tested even
 	// when no semantic distance is stored between the files: a strong
 	// enough relation can force files into one cluster regardless of
 	// observed behaviour (paper §3.3.3).
 	ExtraPairs []Pair
+	// Workers is the number of goroutines pair generation shards across:
+	// 0 means runtime.GOMAXPROCS(0), 1 forces the serial path. The
+	// output is identical for every value.
+	Workers int
 }
 
 // Cluster is one project: a sorted list of member files. Because
@@ -63,62 +91,253 @@ func (c *Cluster) Size() int { return len(c.Members) }
 // Result is a complete cluster assignment.
 type Result struct {
 	Clusters []Cluster
-	byFile   map[simfs.FileID][]int
+	// in maps member FileIDs to dense indices into byIdx.
+	in    *simfs.Interner
+	byIdx [][]int
 }
 
 // ClustersOf returns the IDs of the clusters containing f (indexes into
 // Result.Clusters).
-func (r *Result) ClustersOf(f simfs.FileID) []int { return r.byFile[f] }
-
-// BuildPairs generates the scored candidate pairs from the neighbor
-// lists: for every file A and every B on A's list, the count of
-// neighbors the two lists share, plus any adjustment.
-func BuildPairs(src NeighborSource, opts Options) []Pair {
-	files := src.Files()
-	// Precompute neighbor sets for membership testing.
-	sets := make(map[simfs.FileID]map[simfs.FileID]bool, len(files))
-	lists := make(map[simfs.FileID][]simfs.FileID, len(files))
-	for _, f := range files {
-		nbs := src.Neighbors(f)
-		lists[f] = nbs
-		set := make(map[simfs.FileID]bool, len(nbs))
-		for _, nb := range nbs {
-			set[nb] = true
-		}
-		sets[f] = set
+func (r *Result) ClustersOf(f simfs.FileID) []int {
+	if r.in == nil {
+		return nil
 	}
-	var pairs []Pair
-	for _, a := range files {
-		for _, b := range lists[a] {
-			shared := sharedCount(lists[a], sets[b])
-			if opts.Adjust != nil {
-				shared += opts.Adjust(a, b)
-			}
-			pairs = append(pairs, Pair{From: a, To: b, Shared: shared})
+	i, ok := r.in.Lookup(f)
+	if !ok {
+		return nil
+	}
+	return r.byIdx[i]
+}
+
+// densePair is a scored pair over dense indices.
+type densePair struct {
+	from, to int32
+	shared   float64
+}
+
+// denseLists is the interned form of a NeighborSource: files hold dense
+// indices 0..len(files)-1 in Files() order, neighbor-only ids follow in
+// first-encounter order.
+type denseLists struct {
+	in    *simfs.Interner
+	files []simfs.FileID
+	// offs[i]..offs[i+1] delimits file i's span in the backing arrays;
+	// lists[i] holds the neighbors in original list order, sorted[i] the
+	// same set sorted ascending.
+	offs   []int
+	lists  [][]int32
+	sorted [][]int32
+}
+
+// intern runs the single-threaded interning pass over the source.
+func intern(src NeighborSource) *denseLists {
+	files := src.Files()
+	d := &denseLists{
+		in:     simfs.NewInterner(len(files)),
+		files:  files,
+		offs:   make([]int, len(files)+1),
+		lists:  make([][]int32, len(files)),
+		sorted: make([][]int32, len(files)),
+	}
+	for _, f := range files {
+		d.in.Intern(f)
+	}
+	var flat []simfs.FileID
+	if as, ok := src.(AppendSource); ok {
+		flat = make([]simfs.FileID, 0, 16*len(files))
+		for i, f := range files {
+			flat = as.AppendNeighbors(f, flat)
+			d.offs[i+1] = len(flat)
 		}
+	} else {
+		for i, f := range files {
+			flat = append(flat, src.Neighbors(f)...)
+			d.offs[i+1] = len(flat)
+		}
+	}
+	back := make([]int32, len(flat))
+	for j, nb := range flat {
+		back[j] = d.in.Intern(nb)
+	}
+	backSorted := make([]int32, len(flat))
+	copy(backSorted, back)
+	for i := range files {
+		lo, hi := d.offs[i], d.offs[i+1]
+		d.lists[i] = back[lo:hi:hi]
+		s := backSorted[lo:hi:hi]
+		slices.Sort(s)
+		d.sorted[i] = s
+	}
+	return d
+}
+
+// sortedOf returns the sorted neighbor list of the file with dense
+// index i, or nil when i is a neighbor-only id without a list.
+func (d *denseLists) sortedOf(i int32) []int32 {
+	if int(i) < len(d.files) {
+		return d.sorted[i]
+	}
+	return nil
+}
+
+// counter is an epoch-stamped multiset over dense indices: mark loads
+// one file's neighbor list, countIn then answers "how many elements of
+// that list (with multiplicity) appear in this other list" in a single
+// scan, with no per-pair merge. Each worker owns one.
+type counter struct {
+	cnt, stamp []int32
+	epoch      int32
+}
+
+func newCounter(n int) *counter {
+	return &counter{cnt: make([]int32, n), stamp: make([]int32, n)}
+}
+
+// mark loads list as the current multiset.
+func (c *counter) mark(list []int32) {
+	c.epoch++
+	for _, x := range list {
+		if c.stamp[x] != c.epoch {
+			c.stamp[x] = c.epoch
+			c.cnt[x] = 1
+		} else {
+			c.cnt[x]++
+		}
+	}
+}
+
+// countIn sums the marked multiplicities over the distinct elements of
+// the sorted list.
+func (c *counter) countIn(sorted []int32) float64 {
+	n := int32(0)
+	prev := int32(-1)
+	for _, v := range sorted {
+		if v == prev {
+			continue
+		}
+		prev = v
+		if c.stamp[v] == c.epoch {
+			n += c.cnt[v]
+		}
+	}
+	return float64(n)
+}
+
+// buildDense generates the scored pairs over dense indices. The main
+// loop shards across opts.Workers goroutines; every file's pairs land
+// in a pre-computed span of the output, so the result does not depend
+// on the worker count. ExtraPairs are appended serially afterwards
+// (interning their possibly-unknown endpoints mutates the interner).
+func buildDense(d *denseLists, opts Options) []densePair {
+	total := d.offs[len(d.files)]
+	if total == 0 && len(opts.ExtraPairs) == 0 {
+		return nil
+	}
+	pairs := make([]densePair, total, total+len(opts.ExtraPairs))
+	n := d.in.Len()
+	fill := func(lo, hi int, c *counter) {
+		for i := lo; i < hi; i++ {
+			list := d.lists[i]
+			if len(list) == 0 {
+				continue
+			}
+			c.mark(list)
+			a := d.files[i]
+			span := pairs[d.offs[i]:d.offs[i+1]]
+			for k, bIdx := range list {
+				shared := c.countIn(d.sortedOf(bIdx))
+				if opts.Adjust != nil {
+					shared += opts.Adjust(a, d.in.ID(bIdx))
+				}
+				span[k] = densePair{from: int32(i), to: bIdx, shared: shared}
+			}
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(d.files) {
+		workers = len(d.files)
+	}
+	if workers <= 1 {
+		fill(0, len(d.files), newCounter(n))
+	} else {
+		// Contiguous shards balanced by pair count, not file count, so a
+		// few files with long lists cannot serialize the pool.
+		var wg sync.WaitGroup
+		lo := 0
+		for w := 1; w <= workers && lo < len(d.files); w++ {
+			target := total * w / workers
+			hi := lo
+			for hi < len(d.files) && d.offs[hi+1] <= target {
+				hi++
+			}
+			if w == workers {
+				hi = len(d.files)
+			}
+			if hi == lo {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fill(lo, hi, newCounter(n))
+			}(lo, hi)
+			lo = hi
+		}
+		wg.Wait()
 	}
 	for _, ep := range opts.ExtraPairs {
 		shared := ep.Shared
 		// Investigator relations add to whatever shared count the
 		// neighbor lists produce; when the files are unknown to the
 		// distance table the base count is zero.
-		shared += sharedCount(lists[ep.From], sets[ep.To])
+		fi := d.in.Intern(ep.From)
+		ti := d.in.Intern(ep.To)
+		shared += sharedSorted(d.sortedOf(fi), d.sortedOf(ti))
 		if opts.Adjust != nil {
 			shared += opts.Adjust(ep.From, ep.To)
 		}
-		pairs = append(pairs, Pair{From: ep.From, To: ep.To, Shared: shared})
+		pairs = append(pairs, densePair{from: fi, to: ti, shared: shared})
 	}
 	return pairs
 }
 
-func sharedCount(listA []simfs.FileID, setB map[simfs.FileID]bool) float64 {
-	if len(listA) == 0 || len(setB) == 0 {
-		return 0
+// BuildPairs generates the scored candidate pairs from the neighbor
+// lists: for every file A and every B on A's list, the count of
+// neighbors the two lists share, plus any adjustment.
+func BuildPairs(src NeighborSource, opts Options) []Pair {
+	d := intern(src)
+	dense := buildDense(d, opts)
+	if len(dense) == 0 {
+		return nil
 	}
-	n := 0
-	for _, x := range listA {
-		if setB[x] {
-			n++
+	pairs := make([]Pair, len(dense))
+	for i, p := range dense {
+		pairs[i] = Pair{From: d.in.ID(p.from), To: d.in.ID(p.to), Shared: p.shared}
+	}
+	return pairs
+}
+
+// sharedSorted counts the elements of sorted list a (with multiplicity)
+// that occur in sorted list b, by linear merge. The bulk path uses the
+// stamped counter; this handles the few ExtraPairs.
+func sharedSorted(a, b []int32) float64 {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			v := a[i]
+			for i < len(a) && a[i] == v {
+				n++
+				i++
+			}
+			j++
 		}
 	}
 	return float64(n)
@@ -128,91 +347,143 @@ func sharedCount(listA []simfs.FileID, setB map[simfs.FileID]bool) float64 {
 // pairs. Files never mentioned in a qualifying pair become singleton
 // clusters (the agglomerative starting point).
 func Run(files []simfs.FileID, pairs []Pair, kn, kf float64) *Result {
-	uf := newUnionFind()
+	in := simfs.NewInterner(len(files))
 	for _, f := range files {
-		uf.add(f)
+		in.Intern(f)
 	}
-	for _, p := range pairs {
-		uf.add(p.From)
-		uf.add(p.To)
+	dense := make([]densePair, len(pairs))
+	for i, p := range pairs {
+		dense[i] = densePair{from: in.Intern(p.From), to: in.Intern(p.To), shared: p.Shared}
 	}
+	return runDense(in, dense, kn, kf)
+}
+
+// Build is the full pipeline: generate pairs from the neighbor source
+// and run the two-phase algorithm. It stays on dense indices end to
+// end; the result is identical to Run(src.Files(), BuildPairs(src,
+// opts), kn, kf).
+func Build(src NeighborSource, opts Options, kn, kf float64) *Result {
+	d := intern(src)
+	return runDense(d.in, buildDense(d, opts), kn, kf)
+}
+
+// runDense is the two-phase algorithm over interned pairs. Every id in
+// the interner becomes a cluster member (singletons included).
+func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64) *Result {
+	n := in.Len()
+	uf := newUnionFind(n)
 	// Phase 1: combine clusters for strongly related pairs.
 	for _, p := range pairs {
-		if p.Shared >= kn {
-			uf.union(p.From, p.To)
+		if p.shared >= kn {
+			uf.union(p.from, p.to)
 		}
 	}
 	// Phase 2: overlap clusters for weakly related pairs. Membership is
 	// root → extra members; insertion does not merge the clusters.
-	extra := make(map[simfs.FileID]map[simfs.FileID]bool)
-	addExtra := func(root, member simfs.FileID) {
-		if uf.find(member) == root {
-			return // already a core member
-		}
-		m := extra[root]
-		if m == nil {
-			m = make(map[simfs.FileID]bool)
-			extra[root] = m
-		}
-		m[member] = true
-	}
+	// Phase 1 is complete, so roots are final and the inserted member
+	// can never be a core member of the target root; duplicates from
+	// repeated weak pairs are removed during materialization.
+	extra := make([][]int32, n)
 	for _, p := range pairs {
-		if p.Shared >= kf && p.Shared < kn {
-			ra, rb := uf.find(p.From), uf.find(p.To)
+		if p.shared >= kf && p.shared < kn {
+			ra, rb := uf.find(p.from), uf.find(p.to)
 			if ra == rb {
 				continue
 			}
-			addExtra(ra, p.To)
-			addExtra(rb, p.From)
+			extra[ra] = append(extra[ra], p.to)
+			extra[rb] = append(extra[rb], p.from)
 		}
 	}
-	// Materialize clusters.
-	core := make(map[simfs.FileID][]simfs.FileID)
-	for f := range uf.parent {
-		r := uf.find(f)
-		core[r] = append(core[r], f)
+	// Materialize: bucket the core members by root in two passes over a
+	// single backing array.
+	rootOf := make([]int32, n)
+	counts := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		r := uf.find(v)
+		rootOf[v] = r
+		counts[r]++
 	}
-	roots := make([]simfs.FileID, 0, len(core))
-	for r := range core {
-		roots = append(roots, r)
+	starts := make([]int32, n+1)
+	for r := 0; r < n; r++ {
+		starts[r+1] = starts[r] + counts[r]
 	}
-	res := &Result{byFile: make(map[simfs.FileID][]int)}
-	seen := make(map[string]bool, len(roots))
-	for _, r := range roots {
-		members := core[r]
-		for m := range extra[r] {
-			members = append(members, m)
-		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		// Mutual overlap can make two clusters' member sets identical;
-		// keep only one of each distinct set.
-		sig := signature(members)
-		if seen[sig] {
+	fillPos := make([]int32, n)
+	copy(fillPos, starts[:n])
+	core := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		r := rootOf[v]
+		core[fillPos[r]] = v
+		fillPos[r]++
+	}
+	res := &Result{in: in}
+	// Mutual overlap can make two clusters' member sets identical; keep
+	// only one of each distinct set. The dedup key is a cheap (length,
+	// first, last, xor-hash) pre-filter; only colliding sets are compared
+	// element-wise, so no per-cluster byte signature is ever built.
+	seen := make(map[sigKey][]int)
+	for r := int32(0); r < int32(n); r++ {
+		cnt := int(counts[r])
+		if cnt == 0 {
 			continue
 		}
-		seen[sig] = true
+		members := make([]simfs.FileID, 0, cnt+len(extra[r]))
+		for _, v := range core[starts[r] : int(starts[r])+cnt] {
+			members = append(members, in.ID(v))
+		}
+		for _, v := range extra[r] {
+			members = append(members, in.ID(v))
+		}
+		slices.Sort(members)
+		members = slices.Compact(members)
+		key := sigOf(members)
+		dup := false
+		for _, ci := range seen[key] {
+			if slices.Equal(res.Clusters[ci].Members, members) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[key] = append(seen[key], len(res.Clusters))
 		res.Clusters = append(res.Clusters, Cluster{Members: members})
 	}
 	// Deterministic order: lexicographic over the full member lists.
 	// Overlap can give two clusters the same first member, and sorting
-	// on it alone would let map-iteration order leak into cluster IDs
-	// (and from there into hoard plans).
+	// on it alone would let iteration order leak into cluster IDs (and
+	// from there into hoard plans).
 	sort.Slice(res.Clusters, func(i, j int) bool {
 		return lessMembers(res.Clusters[i].Members, res.Clusters[j].Members)
 	})
+	// Invert membership into one backing array: count, carve spans,
+	// fill. Appends stay within each span's capacity, so the whole index
+	// costs two allocations.
+	memberCounts := make([]int32, n)
+	totalMembers := 0
+	for i := range res.Clusters {
+		totalMembers += len(res.Clusters[i].Members)
+		for _, m := range res.Clusters[i].Members {
+			mi, _ := in.Lookup(m)
+			memberCounts[mi]++
+		}
+	}
+	backing := make([]int, totalMembers)
+	res.byIdx = make([][]int, n)
+	pos := 0
+	for v := 0; v < n; v++ {
+		c := int(memberCounts[v])
+		res.byIdx[v] = backing[pos : pos : pos+c]
+		pos += c
+	}
 	for i := range res.Clusters {
 		res.Clusters[i].ID = i
 		for _, m := range res.Clusters[i].Members {
-			res.byFile[m] = append(res.byFile[m], i)
+			mi, _ := in.Lookup(m)
+			res.byIdx[mi] = append(res.byIdx[mi], i)
 		}
 	}
 	return res
-}
-
-// Build is the full pipeline: generate pairs from the neighbor source
-// and run the two-phase algorithm.
-func Build(src NeighborSource, opts Options, kn, kf float64) *Result {
-	return Run(src.Files(), BuildPairs(src, opts), kn, kf)
 }
 
 // lessMembers compares two sorted member lists lexicographically.
@@ -225,37 +496,47 @@ func lessMembers(a, b []simfs.FileID) bool {
 	return len(a) < len(b)
 }
 
-// signature builds a map key identifying a member set.
-func signature(members []simfs.FileID) string {
-	b := make([]byte, 0, 4*len(members))
+// sigKey is the cheap pre-filter key identifying a member set; distinct
+// sets can collide (rarely), so collisions fall back to element-wise
+// comparison.
+type sigKey struct {
+	n           int
+	first, last simfs.FileID
+	xor         uint32
+}
+
+func sigOf(members []simfs.FileID) sigKey {
+	k := sigKey{n: len(members)}
+	if len(members) == 0 {
+		return k
+	}
+	k.first = members[0]
+	k.last = members[len(members)-1]
 	for _, m := range members {
-		b = append(b, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+		// Multiply-mix before xor so shared prefixes/suffixes of
+		// different sets do not cancel to equal hashes too easily.
+		k.xor ^= uint32(m) * 0x9e3779b1
 	}
-	return string(b)
+	return k
 }
 
-// unionFind is a standard disjoint-set forest with path compression and
-// union by size.
+// unionFind is a standard disjoint-set forest over dense indices with
+// path compression and union by size.
 type unionFind struct {
-	parent map[simfs.FileID]simfs.FileID
-	size   map[simfs.FileID]int
+	parent []int32
+	size   []int32
 }
 
-func newUnionFind() *unionFind {
-	return &unionFind{
-		parent: make(map[simfs.FileID]simfs.FileID),
-		size:   make(map[simfs.FileID]int),
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
 	}
+	return u
 }
 
-func (u *unionFind) add(f simfs.FileID) {
-	if _, ok := u.parent[f]; !ok {
-		u.parent[f] = f
-		u.size[f] = 1
-	}
-}
-
-func (u *unionFind) find(f simfs.FileID) simfs.FileID {
+func (u *unionFind) find(f int32) int32 {
 	root := f
 	for u.parent[root] != root {
 		root = u.parent[root]
@@ -266,7 +547,7 @@ func (u *unionFind) find(f simfs.FileID) simfs.FileID {
 	return root
 }
 
-func (u *unionFind) union(a, b simfs.FileID) {
+func (u *unionFind) union(a, b int32) {
 	ra, rb := u.find(a), u.find(b)
 	if ra == rb {
 		return

@@ -298,22 +298,18 @@ func TestRunInvariants(t *testing.T) {
 }
 
 func TestUnionFind(t *testing.T) {
-	u := newUnionFind()
-	for i := 1; i <= 6; i++ {
-		u.add(simfs.FileID(i))
-	}
-	u.add(1) // re-add is a no-op
-	u.union(1, 2)
-	u.union(3, 4)
+	u := newUnionFind(6)
+	u.union(0, 1)
 	u.union(2, 3)
-	if u.find(1) != u.find(4) {
-		t.Error("1 and 4 should share a root")
+	u.union(1, 2)
+	if u.find(0) != u.find(3) {
+		t.Error("0 and 3 should share a root")
 	}
-	if u.find(5) == u.find(1) {
-		t.Error("5 should be separate")
+	if u.find(4) == u.find(0) {
+		t.Error("4 should be separate")
 	}
-	u.union(1, 4) // already joined: no-op
-	if u.find(1) != u.find(4) {
+	u.union(0, 3) // already joined: no-op
+	if u.find(0) != u.find(3) {
 		t.Error("repeated union broke the forest")
 	}
 }

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// randomSource builds a pseudo-random neighbor graph: file ids are
+// sparse (multiples of 3 plus 1) so the dense interning is exercised,
+// lists may repeat entries and may point at neighbor-only ids.
+func randomSource(rng *rand.Rand, nFiles int) fakeSource {
+	src := fakeSource{}
+	for i := 0; i < nFiles; i++ {
+		id := simfs.FileID(3*i + 1)
+		n := rng.Intn(12)
+		list := make([]simfs.FileID, 0, n)
+		for j := 0; j < n; j++ {
+			if rng.Intn(5) == 0 {
+				// Neighbor-only id outside the file set.
+				list = append(list, simfs.FileID(1000+rng.Intn(40)))
+			} else {
+				list = append(list, simfs.FileID(3*rng.Intn(nFiles)+1))
+			}
+			if rng.Intn(8) == 0 && len(list) > 0 {
+				list = append(list, list[rng.Intn(len(list))]) // duplicate
+			}
+		}
+		src[id] = list
+	}
+	return src
+}
+
+// TestParallelDeterminism is the property the sharded pair generation
+// guarantees: for every worker count, BuildPairs and Build return
+// byte-identical results — including the Adjust and ExtraPairs
+// branches, which are the paths where per-worker state could leak.
+func TestParallelDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomSource(rng, 30+int(seed)*17)
+		opts := Options{Workers: 1}
+		if seed%2 == 0 {
+			opts.Adjust = func(a, b simfs.FileID) float64 {
+				return float64((int(a)+int(b))%3) - 1
+			}
+		}
+		if seed%3 == 0 {
+			opts.ExtraPairs = []Pair{
+				{From: 1, To: 4, Shared: 2.5},
+				{From: 9999, To: 1, Shared: 10}, // unknown endpoint
+			}
+		}
+		wantPairs := BuildPairs(src, opts)
+		wantRes := Build(src, opts, kn, kf)
+		for _, workers := range []int{0, 2, 3, 8} {
+			o := opts
+			o.Workers = workers
+			if got := BuildPairs(src, o); !reflect.DeepEqual(got, wantPairs) {
+				t.Fatalf("seed %d workers %d: BuildPairs differs from serial", seed, workers)
+			}
+			got := Build(src, o, kn, kf)
+			if !reflect.DeepEqual(got.Clusters, wantRes.Clusters) {
+				t.Fatalf("seed %d workers %d: Build clusters differ from serial", seed, workers)
+			}
+		}
+		// The split pipeline must agree with the composed public API.
+		viaRun := Run(src.Files(), wantPairs, kn, kf)
+		if !reflect.DeepEqual(viaRun.Clusters, wantRes.Clusters) {
+			t.Fatalf("seed %d: Build != Run(Files, BuildPairs)", seed)
+		}
+	}
+}
+
+// TestSharedSortedMatchesCounter pins the two shared-count
+// implementations (merge for ExtraPairs, stamped counter for the bulk
+// path) to the same semantics: multiplicity from the first list,
+// distinct membership in the second.
+func TestSharedSortedMatchesCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := 20
+		mk := func() []int32 {
+			l := make([]int32, rng.Intn(10))
+			for i := range l {
+				l[i] = int32(rng.Intn(n))
+			}
+			return l
+		}
+		a, b := mk(), mk()
+		sortedA := append([]int32(nil), a...)
+		sortedB := append([]int32(nil), b...)
+		slices.Sort(sortedA)
+		slices.Sort(sortedB)
+		c := newCounter(n)
+		c.mark(a)
+		if got, want := c.countIn(sortedB), sharedSorted(sortedA, sortedB); got != want {
+			t.Fatalf("a=%v b=%v: counter %g, merge %g", a, b, got, want)
+		}
+	}
+}

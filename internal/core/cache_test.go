@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fmg/seer/internal/investigate"
+	"github.com/fmg/seer/internal/trace"
+)
+
+// TestClusterCacheReuse: back-to-back Clusters() calls over unchanged
+// state return the same result object without re-clustering.
+func TestClusterCacheReuse(t *testing.T) {
+	d := newDriver(nil)
+	d.session(1, projectFiles("alpha", 5))
+	r1 := d.c.Clusters()
+	r2 := d.c.Clusters()
+	if r1 != r2 {
+		t.Error("unchanged state did not reuse the cached result")
+	}
+	hits, misses := d.c.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d hits, %d misses, want 1/1", hits, misses)
+	}
+	if d.c.LastClusterDuration() <= 0 {
+		t.Error("last clustering duration not recorded")
+	}
+	// Plan() goes through Clusters(), so repeated planning also hits.
+	d.c.Plan()
+	if hits, _ := d.c.CacheStats(); hits != 2 {
+		t.Errorf("Plan did not reuse the cache (hits = %d)", hits)
+	}
+}
+
+// TestClusterCacheInvalidation: every mutating correlator entry point
+// must drop the cached clustering.
+func TestClusterCacheInvalidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(d *driver)
+	}{
+		{"Feed", func(d *driver) { d.ev(trace.OpOpen, 9, "/home/u/new/file") }},
+		{"AddRelations", func(d *driver) {
+			d.c.AddRelations([]investigate.Relation{
+				{Files: []string{"/home/u/alpha/f00", "/home/u/alpha/f01"}, Strength: 1},
+			})
+		}},
+		{"ClearRelations", func(d *driver) { d.c.ClearRelations() }},
+		{"ForceHoard", func(d *driver) { d.c.ForceHoard("/home/u/missed") }},
+		{"ClearForced", func(d *driver) { d.c.ClearForced() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDriver(nil)
+			d.session(1, projectFiles("alpha", 5))
+			before := d.c.Clusters()
+			_, missBefore := d.c.CacheStats()
+			tc.mutate(d)
+			after := d.c.Clusters()
+			_, missAfter := d.c.CacheStats()
+			if missAfter <= missBefore {
+				t.Errorf("%s did not invalidate the cluster cache", tc.name)
+			}
+			_ = before
+			_ = after
+		})
+	}
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"github.com/fmg/seer/internal/cluster"
 	"github.com/fmg/seer/internal/config"
@@ -41,6 +42,20 @@ type Correlator struct {
 	forced map[simfs.FileID]bool
 
 	events uint64
+
+	// dirty counts mutations; every entry point that can influence a
+	// clustering (or the state hanging off one) bumps it. The cached
+	// cluster result is valid while cacheAt == dirty, so back-to-back
+	// Plan()/Clusters() calls over an unchanged table — the seerd HTTP
+	// pattern — reuse one clustering.
+	dirty     uint64
+	cache     *cluster.Result
+	cacheAt   uint64
+	cacheHits uint64
+	cacheMiss uint64
+	// lastClusterTime is how long the most recent (uncached) clustering
+	// took; surfaced by the daemon's debug endpoint.
+	lastClusterTime time.Duration
 }
 
 // Options configures a Correlator.
@@ -98,8 +113,23 @@ func (c *Correlator) Params() config.Params { return c.p }
 // Events returns the number of trace events fed so far.
 func (c *Correlator) Events() uint64 { return c.events }
 
+// invalidate marks every cached derivation of the relationship state
+// stale. Each mutating entry point calls it.
+func (c *Correlator) invalidate() { c.dirty++ }
+
+// CacheStats returns how many Clusters() calls were served from the
+// cached result and how many had to re-cluster.
+func (c *Correlator) CacheStats() (hits, misses uint64) {
+	return c.cacheHits, c.cacheMiss
+}
+
+// LastClusterDuration returns how long the most recent re-clustering
+// took (zero before the first one).
+func (c *Correlator) LastClusterDuration() time.Duration { return c.lastClusterTime }
+
 // Feed processes one trace event.
 func (c *Correlator) Feed(ev trace.Event) {
+	c.invalidate()
 	c.events++
 	for _, ref := range c.obs.Observe(ev) {
 		c.apply(ev, ref)
@@ -126,6 +156,7 @@ func (c *Correlator) apply(ev trace.Event, ref observer.Reference) {
 // known to the file table are interned so the relation can still force
 // the files into a project.
 func (c *Correlator) AddRelations(rels []investigate.Relation) {
+	c.invalidate()
 	resolve := func(path string) simfs.FileID {
 		f := c.fs.Lookup(path)
 		if f == nil {
@@ -138,7 +169,10 @@ func (c *Correlator) AddRelations(rels []investigate.Relation) {
 }
 
 // ClearRelations drops all registered investigator relations.
-func (c *Correlator) ClearRelations() { c.extraPairs = nil }
+func (c *Correlator) ClearRelations() {
+	c.invalidate()
+	c.extraPairs = nil
+}
 
 // ForceHoard marks a file for unconditional inclusion in future hoard
 // plans. This is the back half of the paper's miss-recording mechanism
@@ -149,6 +183,7 @@ func (c *Correlator) ClearRelations() { c.extraPairs = nil }
 // consider hoarding ("add the file (and all other members of its
 // project) to the hoard for future use").
 func (c *Correlator) ForceHoard(path string) []string {
+	c.invalidate()
 	f := c.fs.Lookup(path)
 	if f == nil {
 		f = c.fs.Intern(path, simfs.Regular, 0)
@@ -185,7 +220,10 @@ func (c *Correlator) ForcedFiles() []simfs.FileID {
 
 // ClearForced empties the forced hoard set (typically after the next
 // successful hoard fill has serviced the recorded misses).
-func (c *Correlator) ClearForced() { c.forced = make(map[simfs.FileID]bool) }
+func (c *Correlator) ClearForced() {
+	c.invalidate()
+	c.forced = make(map[simfs.FileID]bool)
+}
 
 // filteredSource exposes the semantic-distance table to the clustering
 // algorithm with excluded files (frequent, critical, non-file) removed.
@@ -195,8 +233,10 @@ type filteredSource struct {
 }
 
 func (s filteredSource) Files() []simfs.FileID {
+	// The table's Files() result is cached inside the table; filter into
+	// a fresh slice rather than compacting the shared one in place.
 	all := s.tbl.Files()
-	kept := all[:0]
+	kept := make([]simfs.FileID, 0, len(all))
 	for _, id := range all {
 		if !s.obs.IsExcluded(id) {
 			kept = append(kept, id)
@@ -219,9 +259,35 @@ func (s filteredSource) Neighbors(id simfs.FileID) []simfs.FileID {
 	return kept
 }
 
+// AppendNeighbors implements cluster.AppendSource: the table appends
+// into the caller's buffer, and the exclusion filter compacts the
+// just-appended region in place.
+func (s filteredSource) AppendNeighbors(id simfs.FileID, dst []simfs.FileID) []simfs.FileID {
+	if s.obs.IsExcluded(id) {
+		return dst
+	}
+	start := len(dst)
+	dst = s.tbl.AppendNeighbors(id, dst)
+	kept := dst[:start]
+	for _, nb := range dst[start:] {
+		if !s.obs.IsExcluded(nb) {
+			kept = append(kept, nb)
+		}
+	}
+	return kept
+}
+
 // Clusters runs the clustering algorithm over the current relationship
-// state and returns the project assignment.
+// state and returns the project assignment. The result is cached: while
+// no mutating entry point has run since the last call, the previous
+// assignment is returned without re-clustering. Callers must treat the
+// result as read-only.
 func (c *Correlator) Clusters() *cluster.Result {
+	if c.cache != nil && c.cacheAt == c.dirty {
+		c.cacheHits++
+		return c.cache
+	}
+	c.cacheMiss++
 	src := filteredSource{tbl: c.tbl, obs: c.obs}
 	opts := cluster.Options{
 		Adjust: investigate.DirDistanceAdjust(c.p.DirDistanceWeight, func(id simfs.FileID) string {
@@ -232,7 +298,12 @@ func (c *Correlator) Clusters() *cluster.Result {
 		}),
 		ExtraPairs: c.extraPairs,
 	}
-	return cluster.Build(src, opts, float64(c.p.KNear), float64(c.p.KFar))
+	start := time.Now()
+	res := cluster.Build(src, opts, float64(c.p.KNear), float64(c.p.KFar))
+	c.lastClusterTime = time.Since(start)
+	c.cache = res
+	c.cacheAt = c.dirty
+	return res
 }
 
 // Plan builds the hoard inclusion order (paper §2): the always-hoard set

@@ -15,7 +15,7 @@ func (t *Table) Save(w *wire.Writer) {
 	files := t.Files()
 	w.Int(len(files))
 	for _, id := range files {
-		e := t.entries[id]
+		e := t.entryOf(id)
 		t.cleanForgotten(e)
 		w.U64(uint64(id))
 		w.Int(len(e.neighbors))
@@ -57,18 +57,17 @@ func LoadTable(r *wire.Reader, p config.Params, rng *stats.Rand) (*Table, error)
 		if nn < 0 || nn > 1<<20 {
 			return nil, fmt.Errorf("semdist: implausible neighbor count %d", nn)
 		}
-		e := &entry{id: id, index: make(map[simfs.FileID]int, nn)}
+		ei := t.addEntry(id)
+		neighbors := make([]Neighbor, 0, nn)
 		for j := 0; j < nn && r.Err() == nil; j++ {
-			nb := Neighbor{
+			neighbors = append(neighbors, Neighbor{
 				ID:         simfs.FileID(r.U64()),
 				sumLog:     r.F64(),
 				count:      r.I64(),
 				lastUpdate: r.U64(),
-			}
-			e.index[nb.ID] = len(e.neighbors)
-			e.neighbors = append(e.neighbors, nb)
+			})
 		}
-		t.entries[id] = e
+		t.entries[ei].neighbors = neighbors
 	}
 	nq := r.Int()
 	for i := 0; i < nq && r.Err() == nil; i++ {

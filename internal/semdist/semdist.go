@@ -8,6 +8,13 @@
 // neighbors (n = 20), with a replacement priority of deletion-marked
 // entries first, then the largest-distance entry (ties broken randomly),
 // then aged-out entries (paper §3.1.3).
+//
+// The per-file state lives in a dense slice indexed through a single
+// FileID → index map; neighbor lists are short (n ≤ a few dozen), so
+// membership tests are linear scans rather than per-file maps. Both
+// choices cut the allocation count per tracked file from several map
+// headers to one slice, which is what makes clustering-scale tables
+// (20k files) cheap to build and walk.
 package semdist
 
 import (
@@ -44,11 +51,21 @@ func (nb *Neighbor) Distance() float64 {
 // Count returns the number of samples reduced into this entry.
 func (nb *Neighbor) Count() int64 { return nb.count }
 
-// entry is the per-file state: its neighbor list and index.
+// entry is the per-file state: its neighbor list. Membership tests are
+// linear scans — the list is capped at NeighborTableSize.
 type entry struct {
 	id        simfs.FileID
 	neighbors []Neighbor
-	index     map[simfs.FileID]int
+}
+
+// findNeighbor returns the position of id on the list, or -1.
+func (e *entry) findNeighbor(id simfs.FileID) int {
+	for i := range e.neighbors {
+		if e.neighbors[i].ID == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // Table is the semantic-distance store for all files.
@@ -56,7 +73,14 @@ type Table struct {
 	p   config.Params
 	rng *stats.Rand
 
-	entries map[simfs.FileID]*entry
+	// idx maps a file to its slot in entries; slots are never reused, so
+	// a forgotten file leaves a zeroed hole that only idx can reach (it
+	// can't — the key is deleted).
+	idx     map[simfs.FileID]int32
+	entries []entry
+	// filesCache is the sorted id list Files() returns, rebuilt lazily
+	// after an entry is added or forgotten.
+	filesCache []simfs.FileID
 	// opens is the global open counter used for aging.
 	opens uint64
 	// marked files are flagged for deletion: their neighbor entries are
@@ -80,14 +104,14 @@ func NewTable(p config.Params, rng *stats.Rand) *Table {
 	return &Table{
 		p:         p,
 		rng:       rng,
-		entries:   make(map[simfs.FileID]*entry),
+		idx:       make(map[simfs.FileID]int32),
 		marked:    make(map[simfs.FileID]bool),
 		forgotten: make(map[simfs.FileID]bool),
 	}
 }
 
 // Len returns the number of files with relationship state.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return len(t.idx) }
 
 // Opens returns the global open counter.
 func (t *Table) Opens() uint64 { return t.opens }
@@ -96,6 +120,25 @@ func (t *Table) Opens() uint64 { return t.opens }
 // once per observed file open, giving aging a uniform clock.
 func (t *Table) TickOpen() { t.opens++ }
 
+// entryOf returns the entry for id, or nil. The pointer is valid only
+// until the next addEntry.
+func (t *Table) entryOf(id simfs.FileID) *entry {
+	i, ok := t.idx[id]
+	if !ok {
+		return nil
+	}
+	return &t.entries[i]
+}
+
+// addEntry creates the entry for id and returns its slot.
+func (t *Table) addEntry(id simfs.FileID) int32 {
+	i := int32(len(t.entries))
+	t.entries = append(t.entries, entry{id: id})
+	t.idx[id] = i
+	t.filesCache = nil
+	return i
+}
+
 // Observe records one distance sample from → to. Clamped samples (the
 // window compensation of §3.1.3) only update relationships that already
 // exist; they never create a new neighbor entry.
@@ -103,16 +146,16 @@ func (t *Table) Observe(from, to simfs.FileID, d float64, clamped bool) {
 	if from == to || t.forgotten[from] || t.forgotten[to] {
 		return
 	}
-	e := t.entries[from]
-	if e == nil {
+	ei, ok := t.idx[from]
+	if !ok {
 		if clamped {
 			return
 		}
-		e = &entry{id: from, index: make(map[simfs.FileID]int)}
-		t.entries[from] = e
+		ei = t.addEntry(from)
 	}
+	e := &t.entries[ei]
 	t.cleanForgotten(e)
-	if i, ok := e.index[to]; ok {
+	if i := e.findNeighbor(to); i >= 0 {
 		nb := &e.neighbors[i]
 		nb.sumLog += math.Log1p(d)
 		nb.count++
@@ -130,7 +173,11 @@ func (t *Table) Observe(from, to simfs.FileID, d float64, clamped bool) {
 func (t *Table) insert(e *entry, to simfs.FileID, d float64) {
 	nb := Neighbor{ID: to, sumLog: math.Log1p(d), count: 1, lastUpdate: t.opens}
 	if len(e.neighbors) < t.p.NeighborTableSize {
-		e.index[to] = len(e.neighbors)
+		if e.neighbors == nil {
+			// The list will grow to the cap and stay there; size it once
+			// instead of paying the append doubling sequence per file.
+			e.neighbors = make([]Neighbor, 0, t.p.NeighborTableSize)
+		}
 		e.neighbors = append(e.neighbors, nb)
 		return
 	}
@@ -138,9 +185,7 @@ func (t *Table) insert(e *entry, to simfs.FileID, d float64) {
 	if victim < 0 {
 		return // no candidate: drop the new observation
 	}
-	delete(e.index, e.neighbors[victim].ID)
 	e.neighbors[victim] = nb
-	e.index[to] = victim
 }
 
 // chooseVictim implements the replacement priority of §3.1.3:
@@ -195,30 +240,19 @@ func (t *Table) cleanForgotten(e *entry) {
 		return
 	}
 	kept := e.neighbors[:0]
-	dirty := false
 	for _, nb := range e.neighbors {
 		if t.forgotten[nb.ID] {
-			dirty = true
 			continue
 		}
 		kept = append(kept, nb)
 	}
-	if !dirty {
-		return
-	}
 	e.neighbors = kept
-	for k := range e.index {
-		delete(e.index, k)
-	}
-	for i := range e.neighbors {
-		e.index[e.neighbors[i].ID] = i
-	}
 }
 
 // Neighbors returns the ids on the file's closest-neighbor list, i.e.
 // the files this file considers related. Forgotten files are filtered.
 func (t *Table) Neighbors(id simfs.FileID) []simfs.FileID {
-	e := t.entries[id]
+	e := t.entryOf(id)
 	if e == nil {
 		return nil
 	}
@@ -230,10 +264,25 @@ func (t *Table) Neighbors(id simfs.FileID) []simfs.FileID {
 	return out
 }
 
+// AppendNeighbors appends the ids on the file's closest-neighbor list
+// to dst and returns the extended slice. It is the allocation-free form
+// of Neighbors used by the clustering pass (cluster.AppendSource).
+func (t *Table) AppendNeighbors(id simfs.FileID, dst []simfs.FileID) []simfs.FileID {
+	e := t.entryOf(id)
+	if e == nil {
+		return dst
+	}
+	t.cleanForgotten(e)
+	for i := range e.neighbors {
+		dst = append(dst, e.neighbors[i].ID)
+	}
+	return dst
+}
+
 // NeighborEntries returns copies of the file's neighbor entries sorted
 // by increasing distance; inspection tooling uses this.
 func (t *Table) NeighborEntries(id simfs.FileID) []Neighbor {
-	e := t.entries[id]
+	e := t.entryOf(id)
 	if e == nil {
 		return nil
 	}
@@ -253,12 +302,12 @@ func (t *Table) NeighborEntries(id simfs.FileID) []Neighbor {
 // Distance returns the reduced semantic distance from → to and whether
 // the relationship is known.
 func (t *Table) Distance(from, to simfs.FileID) (float64, bool) {
-	e := t.entries[from]
+	e := t.entryOf(from)
 	if e == nil {
 		return 0, false
 	}
-	i, ok := e.index[to]
-	if !ok || t.forgotten[to] {
+	i := e.findNeighbor(to)
+	if i < 0 || t.forgotten[to] {
 		return 0, false
 	}
 	return e.neighbors[i].Distance(), true
@@ -302,7 +351,11 @@ func (t *Table) forget(id simfs.FileID) {
 		return // revived in the meantime
 	}
 	delete(t.marked, id)
-	delete(t.entries, id)
+	if i, ok := t.idx[id]; ok {
+		t.entries[i] = entry{} // free the slot's memory; idx no longer reaches it
+		delete(t.idx, id)
+		t.filesCache = nil
+	}
 	t.forgotten[id] = true
 }
 
@@ -310,12 +363,16 @@ func (t *Table) forget(id simfs.FileID) {
 func (t *Table) Forgotten(id simfs.FileID) bool { return t.forgotten[id] }
 
 // Files returns the ids of all files with relationship state, sorted
-// for deterministic iteration.
+// for deterministic iteration. The result is cached until the file set
+// changes; callers must not modify it.
 func (t *Table) Files() []simfs.FileID {
-	out := make([]simfs.FileID, 0, len(t.entries))
-	for id := range t.entries {
-		out = append(out, id)
+	if t.filesCache == nil {
+		out := make([]simfs.FileID, 0, len(t.idx))
+		for id := range t.idx {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		t.filesCache = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.filesCache
 }

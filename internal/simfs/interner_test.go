@@ -1,0 +1,30 @@
+package simfs
+
+import "testing"
+
+func TestInterner(t *testing.T) {
+	in := NewInterner(4)
+	if in.Len() != 0 {
+		t.Fatalf("fresh interner Len = %d", in.Len())
+	}
+	a := in.Intern(100)
+	b := in.Intern(7)
+	if a != 0 || b != 1 {
+		t.Fatalf("first-seen order broken: %d, %d", a, b)
+	}
+	if again := in.Intern(100); again != a {
+		t.Errorf("re-intern gave %d, want %d", again, a)
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+	if in.ID(a) != 100 || in.ID(b) != 7 {
+		t.Errorf("ID round trip broken: %d, %d", in.ID(a), in.ID(b))
+	}
+	if i, ok := in.Lookup(7); !ok || i != b {
+		t.Errorf("Lookup(7) = %d, %v", i, ok)
+	}
+	if _, ok := in.Lookup(999); ok {
+		t.Error("Lookup of unseen id succeeded")
+	}
+}
