@@ -17,7 +17,7 @@ BENCH_TIME ?= 5x
 BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
-.PHONY: check vet build test test-race fuzz bench bench-check
+.PHONY: check vet build test test-race fuzz chaos bench bench-check
 
 check: vet build test-race
 
@@ -37,6 +37,18 @@ test-race:
 # deeper run.
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/core/
+
+# Chaos gate: run a real seerd pipeline under injected faults (stage
+# panics, stalled tail reads, failing checkpoints, wedged clustering)
+# with the race detector on, plus the supervisor and fault-injector unit
+# suites backing it. CHAOS_COUNT repeats the run to shake out timing
+# flakes.
+CHAOS_COUNT ?= 1
+chaos: vet
+	$(GO) test -race -count=$(CHAOS_COUNT) \
+		-run 'TestChaosPipeline|TestUnavailableRefusesPlans|TestFollowFailureMatrix' \
+		./cmd/seerd/
+	$(GO) test -race -count=$(CHAOS_COUNT) ./internal/supervise/ ./internal/fault/
 
 bench:
 	$(GO) build -o bin/benchcmp ./cmd/benchcmp

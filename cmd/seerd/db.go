@@ -55,8 +55,8 @@ func restoreDB(path string, opts core.Options) *core.Correlator {
 
 // saveDB checkpoints the correlator crash-safely under the daemon lock.
 func saveDB(d *daemon, path string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.lock()
+	defer d.unlock()
 	return writeSnapshot(d.corr, path)
 }
 

@@ -1,0 +1,335 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/supervise"
+)
+
+// planDeadline bounds how long a /plan or /hoard request may spend on
+// a fresh clustering before falling back to the last-good plan (a
+// variable so tests can tighten it).
+var planDeadline = 30 * time.Second
+
+// contentText is the Content-Type every text endpoint sets.
+const contentText = "text/plain; charset=utf-8"
+
+// staleHeader marks a response served from the last-good plan cache
+// rather than a fresh clustering.
+const staleHeader = "X-Seer-Stale"
+
+// daemon is seerd's shared state: the correlator behind a
+// context-acquirable lock, the last-good plan cache that keeps /plan
+// and /hoard answering while a clustering is wedged, and the counters
+// the health probes read.
+type daemon struct {
+	// sem is a binary semaphore guarding corr. Unlike a sync.Mutex it
+	// can be acquired with a deadline (lockCtx), which is what lets a
+	// plan request give up on a wedged clustering and serve the cached
+	// plan instead of queueing behind it forever.
+	sem    chan struct{}
+	corr   *core.Correlator
+	budget int64
+
+	// sup is set by newPipeline in serving mode; nil in one-shot mode.
+	sup *supervise.Supervisor
+
+	// plansBuilt counts hoard-plan constructions (the /plan and /hoard
+	// endpoints plus the one-shot print path); exported via expvar.
+	plansBuilt expvar.Int
+
+	// planOKAt (unix nano) and planFails (consecutive) drive the plan
+	// health probe; staleServed counts cache fallbacks.
+	planOKAt    atomic.Int64
+	planFails   atomic.Int64
+	staleServed atomic.Int64
+
+	// plans is the last-good rendered output per endpoint.
+	plans planCache
+}
+
+// newDaemon returns a daemon around corr.
+func newDaemon(corr *core.Correlator, budget int64) *daemon {
+	return &daemon{sem: make(chan struct{}, 1), corr: corr, budget: budget}
+}
+
+// lock acquires the correlator lock unconditionally.
+func (d *daemon) lock() { d.sem <- struct{}{} }
+
+// unlock releases it.
+func (d *daemon) unlock() { <-d.sem }
+
+// lockCtx acquires the correlator lock unless ctx ends first; it
+// reports whether the lock was acquired.
+func (d *daemon) lockCtx(ctx context.Context) bool {
+	select {
+	case d.sem <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case d.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// health returns the supervisor's aggregate health (Healthy when the
+// daemon runs unsupervised, i.e. one-shot mode).
+func (d *daemon) health() supervise.HealthState {
+	if d.sup == nil {
+		return supervise.Healthy
+	}
+	return d.sup.Health()
+}
+
+// planCache holds the last successfully rendered /plan and /hoard
+// bodies so both endpoints stay answerable while clustering is wedged.
+type planCache struct {
+	mu    sync.Mutex
+	plan  []byte
+	hoard []byte
+	at    time.Time
+}
+
+func (c *planCache) setPlan(b []byte) {
+	c.mu.Lock()
+	c.plan = b
+	c.at = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *planCache) setHoard(b []byte) {
+	c.mu.Lock()
+	c.hoard = b
+	c.at = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *planCache) get(hoard bool) ([]byte, time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hoard {
+		return c.hoard, c.at
+	}
+	return c.plan, c.at
+}
+
+// boundCtx derives the request context bounded by planDeadline (or by
+// a shorter client-supplied ?timeout_ms).
+func boundCtx(req *http.Request) (context.Context, context.CancelFunc) {
+	d := planDeadline
+	if ms := req.URL.Query().Get("timeout_ms"); ms != "" {
+		var v int64
+		if _, err := fmt.Sscanf(ms, "%d", &v); err == nil && v > 0 && time.Duration(v)*time.Millisecond < d {
+			d = time.Duration(v) * time.Millisecond
+		}
+	}
+	return context.WithTimeout(req.Context(), d)
+}
+
+// serveStale answers from the last-good plan cache, marking the
+// response stale; with no cache yet it refuses with 503.
+func (d *daemon) serveStale(w http.ResponseWriter, hoard bool) {
+	body, at := d.plans.get(hoard)
+	if body == nil {
+		http.Error(w, "plan unavailable: clustering has not completed yet", http.StatusServiceUnavailable)
+		return
+	}
+	d.staleServed.Add(1)
+	w.Header().Set(staleHeader, "true")
+	w.Header().Set(staleHeader+"-Age", time.Since(at).Round(time.Second).String())
+	w.Write(body)
+}
+
+// refuseUnavailable writes the 503 for hard-down states; only
+// Unavailable refuses — Degraded keeps serving (possibly stale).
+func (d *daemon) refuseUnavailable(w http.ResponseWriter) bool {
+	if d.health() == supervise.Unavailable {
+		http.Error(w, "daemon unavailable", http.StatusServiceUnavailable)
+		return true
+	}
+	return false
+}
+
+// handlePlan serves the full inclusion order. A fresh plan is built
+// under a deadline; if the clustering (or the lock in front of it) is
+// wedged past the deadline the last-good plan is served with the stale
+// header instead.
+func (d *daemon) handlePlan(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", contentText)
+	if d.refuseUnavailable(w) {
+		return
+	}
+	ctx, cancel := boundCtx(req)
+	defer cancel()
+	if !d.lockCtx(ctx) {
+		d.planFails.Add(1)
+		d.serveStale(w, false)
+		return
+	}
+	d.plansBuilt.Add(1)
+	plan, err := d.corr.PlanContext(ctx)
+	if err != nil {
+		d.unlock()
+		d.planFails.Add(1)
+		d.serveStale(w, false)
+		return
+	}
+	var buf bytes.Buffer
+	for i, e := range plan.Entries {
+		fmt.Fprintf(&buf, "%5d %8s %10d %12d %s\n",
+			i, e.Reason, e.File.Size, e.Cum, e.File.Path)
+	}
+	d.unlock()
+	d.planOKAt.Store(time.Now().UnixNano())
+	d.planFails.Store(0)
+	d.plans.setPlan(buf.Bytes())
+	w.Write(buf.Bytes())
+}
+
+// handleHoard serves the chosen files at the budget, with the same
+// deadline-and-stale-fallback discipline as /plan.
+func (d *daemon) handleHoard(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", contentText)
+	if d.refuseUnavailable(w) {
+		return
+	}
+	ctx, cancel := boundCtx(req)
+	defer cancel()
+	if !d.lockCtx(ctx) {
+		d.planFails.Add(1)
+		d.serveStale(w, true)
+		return
+	}
+	var buf bytes.Buffer
+	err := d.renderHoard(ctx, &buf)
+	d.unlock()
+	if err != nil {
+		d.planFails.Add(1)
+		d.serveStale(w, true)
+		return
+	}
+	d.planOKAt.Store(time.Now().UnixNano())
+	d.planFails.Store(0)
+	d.plans.setHoard(buf.Bytes())
+	w.Write(buf.Bytes())
+}
+
+// renderHoard writes the hoard listing; the caller holds the lock.
+func (d *daemon) renderHoard(ctx context.Context, w io.Writer) error {
+	d.plansBuilt.Add(1)
+	contents, err := d.corr.FillContext(ctx, d.budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# hoard: %d files, %d bytes of %d budget\n",
+		contents.Len(), contents.UsedBytes(), contents.Budget())
+	// How long a cold fill would hold the link (paper §1: bandwidth is
+	// the scarce resource).
+	for _, l := range []struct {
+		name string
+		link replic.Link
+	}{
+		{"28.8k modem", replic.Modem28k},
+		{"ISDN", replic.ISDN},
+		{"10M ethernet", replic.Ethernet10},
+	} {
+		est := replic.EstimateSync(d.corr.FS(), contents.IDs(), l.link)
+		fmt.Fprintf(w, "# cold fill over %-12s %v\n", l.name+":", est.Duration.Round(time.Second))
+	}
+	for _, id := range contents.IDs() {
+		if f := d.corr.FS().Get(id); f != nil {
+			fmt.Fprintln(w, f.Path)
+		}
+	}
+	return nil
+}
+
+// printHoard renders the hoard once for one-shot mode.
+func (d *daemon) printHoard(w io.Writer) {
+	d.lock()
+	defer d.unlock()
+	d.renderHoard(context.Background(), w)
+}
+
+func (d *daemon) handleClusters(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", contentText)
+	if d.refuseUnavailable(w) {
+		return
+	}
+	ctx, cancel := boundCtx(req)
+	defer cancel()
+	if !d.lockCtx(ctx) {
+		http.Error(w, "busy: clustering in progress", http.StatusServiceUnavailable)
+		return
+	}
+	defer d.unlock()
+	res, err := d.corr.ClustersContext(ctx)
+	if err != nil {
+		http.Error(w, "clustering timed out", http.StatusServiceUnavailable)
+		return
+	}
+	for _, cl := range res.Clusters {
+		if len(cl.Members) < 2 {
+			continue
+		}
+		fmt.Fprintf(w, "cluster %d (%d files):\n", cl.ID, len(cl.Members))
+		for _, m := range cl.Members {
+			if f := d.corr.FS().Get(m); f != nil {
+				fmt.Fprintf(w, "  %s\n", f.Path)
+			}
+		}
+	}
+}
+
+// handleMiss records a hoard miss (§4.4): the same request both logs
+// the miss and forces the file — plus its project — into future plans.
+// POST /miss?path=/home/u/file; other methods get 405 with Allow.
+func (d *daemon) handleMiss(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", contentText)
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed; use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	path := req.URL.Query().Get("path")
+	if path == "" {
+		http.Error(w, "missing path parameter", http.StatusBadRequest)
+		return
+	}
+	if !d.lockCtx(req.Context()) {
+		http.Error(w, "busy: clustering in progress", http.StatusServiceUnavailable)
+		return
+	}
+	mates := d.corr.ForceHoard(path)
+	d.unlock()
+	fmt.Fprintf(w, "recorded miss of %s; forced %d project mates:\n", path, len(mates))
+	for _, m := range mates {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+}
+
+func (d *daemon) handleStats(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", contentText)
+	if !d.lockCtx(req.Context()) {
+		http.Error(w, "busy: clustering in progress", http.StatusServiceUnavailable)
+		return
+	}
+	defer d.unlock()
+	st := d.corr.Observer().Stats()
+	fmt.Fprintf(w, "events %d\nreferences %d\nknown %d\ntracked %d\nfrequent %d\n",
+		st.Events, st.References, d.corr.FS().Len(), d.corr.Table().Len(),
+		len(d.corr.Observer().FrequentFiles()))
+}

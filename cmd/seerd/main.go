@@ -13,12 +13,23 @@
 //	seerd -strace /tmp/seer.strace -listen :7077 -budget 512
 //
 // Endpoints: /plan (inclusion order), /hoard (chosen files at the
-// budget), /clusters, /stats, /miss?path=... (record a hoard miss and
-// force the file's project into future plans, §4.4). Without -listen,
-// seerd prints the hoard list once and exits. With -debug-addr, a
-// second listener serves net/http/pprof profiles and expvar counters
-// (events fed, plans built, cluster-cache hits/misses, last clustering
-// duration) for live performance inspection.
+// budget), /clusters, /stats, /miss?path=... (POST; record a hoard
+// miss and force the file's project into future plans, §4.4), and
+// /healthz + /readyz (JSON health detail). Without -listen, seerd
+// prints the hoard list once and exits. With -debug-addr, a second
+// listener serves net/http/pprof profiles, expvar counters, and the
+// same health endpoints.
+//
+// Supervision: in serving mode every stage — strace tailer, correlator
+// feeder, checkpointer, HTTP listeners — runs under a supervisor that
+// captures panics and restarts the stage with exponential backoff and
+// jitter; a stage that keeps failing trips a circuit breaker and flips
+// overall health (healthy → degraded → unavailable) instead of
+// crash-looping. The tailer hands events to the feeder through a
+// bounded queue (block briefly, then shed-oldest with a drop counter),
+// so a wedged clustering can never stall the tail loop, and /plan and
+// /hoard fall back to the last-good plan (X-Seer-Stale: true) when a
+// fresh one cannot be built before the deadline.
 //
 // Durability: with -db, the database is restored at startup through a
 // recovery ladder (snapshot, then its .bak rotation, then a fresh
@@ -29,75 +40,18 @@ package main
 
 import (
 	"context"
-	"expvar"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
 	"github.com/fmg/seer/internal/core"
-	"github.com/fmg/seer/internal/replic"
 	"github.com/fmg/seer/internal/strace"
 )
-
-type daemon struct {
-	mu     sync.Mutex
-	corr   *core.Correlator
-	budget int64
-
-	// plansBuilt counts hoard-plan constructions (the /plan and /hoard
-	// endpoints plus the one-shot print path); exported via expvar when
-	// -debug-addr is set.
-	plansBuilt expvar.Int
-}
-
-// serveDebug exposes profiling and operational counters on a separate
-// listener, opt-in via -debug-addr, so the decision endpoints never
-// share a port with introspection. The pprof handlers are registered
-// explicitly on a private mux; nothing is served from the default mux.
-func (d *daemon) serveDebug(addr string) {
-	expvar.Publish("seer.events_fed", expvar.Func(func() any {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		return d.corr.Events()
-	}))
-	expvar.Publish("seer.plans_built", expvar.Func(func() any {
-		return d.plansBuilt.Value()
-	}))
-	expvar.Publish("seer.cluster_cache", expvar.Func(func() any {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		hits, misses := d.corr.CacheStats()
-		return map[string]uint64{"hits": hits, "misses": misses}
-	}))
-	expvar.Publish("seer.last_cluster_ms", expvar.Func(func() any {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		return float64(d.corr.LastClusterDuration()) / float64(time.Millisecond)
-	}))
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	fmt.Fprintf(os.Stderr, "seerd: debug endpoints on %s\n", addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintf(os.Stderr, "seerd: debug listener: %v\n", err)
-	}
-}
 
 func main() {
 	stracePath := flag.String("strace", "-", "strace output file (- = stdin)")
@@ -108,6 +62,8 @@ func main() {
 		"keep tailing the strace file for appended lines (requires -listen)")
 	debugAddr := flag.String("debug-addr", "",
 		"optional listen address for pprof and expvar debug endpoints (requires -listen)")
+	queueCap := flag.Int("queue", 8192,
+		"bounded ingestion queue capacity between the tailer and the correlator")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -122,27 +78,32 @@ func main() {
 	}
 
 	opts := core.Options{Seed: 1}
-	d := &daemon{
-		corr:   restoreDB(*dbPath, opts),
-		budget: *budgetMB << 20,
-	}
+	d := newDaemon(restoreDB(*dbPath, opts), *budgetMB<<20)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Bootstrap: one cold pass over the existing trace. A signal during
+	// a large read stops it promptly; whatever was learned up to that
+	// point is still checkpointed below before a clean exit.
 	parser := strace.NewParser()
-	err := feedLines(in, maxLineLen, func(line string) {
+	interrupted := false
+	err := feedLines(ctx, in, maxLineLen, func(line string) {
 		if ev, ok := parser.ParseLine(line); ok {
-			d.mu.Lock()
 			d.corr.Feed(ev)
-			d.mu.Unlock()
 		}
 	})
 	if err != nil {
-		// A bad input stream costs the unread tail, not the accumulated
-		// database: keep going with what was learned.
-		fmt.Fprintf(os.Stderr, "seerd: read: %v (continuing with %d events)\n",
-			err, d.corr.Events())
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "seerd: interrupted during bootstrap (continuing with %d events)\n",
+				d.corr.Events())
+			interrupted = true
+		} else {
+			// A bad input stream costs the unread tail, not the
+			// accumulated database: keep going with what was learned.
+			fmt.Fprintf(os.Stderr, "seerd: read: %v (continuing with %d events)\n",
+				err, d.corr.Events())
+		}
 	}
 
 	if *dbPath != "" {
@@ -153,44 +114,39 @@ func main() {
 			}
 		}
 	}
+	if interrupted {
+		return
+	}
 
 	if *listen == "" {
 		d.printHoard(os.Stdout)
 		return
 	}
-	if *follow && *stracePath != "-" {
-		go d.followFile(ctx, *stracePath, *dbPath)
+
+	p := newPipeline(d, pipelineConfig{
+		stracePath: *stracePath,
+		follow:     *follow,
+		dbPath:     *dbPath,
+		listen:     *listen,
+		debugAddr:  *debugAddr,
+		queueCap:   *queueCap,
+	})
+	p.start(ctx)
+	// Wait for the listener to bind so the startup line reports the
+	// resolved address (":0" becomes a concrete port).
+	for i := 0; i < 100 && p.addr() == ""; i++ {
+		time.Sleep(10 * time.Millisecond)
 	}
-	if *debugAddr != "" {
-		go d.serveDebug(*debugAddr)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/plan", d.handlePlan)
-	mux.HandleFunc("/hoard", d.handleHoard)
-	mux.HandleFunc("/clusters", d.handleClusters)
-	mux.HandleFunc("/stats", d.handleStats)
-	mux.HandleFunc("/miss", d.handleMiss)
-	srv := &http.Server{
-		Addr:              *listen,
-		Handler:           mux,
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
-	go func() {
-		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "seerd: signal received, shutting down")
-		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		srv.Shutdown(shCtx)
-	}()
 	fmt.Fprintf(os.Stderr, "seerd: %d events observed, serving on %s\n",
-		d.corr.Events(), *listen)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
-		os.Exit(1)
+		d.corr.Events(), p.addr())
+	if *debugAddr != "" {
+		fmt.Fprintf(os.Stderr, "seerd: debug endpoints on %s\n", p.debugAddr())
 	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "seerd: signal received, shutting down")
+	p.wait()
+	p.drain()
 	// Graceful exit: one final checkpoint so nothing learned since the
 	// last periodic save is lost.
 	if *dbPath != "" {
@@ -200,89 +156,4 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "seerd: final checkpoint saved to %s\n", *dbPath)
 	}
-}
-
-func (d *daemon) printHoard(w io.Writer) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.plansBuilt.Add(1)
-	contents := d.corr.Fill(d.budget)
-	fmt.Fprintf(w, "# hoard: %d files, %d bytes of %d budget\n",
-		contents.Len(), contents.UsedBytes(), contents.Budget())
-	// How long a cold fill would hold the link (paper §1: bandwidth is
-	// the scarce resource).
-	for _, l := range []struct {
-		name string
-		link replic.Link
-	}{
-		{"28.8k modem", replic.Modem28k},
-		{"ISDN", replic.ISDN},
-		{"10M ethernet", replic.Ethernet10},
-	} {
-		est := replic.EstimateSync(d.corr.FS(), contents.IDs(), l.link)
-		fmt.Fprintf(w, "# cold fill over %-12s %v\n", l.name+":", est.Duration.Round(time.Second))
-	}
-	for _, id := range contents.IDs() {
-		if f := d.corr.FS().Get(id); f != nil {
-			fmt.Fprintln(w, f.Path)
-		}
-	}
-}
-
-func (d *daemon) handlePlan(w http.ResponseWriter, _ *http.Request) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.plansBuilt.Add(1)
-	for i, e := range d.corr.Plan().Entries {
-		fmt.Fprintf(w, "%5d %8s %10d %12d %s\n",
-			i, e.Reason, e.File.Size, e.Cum, e.File.Path)
-	}
-}
-
-func (d *daemon) handleHoard(w http.ResponseWriter, _ *http.Request) {
-	d.printHoard(w)
-}
-
-func (d *daemon) handleClusters(w http.ResponseWriter, _ *http.Request) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	res := d.corr.Clusters()
-	for _, cl := range res.Clusters {
-		if len(cl.Members) < 2 {
-			continue
-		}
-		fmt.Fprintf(w, "cluster %d (%d files):\n", cl.ID, len(cl.Members))
-		for _, m := range cl.Members {
-			if f := d.corr.FS().Get(m); f != nil {
-				fmt.Fprintf(w, "  %s\n", f.Path)
-			}
-		}
-	}
-}
-
-// handleMiss records a hoard miss (§4.4): the same request both logs
-// the miss and forces the file — plus its project — into future plans.
-// POST /miss?path=/home/u/file
-func (d *daemon) handleMiss(w http.ResponseWriter, req *http.Request) {
-	path := req.URL.Query().Get("path")
-	if path == "" {
-		http.Error(w, "missing path parameter", http.StatusBadRequest)
-		return
-	}
-	d.mu.Lock()
-	mates := d.corr.ForceHoard(path)
-	d.mu.Unlock()
-	fmt.Fprintf(w, "recorded miss of %s; forced %d project mates:\n", path, len(mates))
-	for _, m := range mates {
-		fmt.Fprintf(w, "  %s\n", m)
-	}
-}
-
-func (d *daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	st := d.corr.Observer().Stats()
-	fmt.Fprintf(w, "events %d\nreferences %d\nknown %d\ntracked %d\nfrequent %d\n",
-		st.Events, st.References, d.corr.FS().Len(), d.corr.Table().Len(),
-		len(d.corr.Observer().FrequentFiles()))
 }

@@ -1,0 +1,407 @@
+package main
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fmg/seer/internal/supervise"
+	"github.com/fmg/seer/internal/trace"
+)
+
+// pipelineConfig wires a supervised daemon.
+type pipelineConfig struct {
+	stracePath string
+	follow     bool
+	dbPath     string
+	listen     string
+	debugAddr  string
+
+	// queueCap bounds the tailer→feeder event queue; queueBlock is how
+	// long an overflowing Put blocks before shedding the oldest event.
+	queueCap   int
+	queueBlock time.Duration
+
+	checkpointEvery time.Duration
+	supervisor      supervise.Config
+}
+
+func (c pipelineConfig) withDefaults() pipelineConfig {
+	if c.queueCap <= 0 {
+		c.queueCap = 8192
+	}
+	if c.queueBlock <= 0 {
+		c.queueBlock = 100 * time.Millisecond
+	}
+	if c.checkpointEvery <= 0 {
+		c.checkpointEvery = checkpointEvery
+	}
+	return c
+}
+
+// ckptDegradedAfter is how many consecutive checkpoint failures turn
+// the checkpoint probe degraded.
+const ckptDegradedAfter = 3
+
+// planDegradedAfter is how many consecutive failed/stale plan builds
+// turn the plan probe degraded.
+const planDegradedAfter = 2
+
+// pipeline is the supervised runtime of seerd: the tailer, feeder,
+// checkpointer, and HTTP listener stages, the bounded ingestion queue
+// between tailer and feeder, and the health probes derived from them.
+type pipeline struct {
+	d     *daemon
+	cfg   pipelineConfig
+	sup   *supervise.Supervisor
+	queue *supervise.Queue[trace.Event]
+
+	// Test/chaos hooks, all optional: wrapTail decorates the tail file
+	// reader, feed consumes one event (default: correlator under the
+	// daemon lock), save checkpoints the database (default: saveDB).
+	wrapTail func(io.Reader) io.Reader
+	feed     func(ev trace.Event)
+	save     func() error
+
+	// ckptFailures counts consecutive checkpoint failures; lastCkptOK
+	// is the unix-nano time of the last success (0 = never).
+	ckptFailures atomic.Int64
+	lastCkptOK   atomic.Int64
+
+	// httpAddr/debugHTTPAddr hold the bound listener addresses once the
+	// server stages are up (tests listen on :0).
+	mu            sync.Mutex
+	httpAddr      net.Addr
+	debugHTTPAddr net.Addr
+}
+
+// newPipeline builds the supervised stage tree around d. Call start to
+// launch it.
+func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
+	cfg = cfg.withDefaults()
+	p := &pipeline{
+		d:     d,
+		cfg:   cfg,
+		queue: supervise.NewQueue[trace.Event](cfg.queueCap, cfg.queueBlock),
+	}
+	p.feed = func(ev trace.Event) {
+		d.lock()
+		d.corr.Feed(ev)
+		d.unlock()
+	}
+	p.save = func() error { return saveDB(d, cfg.dbPath) }
+
+	sc := cfg.supervisor
+	if sc.OnEvent == nil {
+		sc.OnEvent = func(e supervise.Event) {
+			if e.Err != nil {
+				fmt.Fprintf(os.Stderr, "seerd: stage %s %s: %v\n", e.Stage, e.Kind, firstLine(e.Err.Error()))
+			} else {
+				fmt.Fprintf(os.Stderr, "seerd: stage %s %s (restarts=%d)\n", e.Stage, e.Kind, e.Restarts)
+			}
+		}
+	}
+	p.sup = supervise.New(sc)
+	d.sup = p.sup
+
+	if cfg.follow && cfg.stracePath != "-" {
+		p.sup.Add("tailer", p.tailStage)
+	}
+	p.sup.Add("feeder", p.feedStage)
+	if cfg.dbPath != "" {
+		p.sup.Add("checkpointer", p.checkpointStage)
+	}
+	p.sup.Add("http", p.serverStage(cfg.listen, p.mainMux(), &p.httpAddr), supervise.Critical())
+	if cfg.debugAddr != "" {
+		p.sup.Add("debug", p.serverStage(cfg.debugAddr, p.debugMux(), &p.debugHTTPAddr))
+	}
+
+	p.sup.AddProbe("queue", func() supervise.Probe {
+		depth, capacity := p.queue.Len(), p.queue.Cap()
+		st := supervise.Healthy
+		if depth*10 >= capacity*9 {
+			st = supervise.Degraded
+		}
+		return supervise.Probe{
+			State:  st,
+			Detail: fmt.Sprintf("depth=%d/%d drops=%d", depth, capacity, p.queue.Drops()),
+		}
+	})
+	if cfg.dbPath != "" {
+		p.sup.AddProbe("checkpoint", func() supervise.Probe {
+			fails := p.ckptFailures.Load()
+			st := supervise.Healthy
+			if fails >= ckptDegradedAfter {
+				st = supervise.Degraded
+			}
+			detail := fmt.Sprintf("consecutive_failures=%d", fails)
+			if at := p.lastCkptOK.Load(); at > 0 {
+				detail += fmt.Sprintf(" last_success_age=%s", time.Since(time.Unix(0, at)).Round(time.Second))
+			}
+			return supervise.Probe{State: st, Detail: detail}
+		})
+	}
+	p.sup.AddProbe("plan", func() supervise.Probe {
+		fails := d.planFails.Load()
+		st := supervise.Healthy
+		if fails >= planDegradedAfter {
+			st = supervise.Degraded
+		}
+		detail := fmt.Sprintf("consecutive_failures=%d stale_served=%d", fails, d.staleServed.Load())
+		if at := d.planOKAt.Load(); at > 0 {
+			detail += fmt.Sprintf(" last_fresh_age=%s", time.Since(time.Unix(0, at)).Round(time.Second))
+		}
+		return supervise.Probe{State: st, Detail: detail}
+	})
+	return p
+}
+
+// start launches the stage tree; stages stop when ctx ends.
+func (p *pipeline) start(ctx context.Context) {
+	activePipeline.Store(p)
+	publishVarsOnce()
+	p.sup.Start(ctx)
+}
+
+// wait blocks until every stage has stopped.
+func (p *pipeline) wait() { p.sup.Wait() }
+
+// drain moves everything still queued into the correlator; called
+// after the stages have stopped so the final checkpoint includes every
+// event the tailer managed to enqueue.
+func (p *pipeline) drain() {
+	for {
+		ev, ok := p.queue.TryGet()
+		if !ok {
+			return
+		}
+		p.feed(ev)
+	}
+}
+
+// feedStage drains the event queue into the correlator. It holds the
+// daemon lock only per event, so plan requests interleave with
+// ingestion, and the queue absorbs bursts while a clustering runs.
+func (p *pipeline) feedStage(ctx context.Context) error {
+	for {
+		ev, ok := p.queue.Get(ctx)
+		if !ok {
+			return nil
+		}
+		p.feed(ev)
+	}
+}
+
+// checkpointStage periodically saves the database. Save errors do not
+// kill the stage: they are counted, surfaced through the checkpoint
+// probe (degraded after ckptDegradedAfter consecutive failures), and
+// retried next interval. Panics in the save path bubble to the
+// supervisor like any stage failure.
+func (p *pipeline) checkpointStage(ctx context.Context) error {
+	t := time.NewTicker(p.cfg.checkpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+		}
+		if err := p.save(); err != nil {
+			p.ckptFailures.Add(1)
+			fmt.Fprintf(os.Stderr, "seerd: checkpoint: %v\n", err)
+		} else {
+			p.ckptFailures.Store(0)
+			p.lastCkptOK.Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// serverStage returns a stage running an HTTP server on addr: listen,
+// serve until ctx ends, then shut down gracefully (draining in-flight
+// requests). A listener or serve error restarts the stage under the
+// supervisor's backoff instead of killing the process.
+func (p *pipeline) serverStage(addr string, mux *http.ServeMux, out *net.Addr) supervise.StageFunc {
+	return func(ctx context.Context) error {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		*out = ln.Addr()
+		p.mu.Unlock()
+		srv := &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(ln) }()
+		select {
+		case <-ctx.Done():
+			shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(shCtx)
+			<-errc
+			return nil
+		case err := <-errc:
+			return err
+		}
+	}
+}
+
+// addr returns the bound address of the main listener ("" before it is
+// up).
+func (p *pipeline) addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.httpAddr == nil {
+		return ""
+	}
+	return p.httpAddr.String()
+}
+
+// debugAddr returns the bound address of the debug listener.
+func (p *pipeline) debugAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.debugHTTPAddr == nil {
+		return ""
+	}
+	return p.debugHTTPAddr.String()
+}
+
+// mainMux builds the decision-endpoint mux, including the health
+// endpoints so a hoard client can check its daemon without a second
+// listener.
+func (p *pipeline) mainMux() *http.ServeMux {
+	d := p.d
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", d.handlePlan)
+	mux.HandleFunc("/hoard", d.handleHoard)
+	mux.HandleFunc("/clusters", d.handleClusters)
+	mux.HandleFunc("/stats", d.handleStats)
+	mux.HandleFunc("/miss", d.handleMiss)
+	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
+	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
+	return mux
+}
+
+// debugMux builds the debug mux: pprof, expvar, and the same health
+// endpoints. The pprof handlers are registered explicitly on a private
+// mux; nothing is served from the default mux.
+func (p *pipeline) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
+	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
+	return mux
+}
+
+// activePipeline is the pipeline whose counters the process-global
+// expvars report (expvar registration is once-per-process, but tests
+// start several pipelines).
+var activePipeline atomic.Pointer[pipeline]
+
+var publishOnce sync.Once
+
+// publishVarsOnce registers the daemon's expvar counters: events fed,
+// plans built, cluster-cache hits/misses, last clustering duration,
+// queue depth/drops, stage restarts, and health state.
+func publishVarsOnce() {
+	publishOnce.Do(func() {
+		pget := func() *pipeline { return activePipeline.Load() }
+		expvar.Publish("seer.events_fed", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return 0
+			}
+			p.d.lock()
+			defer p.d.unlock()
+			return p.d.corr.Events()
+		}))
+		expvar.Publish("seer.plans_built", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return 0
+			}
+			return p.d.plansBuilt.Value()
+		}))
+		expvar.Publish("seer.cluster_cache", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return nil
+			}
+			p.d.lock()
+			defer p.d.unlock()
+			hits, misses := p.d.corr.CacheStats()
+			return map[string]uint64{"hits": hits, "misses": misses}
+		}))
+		expvar.Publish("seer.last_cluster_ms", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return 0
+			}
+			p.d.lock()
+			defer p.d.unlock()
+			return float64(p.d.corr.LastClusterDuration()) / float64(time.Millisecond)
+		}))
+		expvar.Publish("seer.queue", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return nil
+			}
+			return map[string]any{
+				"depth": p.queue.Len(),
+				"cap":   p.queue.Cap(),
+				"drops": p.queue.Drops(),
+			}
+		}))
+		expvar.Publish("seer.stage_restarts", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return 0
+			}
+			return p.sup.Restarts()
+		}))
+		expvar.Publish("seer.health", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return nil
+			}
+			return p.sup.Health().String()
+		}))
+		expvar.Publish("seer.stale_plans_served", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return 0
+			}
+			return p.d.staleServed.Load()
+		}))
+	})
+}
+
+// firstLine truncates s at its first newline (panic errors carry full
+// stack traces).
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -9,12 +9,22 @@ import (
 	"time"
 
 	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/supervise"
 	"github.com/fmg/seer/internal/trace"
 )
 
+// testSupervisorConfig is a backoff policy tight enough for tests.
+func testSupervisorConfig() supervise.Config {
+	return supervise.Config{
+		Backoff:    supervise.Backoff{Initial: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.1},
+		BreakAfter: 50,
+		Window:     time.Minute,
+	}
+}
+
 func TestFeedLinesDeliversAll(t *testing.T) {
 	var got []string
-	err := feedLines(strings.NewReader("a\nbb\nccc"), 100, func(s string) {
+	err := feedLines(context.Background(), strings.NewReader("a\nbb\nccc"), 100, func(s string) {
 		got = append(got, s)
 	})
 	if err != nil {
@@ -37,7 +47,7 @@ func TestFeedLinesSkipsOversized(t *testing.T) {
 	huge := strings.Repeat("x", 300)
 	in := "before\n" + huge + "\nafter\n"
 	var got []string
-	if err := feedLines(strings.NewReader(in), 100, func(s string) {
+	if err := feedLines(context.Background(), strings.NewReader(in), 100, func(s string) {
 		got = append(got, s)
 	}); err != nil {
 		t.Fatal(err)
@@ -50,7 +60,7 @@ func TestFeedLinesSkipsOversized(t *testing.T) {
 func TestFeedLinesSkipsOversizedTail(t *testing.T) {
 	huge := strings.Repeat("x", 300)
 	var got []string
-	if err := feedLines(strings.NewReader("ok\n"+huge), 100, func(s string) {
+	if err := feedLines(context.Background(), strings.NewReader("ok\n"+huge), 100, func(s string) {
 		got = append(got, s)
 	}); err != nil {
 		t.Fatal(err)
@@ -140,7 +150,7 @@ func TestSaveDBThenRestoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	db := filepath.Join(dir, "seer.db")
 	opts := core.Options{Seed: 1}
-	d := &daemon{corr: seededCorrelator(opts), budget: 1 << 20}
+	d := newDaemon(seededCorrelator(opts), 1<<20)
 	if err := saveDB(d, db); err != nil {
 		t.Fatal(err)
 	}
@@ -159,9 +169,9 @@ func waitEvents(t *testing.T, d *daemon, n uint64) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		d.mu.Lock()
+		d.lock()
 		got := d.corr.Events()
-		d.mu.Unlock()
+		d.unlock()
 		if got >= n {
 			return
 		}
@@ -170,7 +180,42 @@ func waitEvents(t *testing.T, d *daemon, n uint64) {
 	t.Fatalf("daemon never reached %d events", n)
 }
 
-func TestFollowFileSurvivesTruncationAndRotation(t *testing.T) {
+// startTestPipeline builds and starts a supervised pipeline for tests,
+// returning it with its cancel func. The caller appends to path to
+// feed the tailer.
+func startTestPipeline(t *testing.T, d *daemon, cfg pipelineConfig) (*pipeline, context.CancelFunc) {
+	t.Helper()
+	if cfg.listen == "" {
+		cfg.listen = "127.0.0.1:0"
+	}
+	if cfg.supervisor.Window == 0 {
+		cfg.supervisor = testSupervisorConfig()
+	}
+	p := newPipeline(d, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	p.start(ctx)
+	t.Cleanup(func() {
+		cancel()
+		done := make(chan struct{})
+		go func() { p.wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("pipeline did not stop within 10s")
+		}
+	})
+	// Wait for the listener so tests can hit HTTP endpoints.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if p.addr() == "" {
+		t.Fatal("pipeline listener never came up")
+	}
+	return p, cancel
+}
+
+func TestFollowPipelineSurvivesTruncationAndRotation(t *testing.T) {
 	oldPoll := followPoll
 	followPoll = 10 * time.Millisecond
 	defer func() { followPoll = oldPoll }()
@@ -184,14 +229,12 @@ func TestFollowFileSurvivesTruncationAndRotation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d := &daemon{corr: core.New(core.Options{Seed: 1})}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	done := make(chan struct{})
-	go func() {
-		d.followFile(ctx, path, "")
-		close(done)
-	}()
+	d := newDaemon(core.New(core.Options{Seed: 1}), 1<<20)
+	p, cancel := startTestPipeline(t, d, pipelineConfig{
+		stracePath: path,
+		follow:     true,
+	})
+	_ = p
 
 	// Appended lines are consumed.
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
@@ -223,9 +266,11 @@ func TestFollowFileSurvivesTruncationAndRotation(t *testing.T) {
 	waitEvents(t, d, 3)
 
 	cancel()
+	done := make(chan struct{})
+	go func() { p.wait(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
-		t.Fatal("followFile did not stop on context cancellation")
+		t.Fatal("pipeline did not stop on context cancellation")
 	}
 }

@@ -17,22 +17,34 @@ import (
 // bufio.Scanner would instead stop the whole stream with ErrTooLong.
 const maxLineLen = 1 << 20
 
-// checkpointEvery is the follow-mode checkpoint interval.
+// checkpointEvery is the default checkpointer-stage interval.
 const checkpointEvery = 5 * time.Minute
 
-// followPoll is how long followFile waits at EOF before polling again
+// followPoll is how long the tailer waits at EOF before polling again
 // (a variable so tests can tighten the loop).
 var followPoll = time.Second
 
 // feedLines delivers each newline-terminated line of r (and a trailing
 // unterminated line at EOF) to fn with the newline stripped. Lines
 // longer than maxLine are skipped with a warning instead of aborting
-// the stream.
-func feedLines(r io.Reader, maxLine int, fn func(string)) error {
+// the stream. A cancelled ctx stops the read promptly (checked every
+// few lines) and returns ctx.Err(), so SIGINT during a large cold
+// bootstrap does not have to run to EOF before it is noticed.
+func feedLines(ctx context.Context, r io.Reader, maxLine int, fn func(string)) error {
 	br := bufio.NewReaderSize(r, 64*1024)
 	var partial []byte
 	skipping := false
+	done := ctx.Done()
+	lines := 0
 	for {
+		if lines%64 == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		lines++
 		chunk, err := br.ReadString('\n')
 		if skipping {
 			if err == nil {
@@ -63,13 +75,16 @@ func feedLines(r io.Reader, maxLine int, fn func(string)) error {
 	}
 }
 
-// followFile tails the strace file for appended lines, feeding them to
-// the correlator as they arrive and checkpointing the database
-// periodically when one is configured. It survives the file being
-// truncated or rotated (size shrank or inode changed): the new file is
-// reopened from the start instead of polling a dead offset forever. It
-// returns when ctx is cancelled.
-func (d *daemon) followFile(ctx context.Context, path, dbPath string) {
+// tailStage tails the strace file for appended lines, parses them, and
+// enqueues the resulting events on the pipeline's bounded queue — it
+// never touches the correlator (or its lock), so a wedged clustering
+// cannot stall the tail loop. It survives the file being truncated or
+// rotated (size shrank or inode changed): the new file is reopened
+// from the start instead of polling a dead offset forever. It returns
+// when ctx is cancelled; errors and panics bubble to the supervisor,
+// which restarts the stage with backoff (each fresh start seeks to the
+// current end of the file).
+func (p *pipeline) tailStage(ctx context.Context) error {
 	parser := strace.NewParser()
 	var (
 		f        *os.File
@@ -79,7 +94,7 @@ func (d *daemon) followFile(ctx context.Context, path, dbPath string) {
 		skipping bool
 	)
 	open := func(seekEnd bool) error {
-		nf, err := os.Open(path)
+		nf, err := os.Open(p.cfg.stracePath)
 		if err != nil {
 			return err
 		}
@@ -93,17 +108,19 @@ func (d *daemon) followFile(ctx context.Context, path, dbPath string) {
 		if f != nil {
 			f.Close()
 		}
-		f, br, offset = nf, bufio.NewReaderSize(nf, 64*1024), off
+		var r io.Reader = nf
+		if p.wrapTail != nil {
+			r = p.wrapTail(nf)
+		}
+		f, br, offset = nf, bufio.NewReaderSize(r, 64*1024), off
 		partial, skipping = nil, false
 		parser = strace.NewParser()
 		return nil
 	}
 	if err := open(true); err != nil {
-		fmt.Fprintf(os.Stderr, "seerd: follow: %v\n", err)
-		return
+		return fmt.Errorf("follow: %w", err)
 	}
 	defer func() { f.Close() }()
-	lastSave := time.Now()
 	for {
 		chunk, err := br.ReadString('\n')
 		offset += int64(len(chunk))
@@ -115,9 +132,7 @@ func (d *daemon) followFile(ctx context.Context, path, dbPath string) {
 				if len(partial) > maxLineLen {
 					fmt.Fprintf(os.Stderr, "seerd: follow: skipping oversized line (%d bytes)\n", len(partial))
 				} else if ev, ok := parser.ParseLine(strings.TrimSuffix(string(partial), "\n")); ok {
-					d.mu.Lock()
-					d.corr.Feed(ev)
-					d.mu.Unlock()
+					p.queue.Put(ctx, ev)
 				}
 				partial = partial[:0]
 			}
@@ -134,10 +149,10 @@ func (d *daemon) followFile(ctx context.Context, path, dbPath string) {
 			}
 			select {
 			case <-ctx.Done():
-				return
+				return nil
 			case <-time.After(followPoll):
 			}
-			if st, serr := os.Stat(path); serr == nil {
+			if st, serr := os.Stat(p.cfg.stracePath); serr == nil {
 				cur, ferr := f.Stat()
 				rotated := ferr == nil && !os.SameFile(st, cur)
 				truncated := !rotated && st.Size() < offset
@@ -146,17 +161,11 @@ func (d *daemon) followFile(ctx context.Context, path, dbPath string) {
 					if truncated {
 						why = "truncated"
 					}
-					fmt.Fprintf(os.Stderr, "seerd: follow: %s was %s; reopening from start\n", path, why)
+					fmt.Fprintf(os.Stderr, "seerd: follow: %s was %s; reopening from start\n", p.cfg.stracePath, why)
 					if oerr := open(false); oerr != nil {
 						fmt.Fprintf(os.Stderr, "seerd: follow: reopen: %v\n", oerr)
 					}
 				}
-			}
-		}
-		if dbPath != "" && time.Since(lastSave) > checkpointEvery {
-			lastSave = time.Now()
-			if err := saveDB(d, dbPath); err != nil {
-				fmt.Fprintf(os.Stderr, "seerd: checkpoint: %v\n", err)
 			}
 		}
 	}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// slowSource is a synthetic neighbor source big enough that a
+// clustering takes real time, with an Adjust hook the tests use to
+// slow workers down deterministically.
+type slowSource struct {
+	files [][]simfs.FileID
+	ids   []simfs.FileID
+}
+
+func newSlowSource(n, neighbors int) *slowSource {
+	s := &slowSource{}
+	s.ids = make([]simfs.FileID, n)
+	s.files = make([][]simfs.FileID, n)
+	for i := 0; i < n; i++ {
+		s.ids[i] = simfs.FileID(i + 1)
+	}
+	for i := 0; i < n; i++ {
+		nb := make([]simfs.FileID, 0, neighbors)
+		for k := 1; k <= neighbors; k++ {
+			nb = append(nb, s.ids[(i+k)%n])
+		}
+		s.files[i] = nb
+	}
+	return s
+}
+
+func (s *slowSource) Files() []simfs.FileID { return s.ids }
+func (s *slowSource) Neighbors(id simfs.FileID) []simfs.FileID {
+	return s.files[int(id)-1]
+}
+
+func TestBuildCanceledReturnsNil(t *testing.T) {
+	src := newSlowSource(2000, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead before the build starts
+	res := Build(src, Options{Ctx: ctx, Workers: 4}, 3, 2)
+	if res != nil {
+		t.Fatal("Build with dead context returned a result")
+	}
+	if p := BuildPairs(src, Options{Ctx: ctx, Workers: 4}); p != nil {
+		t.Fatal("BuildPairs with dead context returned pairs")
+	}
+}
+
+func TestBuildNilContextRunsToCompletion(t *testing.T) {
+	src := newSlowSource(200, 8)
+	want := Build(src, Options{Workers: 1}, 3, 2)
+	got := Build(src, Options{Ctx: context.Background(), Workers: 4}, 3, 2)
+	if got == nil || len(got.Clusters) != len(want.Clusters) {
+		t.Fatalf("context-carrying build diverged: got %v clusters", got)
+	}
+}
+
+// TestCancelMidBuildStopsWorkers cancels while the worker pool is
+// mid-flight (a slow Adjust makes each pair expensive) and asserts the
+// build aborts promptly and no worker goroutines leak.
+func TestCancelMidBuildStopsWorkers(t *testing.T) {
+	src := newSlowSource(1500, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	var adjusts atomic.Int64
+	opts := Options{
+		Ctx:     ctx,
+		Workers: 4,
+		Adjust: func(a, b simfs.FileID) float64 {
+			if adjusts.Add(1) == 50 {
+				cancel() // cancel from inside the pool, mid-build
+			}
+			time.Sleep(5 * time.Microsecond)
+			return 0
+		},
+	}
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	if res := Build(src, opts, 3, 2); res != nil {
+		t.Fatal("canceled build returned a result")
+	}
+	elapsed := time.Since(start)
+	// 1500 files × 8 pairs of sleepy Adjust ≈ seconds serial;
+	// cancellation after ~50 pairs must come back far sooner.
+	if elapsed > 3*time.Second {
+		t.Fatalf("canceled build took %v", elapsed)
+	}
+	// Workers are joined before Build returns: the goroutine count
+	// settles back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+func TestDeadlineExpiredBuild(t *testing.T) {
+	src := newSlowSource(3000, 16)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	opts := Options{
+		Ctx:     ctx,
+		Workers: 2,
+		Adjust: func(a, b simfs.FileID) float64 {
+			time.Sleep(5 * time.Microsecond)
+			return 0
+		},
+	}
+	if res := Build(src, opts, 3, 2); res != nil {
+		t.Fatal("deadline-expired build returned a result")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}

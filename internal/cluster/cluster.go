@@ -25,6 +25,7 @@
 package cluster
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"sort"
@@ -76,6 +77,39 @@ type Options struct {
 	// 0 means runtime.GOMAXPROCS(0), 1 forces the serial path. The
 	// output is identical for every value.
 	Workers int
+	// Ctx, when non-nil, cancels an in-flight clustering: every worker
+	// observes Ctx.Done() and bails out, and Build/BuildPairs return nil
+	// so a deadline-bound plan request cannot leak a worker pool behind
+	// a client that has given up. Nil means run to completion.
+	Ctx context.Context
+}
+
+// doneOf extracts the cancellation channel (nil when no context is
+// configured, keeping the common path free of context machinery).
+func doneOf(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// canceledEvery is how many loop iterations pass between cancellation
+// checks in the hot loops: frequent enough that cancellation lands
+// quickly even when per-file work is expensive, rare enough that the
+// check cannot show up in profiles.
+const canceledEvery = 64
+
+// canceled reports whether done is closed; a nil done never is.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Cluster is one project: a sorted list of member files. Because
@@ -235,8 +269,12 @@ func buildDense(d *denseLists, opts Options) []densePair {
 	}
 	pairs := make([]densePair, total, total+len(opts.ExtraPairs))
 	n := d.in.Len()
+	done := doneOf(opts.Ctx)
 	fill := func(lo, hi int, c *counter) {
 		for i := lo; i < hi; i++ {
+			if done != nil && i%canceledEvery == 0 && canceled(done) {
+				return
+			}
 			list := d.lists[i]
 			if len(list) == 0 {
 				continue
@@ -288,6 +326,9 @@ func buildDense(d *denseLists, opts Options) []densePair {
 		}
 		wg.Wait()
 	}
+	if canceled(done) {
+		return nil
+	}
 	for _, ep := range opts.ExtraPairs {
 		shared := ep.Shared
 		// Investigator relations add to whatever shared count the
@@ -306,11 +347,12 @@ func buildDense(d *denseLists, opts Options) []densePair {
 
 // BuildPairs generates the scored candidate pairs from the neighbor
 // lists: for every file A and every B on A's list, the count of
-// neighbors the two lists share, plus any adjustment.
+// neighbors the two lists share, plus any adjustment. When opts.Ctx is
+// cancelled mid-run it returns nil after the workers have exited.
 func BuildPairs(src NeighborSource, opts Options) []Pair {
 	d := intern(src)
 	dense := buildDense(d, opts)
-	if len(dense) == 0 {
+	if len(dense) == 0 || canceled(doneOf(opts.Ctx)) {
 		return nil
 	}
 	pairs := make([]Pair, len(dense))
@@ -355,21 +397,31 @@ func Run(files []simfs.FileID, pairs []Pair, kn, kf float64) *Result {
 	for i, p := range pairs {
 		dense[i] = densePair{from: in.Intern(p.From), to: in.Intern(p.To), shared: p.Shared}
 	}
-	return runDense(in, dense, kn, kf)
+	return runDense(in, dense, kn, kf, nil)
 }
 
 // Build is the full pipeline: generate pairs from the neighbor source
 // and run the two-phase algorithm. It stays on dense indices end to
 // end; the result is identical to Run(src.Files(), BuildPairs(src,
-// opts), kn, kf).
+// opts), kn, kf). When opts.Ctx is cancelled mid-run it returns nil
+// after every worker has exited — never a partial result.
 func Build(src NeighborSource, opts Options, kn, kf float64) *Result {
+	done := doneOf(opts.Ctx)
 	d := intern(src)
-	return runDense(d.in, buildDense(d, opts), kn, kf)
+	if canceled(done) {
+		return nil
+	}
+	pairs := buildDense(d, opts)
+	if canceled(done) {
+		return nil
+	}
+	return runDense(d.in, pairs, kn, kf, done)
 }
 
 // runDense is the two-phase algorithm over interned pairs. Every id in
-// the interner becomes a cluster member (singletons included).
-func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64) *Result {
+// the interner becomes a cluster member (singletons included). A close
+// of done aborts between phases with a nil result.
+func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64, done <-chan struct{}) *Result {
 	n := in.Len()
 	uf := newUnionFind(n)
 	// Phase 1: combine clusters for strongly related pairs.
@@ -377,6 +429,9 @@ func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64) *Result {
 		if p.shared >= kn {
 			uf.union(p.from, p.to)
 		}
+	}
+	if canceled(done) {
+		return nil
 	}
 	// Phase 2: overlap clusters for weakly related pairs. Membership is
 	// root → extra members; insertion does not merge the clusters.
@@ -393,6 +448,9 @@ func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64) *Result {
 			extra[ra] = append(extra[ra], p.to)
 			extra[rb] = append(extra[rb], p.from)
 		}
+	}
+	if canceled(done) {
+		return nil
 	}
 	// Materialize: bucket the core members by root in two passes over a
 	// single backing array.
@@ -422,6 +480,9 @@ func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64) *Result {
 	// element-wise, so no per-cluster byte signature is ever built.
 	seen := make(map[sigKey][]int)
 	for r := int32(0); r < int32(n); r++ {
+		if done != nil && r%canceledEvery == 0 && canceled(done) {
+			return nil
+		}
 		cnt := int(counts[r])
 		if cnt == 0 {
 			continue

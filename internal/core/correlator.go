@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"time"
 
@@ -277,15 +279,29 @@ func (s filteredSource) AppendNeighbors(id simfs.FileID, dst []simfs.FileID) []s
 	return kept
 }
 
+// ErrCanceled is returned by the *Context planning entry points when
+// the clustering was aborted by context cancellation before finishing.
+var ErrCanceled = errors.New("core: clustering canceled")
+
 // Clusters runs the clustering algorithm over the current relationship
 // state and returns the project assignment. The result is cached: while
 // no mutating entry point has run since the last call, the previous
 // assignment is returned without re-clustering. Callers must treat the
 // result as read-only.
 func (c *Correlator) Clusters() *cluster.Result {
+	res, _ := c.ClustersContext(context.Background())
+	return res
+}
+
+// ClustersContext is Clusters with cancellation: a context deadline or
+// cancellation aborts an in-flight clustering (the pair-generation
+// workers observe it and exit; nothing leaks) and returns ErrCanceled
+// wrapped with the context cause. The cache is left untouched on
+// cancellation, so a later call still benefits from it.
+func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, error) {
 	if c.cache != nil && c.cacheAt == c.dirty {
 		c.cacheHits++
-		return c.cache
+		return c.cache, nil
 	}
 	c.cacheMiss++
 	src := filteredSource{tbl: c.tbl, obs: c.obs}
@@ -297,13 +313,20 @@ func (c *Correlator) Clusters() *cluster.Result {
 			return ""
 		}),
 		ExtraPairs: c.extraPairs,
+		Ctx:        ctx,
 	}
 	start := time.Now()
 	res := cluster.Build(src, opts, float64(c.p.KNear), float64(c.p.KFar))
+	if res == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, errors.Join(ErrCanceled, err)
+		}
+		return nil, ErrCanceled
+	}
 	c.lastClusterTime = time.Since(start)
 	c.cache = res
 	c.cacheAt = c.dirty
-	return res
+	return res, nil
 }
 
 // Plan builds the hoard inclusion order (paper §2): the always-hoard set
@@ -311,6 +334,27 @@ func (c *Correlator) Clusters() *cluster.Result {
 // files in LRU order.
 func (c *Correlator) Plan() *hoard.Plan {
 	return c.planFrom(c.Clusters())
+}
+
+// PlanContext is Plan with cancellation: a cancelled or expired context
+// aborts the underlying clustering and returns ErrCanceled instead of
+// blocking until it completes.
+func (c *Correlator) PlanContext(ctx context.Context) (*hoard.Plan, error) {
+	res, err := c.ClustersContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return c.planFrom(res), nil
+}
+
+// FillContext is Fill with cancellation, for deadline-bound hoard
+// requests.
+func (c *Correlator) FillContext(ctx context.Context, budget int64) (*hoard.Contents, error) {
+	p, err := c.PlanContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return p.Fill(budget, c.p.SkipUnfittingClusters), nil
 }
 
 // PlanFrom builds a plan from a previously computed cluster result,

@@ -1,0 +1,205 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos-harness primitives: where fault.go injects errors a caller can
+// handle, these injectors model the failures a *supervisor* must
+// handle — a stage panicking mid-read, a tail blocking on a dead NFS
+// mount, a checkpoint sink failing for a stretch of wall-clock time.
+
+// ErrPanicInjected is the value PanicAfter panics with, so recover
+// sites (and supervisor health reports) can recognize induced panics.
+var ErrPanicInjected = errors.New("fault: injected panic")
+
+// PanicAfter panics with ErrPanicInjected once n more calls have been
+// made, shared across everything created from it. It is the arming
+// counter behind PanicReader and can be called directly from any hook
+// a test wants to blow up ("panic on the 5th event"). n <= 0 disarms.
+// Safe for concurrent use.
+type PanicAfter struct {
+	remaining atomic.Int64
+}
+
+// NewPanicAfter returns a trigger that panics on the n'th Hit.
+func NewPanicAfter(n int64) *PanicAfter {
+	p := &PanicAfter{}
+	p.remaining.Store(n)
+	return p
+}
+
+// Arm re-arms the trigger to panic after n more hits (n <= 0 disarms).
+func (p *PanicAfter) Arm(n int64) { p.remaining.Store(n) }
+
+// Hit counts one operation and panics when the trigger fires.
+func (p *PanicAfter) Hit() {
+	// Decrement unconditionally: once fired (or disarmed) the counter
+	// goes negative and never fires again until re-armed.
+	if p.remaining.Load() <= 0 {
+		return
+	}
+	if p.remaining.Add(-1) == 0 {
+		panic(ErrPanicInjected)
+	}
+}
+
+// PanicReader panics with ErrPanicInjected on the After'th Read call,
+// simulating a bug in a stream-processing stage that a supervisor must
+// catch and restart. Reads before that pass through.
+type PanicReader struct {
+	R io.Reader
+	// After triggers the panic; nil never panics. Sharing one trigger
+	// across readers panics once across all of them until re-armed.
+	After *PanicAfter
+}
+
+// Read implements io.Reader.
+func (p *PanicReader) Read(b []byte) (int, error) {
+	if p.After != nil {
+		p.After.Hit()
+	}
+	return p.R.Read(b)
+}
+
+// StallReader blocks Read calls while stalled, simulating a tail on a
+// hung mount or a producer that stopped mid-line. Stall engages the
+// stall; Release lets all blocked and future Reads proceed. A stalled
+// Read also unblocks (returning io.EOF) when Close is called, so a
+// stalled pipeline can still shut down.
+type StallReader struct {
+	R io.Reader
+
+	mu      sync.Mutex
+	blocked chan struct{} // non-nil while stalled; closed on release
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewStallReader wraps r, initially unstalled.
+func NewStallReader(r io.Reader) *StallReader {
+	return &StallReader{R: r, closed: make(chan struct{})}
+}
+
+// Stall makes subsequent Reads block until Release or Close.
+func (s *StallReader) Stall() {
+	s.mu.Lock()
+	if s.blocked == nil {
+		s.blocked = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// Release unblocks every stalled Read.
+func (s *StallReader) Release() {
+	s.mu.Lock()
+	if s.blocked != nil {
+		close(s.blocked)
+		s.blocked = nil
+	}
+	s.mu.Unlock()
+}
+
+// Close releases stalled readers permanently; blocked and subsequent
+// Reads return io.EOF.
+func (s *StallReader) Close() error {
+	s.once.Do(func() { close(s.closed) })
+	return nil
+}
+
+// Read implements io.Reader.
+func (s *StallReader) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	blocked := s.blocked
+	s.mu.Unlock()
+	if blocked != nil {
+		select {
+		case <-blocked:
+		case <-s.closed:
+			return 0, io.EOF
+		}
+	}
+	select {
+	case <-s.closed:
+		return 0, io.EOF
+	default:
+	}
+	return s.R.Read(p)
+}
+
+// Sink injects failures into a side-effecting operation like a
+// database checkpoint: while failing, Do returns ErrInjected without
+// invoking the wrapped operation (the checkpoint never happened, as
+// with a full disk), and callers observe consecutive failures until
+// Heal. Safe for concurrent use.
+type Sink struct {
+	mu       sync.Mutex
+	failN    int64 // fail the next N calls
+	failing  bool  // fail until Heal
+	calls    int64
+	failures int64
+}
+
+// FailNext makes the next n calls fail.
+func (s *Sink) FailNext(n int64) {
+	s.mu.Lock()
+	s.failN = n
+	s.mu.Unlock()
+}
+
+// Break makes every call fail until Heal.
+func (s *Sink) Break() {
+	s.mu.Lock()
+	s.failing = true
+	s.mu.Unlock()
+}
+
+// Heal clears both failure modes.
+func (s *Sink) Heal() {
+	s.mu.Lock()
+	s.failing = false
+	s.failN = 0
+	s.mu.Unlock()
+}
+
+// Do runs op unless a failure is injected.
+func (s *Sink) Do(op func() error) error {
+	s.mu.Lock()
+	s.calls++
+	fail := s.failing
+	if !fail && s.failN > 0 {
+		s.failN--
+		fail = true
+	}
+	if fail {
+		s.failures++
+		s.mu.Unlock()
+		return ErrInjected
+	}
+	s.mu.Unlock()
+	return op()
+}
+
+// Stats returns total calls and injected failures.
+func (s *Sink) Stats() (calls, failures int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls, s.failures
+}
+
+// SlowReader delays every Read by Delay, modelling a saturated or
+// throttled input without fully stalling it.
+type SlowReader struct {
+	R     io.Reader
+	Delay time.Duration
+}
+
+// Read implements io.Reader.
+func (s *SlowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.R.Read(p)
+}

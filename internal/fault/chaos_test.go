@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPanicAfterFiresOnceThenDisarms(t *testing.T) {
+	p := NewPanicAfter(3)
+	p.Hit()
+	p.Hit()
+	func() {
+		defer func() {
+			if r := recover(); r != ErrPanicInjected {
+				t.Fatalf("recover = %v, want ErrPanicInjected", r)
+			}
+		}()
+		p.Hit()
+		t.Fatal("third Hit did not panic")
+	}()
+	p.Hit() // fired: further hits are no-ops until re-armed
+	p.Arm(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-armed trigger did not panic")
+			}
+		}()
+		p.Hit()
+	}()
+}
+
+func TestPanicReaderPassesThroughThenPanics(t *testing.T) {
+	pr := &PanicReader{R: strings.NewReader("abcdef"), After: NewPanicAfter(2)}
+	buf := make([]byte, 3)
+	if n, err := pr.Read(buf); err != nil || n != 3 {
+		t.Fatalf("first read: n=%d err=%v", n, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second read did not panic")
+		}
+	}()
+	pr.Read(buf)
+}
+
+func TestStallReaderBlocksAndReleases(t *testing.T) {
+	sr := NewStallReader(strings.NewReader("hello"))
+	sr.Stall()
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 5)
+		n, _ := sr.Read(buf)
+		got <- string(buf[:n])
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("stalled read returned %q", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	sr.Release()
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Fatalf("read %q after release, want hello", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read still blocked after Release")
+	}
+}
+
+func TestStallReaderCloseUnblocksWithEOF(t *testing.T) {
+	sr := NewStallReader(strings.NewReader("x"))
+	sr.Stall()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sr.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sr.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock the stalled read")
+	}
+}
+
+func TestSinkFailureModes(t *testing.T) {
+	var s Sink
+	ran := 0
+	op := func() error { ran++; return nil }
+
+	if err := s.Do(op); err != nil || ran != 1 {
+		t.Fatalf("clean Do: err=%v ran=%d", err, ran)
+	}
+	s.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if err := s.Do(op); !errors.Is(err, ErrInjected) {
+			t.Fatalf("FailNext call %d: err=%v", i, err)
+		}
+	}
+	if err := s.Do(op); err != nil || ran != 2 {
+		t.Fatalf("after FailNext exhausted: err=%v ran=%d", err, ran)
+	}
+	s.Break()
+	if err := s.Do(op); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Break: err=%v", err)
+	}
+	s.Heal()
+	if err := s.Do(op); err != nil {
+		t.Fatalf("after Heal: err=%v", err)
+	}
+	calls, failures := s.Stats()
+	if calls != 6 || failures != 3 {
+		t.Fatalf("Stats = %d,%d want 6,3", calls, failures)
+	}
+	if ran != 3 {
+		t.Fatalf("op ran %d times, want 3 (injected failures must not run it)", ran)
+	}
+}

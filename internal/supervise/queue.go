@@ -1,0 +1,106 @@
+package supervise
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Queue is a fixed-capacity event queue decoupling a producer (the
+// strace tailer) from a consumer (the correlator feeder). The overflow
+// policy is explicit: Put blocks up to BlockFor while the queue is
+// full, then sheds the oldest queued item (counting the drop) and
+// enqueues the new one — fresh activity is worth more to a hoarding
+// daemon than the oldest unprocessed event, and the tail loop must
+// never stall behind a wedged consumer for long.
+type Queue[T any] struct {
+	ch    chan T
+	block time.Duration
+	drops atomic.Uint64
+}
+
+// NewQueue returns a queue holding up to capacity items whose Put
+// blocks at most blockFor when full before shedding the oldest item.
+// capacity must be ≥ 1; blockFor ≤ 0 sheds immediately when full.
+func NewQueue[T any](capacity int, blockFor time.Duration) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{ch: make(chan T, capacity), block: blockFor}
+}
+
+// Put enqueues v, applying the overflow policy when full. It returns
+// false only when ctx ended before the item could be enqueued (that
+// loss is shutdown, not overload, so it is not counted as a drop).
+func (q *Queue[T]) Put(ctx context.Context, v T) bool {
+	select {
+	case q.ch <- v:
+		return true
+	default:
+	}
+	if q.block > 0 {
+		t := time.NewTimer(q.block)
+		select {
+		case q.ch <- v:
+			t.Stop()
+			return true
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+	} else if ctx.Err() != nil {
+		return false
+	}
+	// Deadline passed and still full: shed the oldest, keep the newest.
+	select {
+	case <-q.ch:
+		q.drops.Add(1)
+	default:
+	}
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		// Another producer won the freed slot; the new item is the drop.
+		q.drops.Add(1)
+		return true
+	}
+}
+
+// Get dequeues the oldest item, blocking until one arrives or ctx
+// ends. ok is false only on context end.
+func (q *Queue[T]) Get(ctx context.Context) (v T, ok bool) {
+	// Drain pending items even when ctx is already done: the feeder
+	// uses this to empty the queue before the final checkpoint.
+	select {
+	case v = <-q.ch:
+		return v, true
+	default:
+	}
+	select {
+	case v = <-q.ch:
+		return v, true
+	case <-ctx.Done():
+		return v, false
+	}
+}
+
+// TryGet dequeues without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	select {
+	case v = <-q.ch:
+		return v, true
+	default:
+		return v, false
+	}
+}
+
+// Len returns the current queue depth.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Cap returns the configured capacity.
+func (q *Queue[T]) Cap() int { return cap(q.ch) }
+
+// Drops returns how many items the overflow policy has shed.
+func (q *Queue[T]) Drops() uint64 { return q.drops.Load() }
