@@ -17,7 +17,7 @@ BENCH_TIME ?= 5x
 BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
-.PHONY: check vet build test test-race fuzz chaos bench bench-check
+.PHONY: check vet build test test-race fuzz fuzz-strace chaos rumor-chaos bench bench-check
 
 check: vet build test-race
 
@@ -38,6 +38,13 @@ test-race:
 fuzz:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/core/
 
+# Fuzz the strace line parser (escape decoding, fd tracking, timestamp
+# rollover all chew on untrusted text). CI runs this briefly on every
+# push; extend -fuzztime locally for a deeper run.
+FUZZTIME_STRACE ?= 10s
+fuzz-strace:
+	$(GO) test -fuzz=FuzzParseLine -fuzztime=$(FUZZTIME_STRACE) -run '^$$' ./internal/strace/
+
 # Chaos gate: run a real seerd pipeline under injected faults (stage
 # panics, stalled tail reads, failing checkpoints, wedged clustering)
 # with the race detector on, plus the supervisor and fault-injector unit
@@ -49,6 +56,16 @@ chaos: vet
 		-run 'TestChaosPipeline|TestUnavailableRefusesPlans|TestFollowFailureMatrix' \
 		./cmd/seerd/
 	$(GO) test -race -count=$(CHAOS_COUNT) ./internal/supervise/ ./internal/fault/
+
+# Replication chaos gate: the networked CheapRumor substrate under 30%
+# injected request loss and repeated partitions must converge to the
+# same hoard contents and conflict counts as the in-memory reference,
+# with zero lost dirty updates — under the race detector.
+rumor-chaos: vet
+	$(GO) test -race -count=$(CHAOS_COUNT) \
+		-run 'TestRemoteRumor' ./internal/replic/
+	$(GO) test -race -count=$(CHAOS_COUNT) \
+		-run 'TestRefillSyncOverRemote' ./internal/hoard/
 
 bench:
 	$(GO) build -o bin/benchcmp ./cmd/benchcmp

@@ -1,0 +1,78 @@
+// Command rumord is the CheapRumor replication master: the server half
+// of the networked substrate SEER delegates data transport to (paper
+// §2, §5). It holds the authoritative version table and serves the
+// wire-framed reconciliation protocol that replic.RemoteRumor speaks —
+// create/update/version/fetch/push/reconcile under /rumor/.
+//
+// Run a master:
+//
+//	rumord -listen :7078
+//
+// then point laptops at it:
+//
+//	rum := replic.NewRemoteRumor("http://master:7078/rumor", nil)
+//
+// A seerd started with -rumor serves the same endpoints on its own
+// mux, so small deployments need only one daemon; rumord exists for
+// running the substrate on a different host (or behind different
+// provisioning) than the observer.
+//
+// /healthz reports the master's counters as JSON and always answers
+// 200 while the process is up — the master is a version table; it has
+// no degraded states.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/fmg/seer/internal/replic"
+)
+
+func main() {
+	listen := flag.String("listen", ":7078", "HTTP listen address")
+	flag.Parse()
+
+	master := replic.NewMaster()
+	mux := http.NewServeMux()
+	mux.Handle("/rumor/", replic.MasterHandler("/rumor", master))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		files, creates, pushes, conflicts, reconciles := master.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"healthy","files":%d,"creates":%d,"pushes":%d,"conflicts":%d,"reconciles":%d}`+"\n",
+			files, creates, pushes, conflicts, reconciles)
+	})
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rumord: serving on %s\n", *listen)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "rumord: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "rumord: signal received, shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shCtx)
+}

@@ -18,7 +18,10 @@
 // /healthz + /readyz (JSON health detail). Without -listen, seerd
 // prints the hoard list once and exits. With -debug-addr, a second
 // listener serves net/http/pprof profiles, expvar counters, and the
-// same health endpoints.
+// same health endpoints. With -rumor, the CheapRumor replication
+// master (the same wire protocol cmd/rumord serves) is mounted under
+// /rumor/, so laptops can reconcile against the seerd host directly
+// via replic.RemoteRumor.
 //
 // Supervision: in serving mode every stage — strace tailer, correlator
 // feeder, checkpointer, HTTP listeners — runs under a supervisor that
@@ -64,6 +67,8 @@ func main() {
 		"optional listen address for pprof and expvar debug endpoints (requires -listen)")
 	queueCap := flag.Int("queue", 8192,
 		"bounded ingestion queue capacity between the tailer and the correlator")
+	rumor := flag.Bool("rumor", false,
+		"serve the CheapRumor replication-master endpoints under /rumor/ (requires -listen)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -130,6 +135,7 @@ func main() {
 		listen:     *listen,
 		debugAddr:  *debugAddr,
 		queueCap:   *queueCap,
+		rumor:      *rumor,
 	})
 	p.start(ctx)
 	// Wait for the listener to bind so the startup line reports the

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/fmg/seer/internal/replic"
 	"github.com/fmg/seer/internal/supervise"
 	"github.com/fmg/seer/internal/trace"
 )
@@ -29,6 +30,11 @@ type pipelineConfig struct {
 	// long an overflowing Put blocks before shedding the oldest event.
 	queueCap   int
 	queueBlock time.Duration
+
+	// rumor mounts the CheapRumor replication-master endpoints under
+	// /rumor/ on the main mux, so one daemon can serve both hoarding
+	// decisions and the replication substrate.
+	rumor bool
 
 	checkpointEvery time.Duration
 	supervisor      supervise.Config
@@ -63,6 +69,10 @@ type pipeline struct {
 	cfg   pipelineConfig
 	sup   *supervise.Supervisor
 	queue *supervise.Queue[trace.Event]
+
+	// master is the replication master served under /rumor/ when
+	// cfg.rumor is set; nil otherwise.
+	master *replic.Master
 
 	// Test/chaos hooks, all optional: wrapTail decorates the tail file
 	// reader, feed consumes one event (default: correlator under the
@@ -293,6 +303,10 @@ func (p *pipeline) mainMux() *http.ServeMux {
 	mux.HandleFunc("/miss", d.handleMiss)
 	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
 	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
+	if p.cfg.rumor {
+		p.master = replic.NewMaster()
+		mux.Handle("/rumor/", replic.MasterHandler("/rumor", p.master))
+	}
 	return mux
 }
 

@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/fmg/seer/internal/stats"
+)
+
+// FlakyTransport decorates an http.RoundTripper with injected request
+// failures: probabilistically (a lossy link), for a deterministic
+// window of calls (an outage), or hard-down until healed (a network
+// partition). Failures are injected BEFORE the request is sent, so the
+// server never observes the lost request — the semantics of a dropped
+// or unroutable packet, which is what makes retrying the request safe
+// for non-idempotent operations.
+//
+// Safe for concurrent use, as http.Client requires of its transport.
+type FlakyTransport struct {
+	// Inner is the decorated transport; nil means
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+	// FailProb is the probability in [0,1] that a request fails with
+	// ErrTransient.
+	FailProb float64
+	// Rand drives probabilistic failures; required when FailProb > 0.
+	Rand *stats.Rand
+	// FailFrom and FailTo fail every request whose zero-based call
+	// index lies in [FailFrom, FailTo) — a deterministic outage window.
+	// FailTo 0 disables the window.
+	FailFrom, FailTo int
+
+	mu       sync.Mutex
+	down     bool
+	calls    int
+	injected int
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	call := t.calls
+	t.calls++
+	fail := t.down ||
+		(t.FailTo > 0 && call >= t.FailFrom && call < t.FailTo) ||
+		(t.FailProb > 0 && t.Rand != nil && t.Rand.Bool(t.FailProb))
+	if fail {
+		t.injected++
+	}
+	t.mu.Unlock()
+	if fail {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%s %s (call %d): %w", req.Method, req.URL.Path, call, ErrTransient)
+	}
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}
+
+// SetDown partitions (true) or heals (false) the link: while down every
+// request fails.
+func (t *FlakyTransport) SetDown(down bool) {
+	t.mu.Lock()
+	t.down = down
+	t.mu.Unlock()
+}
+
+// Calls returns the number of requests seen.
+func (t *FlakyTransport) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// Injected returns the number of failures injected.
+func (t *FlakyTransport) Injected() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/fmg/seer/internal/stats"
+)
+
+func TestFlakyTransportWindow(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ft := &FlakyTransport{FailFrom: 1, FailTo: 3}
+	hc := &http.Client{Transport: ft}
+	wantErr := []bool{false, true, true, false}
+	for i, want := range wantErr {
+		resp, err := hc.Get(ts.URL)
+		if got := err != nil; got != want {
+			t.Errorf("call %d: err = %v, want failure %v", i, err, want)
+		}
+		if err == nil {
+			resp.Body.Close()
+		} else if !errors.Is(err, ErrTransient) {
+			t.Errorf("call %d: error %v does not wrap ErrTransient", i, err)
+		}
+	}
+	if ft.Calls() != 4 || ft.Injected() != 2 {
+		t.Errorf("calls/injected = %d/%d, want 4/2", ft.Calls(), ft.Injected())
+	}
+}
+
+func TestFlakyTransportPartition(t *testing.T) {
+	served := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer ts.Close()
+
+	ft := &FlakyTransport{}
+	hc := &http.Client{Transport: ft}
+	ft.SetDown(true)
+	if _, err := hc.Get(ts.URL); err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if served != 0 {
+		t.Fatal("server observed a request injected as failed — retry safety broken")
+	}
+	ft.SetDown(false)
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	resp.Body.Close()
+	if served != 1 {
+		t.Errorf("served = %d, want 1", served)
+	}
+}
+
+func TestFlakyTransportProbabilistic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ft := &FlakyTransport{FailProb: 0.3, Rand: stats.NewRand(1)}
+	hc := &http.Client{Transport: ft}
+	for i := 0; i < 200; i++ {
+		if resp, err := hc.Get(ts.URL); err == nil {
+			resp.Body.Close()
+		}
+	}
+	inj := ft.Injected()
+	if inj < 30 || inj > 90 {
+		t.Errorf("injected = %d of 200, want ≈60", inj)
+	}
+}

@@ -1,0 +1,123 @@
+package hoard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/fault"
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// remoteFor starts a Master serving every file and a RemoteRumor
+// client reaching it through the given transport.
+func remoteFor(t *testing.T, files []*simfs.File, ft *fault.FlakyTransport) (*replic.Master, *replic.RemoteRumor) {
+	t.Helper()
+	m := replic.NewMaster()
+	for _, f := range files {
+		m.Create(f.ID)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/rumor/", replic.MasterHandler("/rumor", m))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	rr := replic.NewRemoteRumor(ts.URL+"/rumor", &http.Client{Transport: ft})
+	return m, rr
+}
+
+// A hoard fill against the networked substrate is ONE round trip for
+// the whole diff, not one per file.
+func TestRefillSyncOverRemoteIsOneRoundTrip(t *testing.T) {
+	sizes := make([]int64, 15)
+	for i := range sizes {
+		sizes[i] = 10
+	}
+	_, files := mkfs(sizes...)
+	order := make([]int, len(files))
+	for i := range order {
+		order[i] = i
+	}
+	plan := planOf(files, order)
+
+	ft := &fault.FlakyTransport{} // reliable; just counting
+	_, rr := remoteFor(t, files, ft)
+	ref := NewRefiller(150, false, 0)
+	pol, _ := noSleep(DefaultRetry)
+
+	rp := ref.RefillSync(plan, rr, pol)
+	if rp.Fetched != 15 || len(rp.Failed) != 0 {
+		t.Fatalf("report = %+v", rp)
+	}
+	if got := ft.Calls(); got != 1 {
+		t.Errorf("transport calls = %d for a 15-file fill, want 1", got)
+	}
+}
+
+// The tier-1 acceptance scenario over the real wire: repeated retrying
+// refills through a 30%-lossy HTTP transport converge to exactly the
+// contents a fault-free in-memory run produces.
+func TestRefillSyncOverRemoteConvergesUnderFaults(t *testing.T) {
+	sizes := make([]int64, 20)
+	for i := range sizes {
+		sizes[i] = 10
+	}
+	fs, files := mkfs(sizes...)
+	order := make([]int, len(files))
+	for i := range order {
+		order[i] = i
+	}
+	plan := planOf(files, order)
+	const budget = 150 // 15 of the 20 files fit
+
+	// Fault-free in-memory reference.
+	clean := rumorFor(fs, files)
+	refClean := NewRefiller(budget, false, 0)
+	pol, _ := noSleep(DefaultRetry)
+	if rp := refClean.RefillSync(plan, clean, pol); len(rp.Failed) != 0 {
+		t.Fatalf("clean run failed: %v", rp.Failed)
+	}
+	want := hoardedIDs(fs, clean, files)
+
+	// Networked run through an outage spanning the first five calls —
+	// long enough to exhaust one fill's retries entirely (testing the
+	// fill-to-fill recovery path) and to make the next fill retry
+	// within the policy (testing intra-fill backoff over the wire).
+	ft := &fault.FlakyTransport{FailFrom: 0, FailTo: 5}
+	_, rr := remoteFor(t, files, ft)
+	refRemote := NewRefiller(budget, false, 0)
+	pol2, slept := noSleep(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+
+	rp := refRemote.RefillSync(plan, rr, pol2)
+	if len(rp.Failed) != 15 || rp.Fetched != 0 {
+		t.Fatalf("outage fill: fetched %d, failed %d — want the whole batch failed",
+			rp.Fetched, len(rp.Failed))
+	}
+	converged := false
+	for fill := 0; fill < 50; fill++ {
+		rp := refRemote.RefillSync(plan, rr, pol2)
+		if len(rp.Failed) == 0 {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatal("networked refill never converged in 50 fills")
+	}
+	if len(*slept) == 0 {
+		t.Error("no intra-fill retries happened over the wire")
+	}
+	got := hoardedIDs(fs, rr, files)
+	if len(got) != len(want) {
+		t.Fatalf("hoard holds %d files, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("contents diverge at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if ft.Injected() == 0 {
+		t.Fatal("no faults were actually injected")
+	}
+}

@@ -72,23 +72,32 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	return d
 }
 
-// FetchWithRetry fetches one file, retrying transient failures per the
-// policy. replic.ErrNotReplicated is permanent (the server simply does
-// not have the file) and is returned without retry; every other error
-// is assumed transient.
-func FetchWithRetry(rep replic.Replicator, id simfs.FileID, pol RetryPolicy) error {
-	pol = pol.withDefaults()
+// Do runs op, retrying transient failures with the policy's backoff.
+// replic.ErrNotReplicated is permanent (a definitive server answer) and
+// is returned without retry; every other error is assumed transient.
+// This is the retry core behind FetchWithRetry, and the hook the
+// networked substrate plugs into replic.RemoteRumor.Retry so its
+// round trips (push, reconcile, batched fetch) back off the same way
+// hoard fetches do.
+func (p RetryPolicy) Do(op func() error) error {
+	p = p.withDefaults()
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = rep.Fetch(id)
+		err = op()
 		if err == nil || errors.Is(err, replic.ErrNotReplicated) {
 			return err
 		}
-		if attempt >= pol.MaxAttempts {
+		if attempt >= p.MaxAttempts {
 			return err
 		}
-		pol.Sleep(pol.delay(attempt))
+		p.Sleep(p.delay(attempt))
 	}
+}
+
+// FetchWithRetry fetches one file, retrying transient failures per the
+// policy.
+func FetchWithRetry(rep replic.Replicator, id simfs.FileID, pol RetryPolicy) error {
+	return pol.Do(func() error { return rep.Fetch(id) })
 }
 
 // SyncReport summarizes one retrying hoard synchronization.
@@ -103,10 +112,16 @@ type SyncReport struct {
 }
 
 // SyncWithRetry applies a fetch/evict diff against the substrate,
-// retrying each failed fetch with backoff. Unlike a bare loop over
-// Fetch, a file that stays unreachable is recorded and skipped — one
-// dead file cannot abort the rest of the fill.
+// retrying failures with backoff. A substrate that implements
+// replic.BatchSyncer (the networked RemoteRumor) gets the whole diff in
+// one retried round trip instead of one per file; otherwise each fetch
+// is retried individually. Either way a file that stays unreachable is
+// recorded and skipped — one dead file cannot abort the rest of the
+// fill.
 func SyncWithRetry(rep replic.Replicator, fetch, evict []simfs.FileID, pol RetryPolicy) SyncReport {
+	if bs, ok := rep.(replic.BatchSyncer); ok {
+		return syncBatched(bs, rep, fetch, evict, pol)
+	}
 	var rp SyncReport
 	for _, id := range fetch {
 		if err := FetchWithRetry(rep, id, pol); err != nil {
@@ -119,6 +134,33 @@ func SyncWithRetry(rep replic.Replicator, fetch, evict []simfs.FileID, pol Retry
 		rep.Evict(id)
 		rp.Evicted++
 	}
+	return rp
+}
+
+// syncBatched applies the diff through one retried batch round trip.
+// When the batch stays unreachable past the policy, every fetch is
+// failed but the evictions — local by nature — are still applied, so a
+// partitioned laptop can shrink its hoard even though it cannot fill
+// it.
+func syncBatched(bs replic.BatchSyncer, rep replic.Replicator, fetch, evict []simfs.FileID, pol RetryPolicy) SyncReport {
+	var rp SyncReport
+	var failed []simfs.FileID
+	err := pol.Do(func() error {
+		var berr error
+		failed, berr = bs.SyncBatch(fetch, evict)
+		return berr
+	})
+	if err != nil {
+		rp.Failed = append(rp.Failed, fetch...)
+		for _, id := range evict {
+			rep.Evict(id)
+			rp.Evicted++
+		}
+		return rp
+	}
+	rp.Failed = failed
+	rp.Fetched = len(fetch) - len(failed)
+	rp.Evicted = len(evict)
 	return rp
 }
 

@@ -1,0 +1,383 @@
+package replic_test
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/fault"
+	"github.com/fmg/seer/internal/hoard"
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+)
+
+// chaosEnv drives an in-memory CheapRumor (the reference) and a
+// networked RemoteRumor (the subject, behind a 30%-lossy transport)
+// through the same operation schedule. Because the master applies the
+// same reconciliation rules as CheapRumor and every lost request is
+// dropped before the server sees it, the two must converge to
+// identical hoard contents, master versions, and reconcile totals —
+// with zero dirty updates lost, however often the link flaps.
+type chaosEnv struct {
+	t   *testing.T
+	rng *stats.Rand
+
+	ref *replic.CheapRumor
+	sub *replic.RemoteRumor
+	m   *replic.Master
+	ft  *fault.FlakyTransport
+
+	ids       []simfs.FileID
+	connected bool
+}
+
+const chaosRetries = 200 // loop bound: 0.3^200 is never
+
+func newChaosEnv(t *testing.T, seed int64, keepLocal bool) *chaosEnv {
+	t.Helper()
+	fs := simfs.New(stats.NewRand(seed))
+	ref := replic.NewCheapRumor(fs)
+	ref.KeepLocalOnConflict = keepLocal
+
+	m := replic.NewMaster()
+	mux := http.NewServeMux()
+	mux.Handle("/rumor/", replic.MasterHandler("/rumor", m))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	ft := &fault.FlakyTransport{FailProb: 0.3, Rand: stats.NewRand(seed + 1)}
+	sub := replic.NewRemoteRumor(ts.URL+"/rumor", &http.Client{Transport: ft})
+	sub.KeepLocalOnConflict = keepLocal
+	sub.Retry = hoard.RetryPolicy{MaxAttempts: 4, Sleep: func(time.Duration) {}}.Do
+
+	env := &chaosEnv{
+		t: t, rng: stats.NewRand(seed + 2),
+		ref: ref, sub: sub, m: m, ft: ft,
+		connected: true,
+	}
+	for i := 0; i < 8; i++ {
+		env.serverCreate()
+	}
+	return env
+}
+
+func (e *chaosEnv) pick() simfs.FileID {
+	return e.ids[e.rng.Intn(len(e.ids))]
+}
+
+// serverCreate registers a brand-new file on both masters, as a
+// connected workstation would.
+func (e *chaosEnv) serverCreate() {
+	id := simfs.FileID(len(e.ids) + 1)
+	e.ids = append(e.ids, id)
+	e.m.Create(id)
+	e.ref.ServerCreate(id)
+}
+
+// serverUpdate plays another replica pushing through the master.
+func (e *chaosEnv) serverUpdate() {
+	id := e.pick()
+	_, errM := e.m.Update(id)
+	errR := e.ref.ServerUpdate(id)
+	if (errM == nil) != (errR == nil) {
+		e.t.Fatalf("server update divergence on %d: master %v, ref %v", id, errM, errR)
+	}
+}
+
+// fetch hoards one file on both, riding out transport failures.
+func (e *chaosEnv) fetch() {
+	id := e.pick()
+	errR := e.ref.Fetch(id)
+	var errS error
+	for i := 0; ; i++ {
+		errS = e.sub.Fetch(id)
+		if !errors.Is(errS, replic.ErrUnavailable) {
+			break
+		}
+		if i >= chaosRetries {
+			e.t.Fatalf("fetch %d never succeeded", id)
+		}
+	}
+	if (errR == nil) != (errS == nil) || (errR != nil && !errors.Is(errS, errR)) {
+		e.t.Fatalf("fetch divergence on %d: ref %v, sub %v", id, errR, errS)
+	}
+}
+
+// write modifies a file locally on both. While connected, a subject
+// push that lost the retry lottery is flushed with on-demand
+// reconciliations (mirrored on the reference by a reconnect cycle, the
+// same code path) — the substrate's promise is convergence, not
+// per-call success.
+func (e *chaosEnv) write() {
+	id := e.pick()
+	e.ref.WriteLocal(id)
+	e.sub.WriteLocal(id)
+	if !e.connected {
+		return
+	}
+	if e.sub.DirtyCount() == 0 {
+		return
+	}
+	e.flushSub()
+	e.ref.SetConnected(false)
+	e.ref.SetConnected(true)
+}
+
+// flushSub reconciles the subject until nothing is dirty.
+func (e *chaosEnv) flushSub() {
+	for i := 0; e.sub.DirtyCount() > 0; i++ {
+		if i >= chaosRetries {
+			e.t.Fatal("subject flush never converged")
+		}
+		e.sub.Reconcile()
+	}
+}
+
+func (e *chaosEnv) evict() {
+	id := e.pick()
+	e.ref.Evict(id)
+	e.sub.Evict(id)
+}
+
+// syncBatch applies one hoard-fill diff to both.
+func (e *chaosEnv) syncBatch() {
+	var fetch, evict []simfs.FileID
+	for i := 0; i < 1+e.rng.Intn(3); i++ {
+		fetch = append(fetch, e.pick())
+	}
+	for i := 0; i < e.rng.Intn(2); i++ {
+		evict = append(evict, e.pick())
+	}
+	failR, errR := e.ref.SyncBatch(fetch, evict)
+	var failS []simfs.FileID
+	var errS error
+	for i := 0; ; i++ {
+		failS, errS = e.sub.SyncBatch(fetch, evict)
+		if !errors.Is(errS, replic.ErrUnavailable) {
+			break
+		}
+		if i >= chaosRetries {
+			e.t.Fatal("batch sync never succeeded")
+		}
+	}
+	if (errR == nil) != (errS == nil) {
+		e.t.Fatalf("batch divergence: ref %v, sub %v", errR, errS)
+	}
+	if len(failR) != len(failS) {
+		e.t.Fatalf("batch failed-list divergence: ref %v, sub %v", failR, failS)
+	}
+}
+
+func (e *chaosEnv) disconnect() {
+	if !e.connected {
+		return
+	}
+	e.connected = false
+	e.ref.SetConnected(false)
+	e.sub.SetConnected(false)
+}
+
+// reconnect brings both sides back; the subject may need several
+// attempts when the reconciliation round trip keeps getting dropped,
+// and must then report exactly what the reference reported.
+func (e *chaosEnv) reconnect() {
+	if e.connected {
+		return
+	}
+	e.connected = true
+	repR := e.ref.SetConnected(true)
+	var repS replic.ReconcileReport
+	for i := 0; !e.sub.Connected(); i++ {
+		if i >= chaosRetries {
+			e.t.Fatal("subject reconnect never succeeded")
+		}
+		repS = e.sub.SetConnected(true)
+	}
+	if repR != repS {
+		e.t.Fatalf("reconcile report divergence: ref %+v, sub %+v", repR, repS)
+	}
+}
+
+// settle forces both sides connected and flushed, then checks full
+// state equivalence.
+func (e *chaosEnv) settle() {
+	e.reconnect()
+	e.flushSub()
+
+	if n := e.ref.DirtyCount(); n != 0 {
+		e.t.Errorf("reference DirtyCount = %d after settle", n)
+	}
+	if n := e.sub.DirtyCount(); n != 0 {
+		e.t.Errorf("subject DirtyCount = %d after settle", n)
+	}
+	if e.ref.LocalCount() != e.sub.LocalCount() {
+		e.t.Errorf("LocalCount divergence: ref %d, sub %d",
+			e.ref.LocalCount(), e.sub.LocalCount())
+	}
+	for _, id := range e.ids {
+		if e.ref.HasLocal(id) != e.sub.HasLocal(id) {
+			e.t.Errorf("HasLocal divergence on %d: ref %v, sub %v",
+				id, e.ref.HasLocal(id), e.sub.HasLocal(id))
+		}
+		vM, okM := e.m.Version(id)
+		vR := e.ref.ServerVersion(id)
+		if okM != (vR != 0) || (okM && vM != vR) {
+			e.t.Errorf("master version divergence on %d: master %d/%v, ref %d",
+				id, vM, okM, vR)
+		}
+	}
+	if tr, ts := e.ref.Totals(), e.sub.Totals(); tr != ts {
+		e.t.Errorf("totals divergence: ref %+v, sub %+v", tr, ts)
+	}
+	// Access answers match once the link is quiet.
+	e.ft.FailProb = 0
+	for _, id := range e.ids {
+		if gr, gs := e.ref.Access(id), e.sub.Access(id); gr != gs {
+			e.t.Errorf("access divergence on %d: ref %v, sub %v", id, gr, gs)
+		}
+	}
+}
+
+// step runs one random operation.
+func (e *chaosEnv) step() {
+	if !e.connected {
+		// Disconnected: only local operations and reconnection.
+		switch e.rng.Intn(4) {
+		case 0:
+			e.write()
+		case 1:
+			e.evict()
+		case 2:
+			e.serverUpdate() // the world moves on without the laptop
+		case 3:
+			e.reconnect()
+		}
+		return
+	}
+	switch e.rng.Intn(8) {
+	case 0:
+		e.serverCreate()
+	case 1:
+		e.serverUpdate()
+	case 2:
+		e.fetch()
+	case 3:
+		e.write()
+	case 4:
+		e.evict()
+	case 5:
+		e.syncBatch()
+	case 6:
+		e.disconnect()
+	case 7:
+		e.reconnect() // no-op while connected
+	}
+}
+
+// TestRemoteRumorChaosEquivalence is the tentpole's acceptance test: a
+// random schedule of writes, fetches, evictions, server-side updates,
+// and repeated partitions, with 30% of all HTTP requests dropped, must
+// leave the networked substrate byte-for-byte equivalent to the
+// in-memory CheapRumor — same hoard contents, same master versions,
+// same conflict counts, zero lost dirty updates.
+func TestRemoteRumorChaosEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d/keepLocal=%v", seed, seed%2 == 0), func(t *testing.T) {
+			t.Parallel()
+			env := newChaosEnv(t, seed, seed%2 == 0)
+			for op := 0; op < 300 && !t.Failed(); op++ {
+				env.step()
+			}
+			if !t.Failed() {
+				env.settle()
+			}
+			if env.ft.Injected() == 0 {
+				t.Error("no faults injected — chaos test proves nothing")
+			}
+			t.Logf("seed %d: %d calls, %d injected failures, totals %+v",
+				seed, env.ft.Calls(), env.ft.Injected(), env.sub.Totals())
+		})
+	}
+}
+
+// TestRemoteRumorPartitionFlap hammers the link with hard partitions
+// mid-write: every update issued while the master is unreachable must
+// survive as dirty state and land on the master after the next heal —
+// none lost, ever.
+func TestRemoteRumorPartitionFlap(t *testing.T) {
+	m := replic.NewMaster()
+	mux := http.NewServeMux()
+	mux.Handle("/rumor/", replic.MasterHandler("/rumor", m))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ft := &fault.FlakyTransport{}
+	rr := replic.NewRemoteRumor(ts.URL+"/rumor", &http.Client{Transport: ft})
+	rr.Retry = hoard.RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}}.Do
+
+	rng := stats.NewRand(7)
+	writes := make(map[simfs.FileID]uint64) // id → writes issued
+	const files = 10
+	for id := simfs.FileID(1); id <= files; id++ {
+		m.Create(id)
+		if err := rr.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	down := false
+	for round := 0; round < 40; round++ {
+		// Flap the link at random — including mid-burst.
+		if rng.Bool(0.4) {
+			down = !down
+			ft.SetDown(down)
+		}
+		for i := 0; i < 5; i++ {
+			id := simfs.FileID(1 + rng.Intn(files))
+			rr.WriteLocal(id)
+			writes[id]++
+		}
+		if rng.Bool(0.3) {
+			rr.SetConnected(false)
+			rr.SetConnected(true) // may fail while down; state held
+		}
+	}
+
+	// Heal and settle.
+	ft.SetDown(false)
+	if !rr.Connected() {
+		rr.SetConnected(true)
+	}
+	for i := 0; rr.DirtyCount() > 0; i++ {
+		if i > 100 {
+			t.Fatalf("never converged: %d dirty", rr.DirtyCount())
+		}
+		rr.Reconcile()
+	}
+
+	// Every file written at least once must have advanced past its
+	// fetch base: the update reached the master. (Consecutive dirty
+	// writes coalesce — CheapRumor semantics — so the version floor is
+	// base+1, not base+writes.)
+	for id, n := range writes {
+		if n == 0 {
+			continue
+		}
+		v, ok := m.Version(id)
+		if !ok || v < 2 {
+			t.Errorf("file %d: %d writes issued but master version %d/%v — update lost",
+				id, n, v, ok)
+		}
+	}
+	if rr.DirtyCount() != 0 {
+		t.Errorf("DirtyCount = %d after settle", rr.DirtyCount())
+	}
+	if ft.Injected() == 0 {
+		t.Error("no faults injected")
+	}
+}

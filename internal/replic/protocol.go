@@ -1,0 +1,379 @@
+package replic
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/wire"
+)
+
+// The CheapRumor wire protocol. Every HTTP request and response body is
+// exactly one CRC32-framed wire message (wire.EncodeFrame), so a
+// truncated or bit-flipped transfer is rejected before any field is
+// trusted — the same discipline the on-disk database format uses.
+//
+// Endpoints (all POST, relative to the mount prefix):
+//
+//	/create     register a file on the master (idempotent, version 1)
+//	/update     bump the master version, as another replica would
+//	/version    query one file's version
+//	/fetch      batch version query for a hoard fill (one round trip)
+//	/push       propagate one local update (connected write-through)
+//	/reconcile  batch reconciliation after a disconnection: dirty
+//	            pushes + staleness checks in one round trip
+//
+// Versions are scalar master versions — the degenerate master–slave
+// form of a version vector (one component per site, and only the master
+// accepts pushes), which is exactly the in-memory CheapRumor's model.
+// A client push carries the base version its copy derives from; the
+// master compares base against its current version to distinguish a
+// fast-forward from a conflict, matching CheapRumor.reconcile.
+
+// reqTag and respTag frame every protocol message.
+const (
+	reqTag  = "rumor.rq"
+	respTag = "rumor.rs"
+)
+
+// maxRumorFrame bounds protocol message payloads: a reconcile of a
+// million files is ~16 MB; anything larger is corruption.
+const maxRumorFrame = 64 << 20
+
+// PushOutcome is the master's verdict on one propagated update.
+type PushOutcome uint8
+
+// The push outcomes, mirroring CheapRumor.reconcile's dirty cases.
+const (
+	// PushCreated: the master had no replica; it now has version 1.
+	PushCreated PushOutcome = iota
+	// PushFastForward: the base matched; the master advanced by one.
+	PushFastForward
+	// PushConflict: the master copy advanced independently since base.
+	PushConflict
+)
+
+// String names the outcome.
+func (o PushOutcome) String() string {
+	switch o {
+	case PushCreated:
+		return "created"
+	case PushFastForward:
+		return "fast-forward"
+	case PushConflict:
+		return "conflict"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// VersionInfo is one file's master-side version ("found" false when the
+// master has no replica).
+type VersionInfo struct {
+	ID      simfs.FileID
+	Version uint64
+	Found   bool
+}
+
+// BaseEntry names a file and the master version the local copy derives
+// from.
+type BaseEntry struct {
+	ID   simfs.FileID
+	Base uint64
+}
+
+// PushResult is the master's answer to one push: the outcome and the
+// resulting base version for the client's replica.
+type PushResult struct {
+	Outcome PushOutcome
+	Version uint64
+}
+
+// ReconcileRequest is the batched reconciliation message: every dirty
+// local file with its base version, and every clean hoarded file so the
+// master can report staleness — one round trip per reconnection.
+type ReconcileRequest struct {
+	KeepLocal bool
+	Dirty     []BaseEntry
+	Clean     []BaseEntry
+}
+
+// ReconcileResponse answers a ReconcileRequest; Dirty and Clean align
+// index-for-index with the request slices.
+type ReconcileResponse struct {
+	Dirty []PushResult
+	Clean []VersionInfo
+}
+
+func writeBaseEntries(w *wire.Writer, es []BaseEntry) {
+	w.U64(uint64(len(es)))
+	for _, e := range es {
+		w.I64(int64(e.ID))
+		w.U64(e.Base)
+	}
+}
+
+func readBaseEntries(r *wire.Reader, limit uint64) ([]BaseEntry, error) {
+	n := r.U64()
+	if n > limit {
+		return nil, fmt.Errorf("replic: entry count %d exceeds limit %d", n, limit)
+	}
+	es := make([]BaseEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		es = append(es, BaseEntry{ID: simfs.FileID(r.I64()), Base: r.U64()})
+	}
+	return es, r.Err()
+}
+
+func writeVersionInfos(w *wire.Writer, vs []VersionInfo) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.I64(int64(v.ID))
+		w.U64(v.Version)
+		w.Bool(v.Found)
+	}
+}
+
+func readVersionInfos(r *wire.Reader, limit uint64) ([]VersionInfo, error) {
+	n := r.U64()
+	if n > limit {
+		return nil, fmt.Errorf("replic: entry count %d exceeds limit %d", n, limit)
+	}
+	vs := make([]VersionInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		vs = append(vs, VersionInfo{
+			ID:      simfs.FileID(r.I64()),
+			Version: r.U64(),
+			Found:   r.Bool(),
+		})
+	}
+	return vs, r.Err()
+}
+
+func writePushResults(w *wire.Writer, ps []PushResult) {
+	w.U64(uint64(len(ps)))
+	for _, p := range ps {
+		w.U64(uint64(p.Outcome))
+		w.U64(p.Version)
+	}
+}
+
+func readPushResults(r *wire.Reader, limit uint64) ([]PushResult, error) {
+	n := r.U64()
+	if n > limit {
+		return nil, fmt.Errorf("replic: entry count %d exceeds limit %d", n, limit)
+	}
+	ps := make([]PushResult, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out := PushOutcome(r.U64())
+		if out > PushConflict {
+			return nil, fmt.Errorf("replic: invalid push outcome %d", out)
+		}
+		ps = append(ps, PushResult{Outcome: out, Version: r.U64()})
+	}
+	return ps, r.Err()
+}
+
+// entryLimit bounds list lengths inside protocol messages against
+// corrupt counts (the frame CRC catches noise; this catches a hostile
+// or buggy peer).
+const entryLimit = 1 << 22
+
+// encodeIDList renders a request carrying only a list of file ids
+// (/fetch).
+func encodeIDList(ids []simfs.FileID) ([]byte, error) {
+	return wire.EncodeFrame(reqTag, func(w *wire.Writer) {
+		w.U64(uint64(len(ids)))
+		for _, id := range ids {
+			w.I64(int64(id))
+		}
+	})
+}
+
+func decodeIDList(r io.Reader) ([]simfs.FileID, error) {
+	var ids []simfs.FileID
+	err := wire.DecodeFrame(r, reqTag, maxRumorFrame, func(rd *wire.Reader) error {
+		n := rd.U64()
+		if n > entryLimit {
+			return fmt.Errorf("replic: id count %d exceeds limit %d", n, entryLimit)
+		}
+		ids = make([]simfs.FileID, 0, n)
+		for i := uint64(0); i < n; i++ {
+			ids = append(ids, simfs.FileID(rd.I64()))
+		}
+		return rd.Err()
+	})
+	return ids, err
+}
+
+// encodeID renders a single-file request (/create, /update, /version).
+func encodeID(id simfs.FileID) ([]byte, error) {
+	return wire.EncodeFrame(reqTag, func(w *wire.Writer) { w.I64(int64(id)) })
+}
+
+func decodeID(r io.Reader) (simfs.FileID, error) {
+	var id simfs.FileID
+	err := wire.DecodeFrame(r, reqTag, maxRumorFrame, func(rd *wire.Reader) error {
+		id = simfs.FileID(rd.I64())
+		return rd.Err()
+	})
+	return id, err
+}
+
+// encodePushReq renders a /push request.
+func encodePushReq(id simfs.FileID, base uint64, keepLocal bool) ([]byte, error) {
+	return wire.EncodeFrame(reqTag, func(w *wire.Writer) {
+		w.I64(int64(id))
+		w.U64(base)
+		w.Bool(keepLocal)
+	})
+}
+
+func decodePushReq(r io.Reader) (id simfs.FileID, base uint64, keepLocal bool, err error) {
+	err = wire.DecodeFrame(r, reqTag, maxRumorFrame, func(rd *wire.Reader) error {
+		id = simfs.FileID(rd.I64())
+		base = rd.U64()
+		keepLocal = rd.Bool()
+		return rd.Err()
+	})
+	return id, base, keepLocal, err
+}
+
+// encodeReconcileReq renders a /reconcile request.
+func encodeReconcileReq(req ReconcileRequest) ([]byte, error) {
+	return wire.EncodeFrame(reqTag, func(w *wire.Writer) {
+		w.Bool(req.KeepLocal)
+		writeBaseEntries(w, req.Dirty)
+		writeBaseEntries(w, req.Clean)
+	})
+}
+
+func decodeReconcileReq(r io.Reader) (ReconcileRequest, error) {
+	var req ReconcileRequest
+	err := wire.DecodeFrame(r, reqTag, maxRumorFrame, func(rd *wire.Reader) error {
+		req.KeepLocal = rd.Bool()
+		var err error
+		if req.Dirty, err = readBaseEntries(rd, entryLimit); err != nil {
+			return err
+		}
+		req.Clean, err = readBaseEntries(rd, entryLimit)
+		return err
+	})
+	return req, err
+}
+
+// Response encoders/decoders. Every response starts with a status
+// varint so application-level refusals (file not replicated) survive
+// the round trip distinctly from transport failures.
+const (
+	statusOK            = 0
+	statusNotReplicated = 1
+)
+
+func encodeVersionResp(v VersionInfo) ([]byte, error) {
+	return wire.EncodeFrame(respTag, func(w *wire.Writer) {
+		w.U64(statusOK)
+		writeVersionInfos(w, []VersionInfo{v})
+	})
+}
+
+func decodeVersionResp(r io.Reader) (VersionInfo, error) {
+	var v VersionInfo
+	err := wire.DecodeFrame(r, respTag, maxRumorFrame, func(rd *wire.Reader) error {
+		if st := rd.U64(); st != statusOK {
+			return fmt.Errorf("replic: status %d", st)
+		}
+		vs, err := readVersionInfos(rd, 1)
+		if err != nil {
+			return err
+		}
+		if len(vs) != 1 {
+			return fmt.Errorf("replic: want 1 version, got %d", len(vs))
+		}
+		v = vs[0]
+		return nil
+	})
+	return v, err
+}
+
+func encodeFetchResp(vs []VersionInfo) ([]byte, error) {
+	return wire.EncodeFrame(respTag, func(w *wire.Writer) {
+		w.U64(statusOK)
+		writeVersionInfos(w, vs)
+	})
+}
+
+func decodeFetchResp(r io.Reader) ([]VersionInfo, error) {
+	var vs []VersionInfo
+	err := wire.DecodeFrame(r, respTag, maxRumorFrame, func(rd *wire.Reader) error {
+		if st := rd.U64(); st != statusOK {
+			return fmt.Errorf("replic: status %d", st)
+		}
+		var err error
+		vs, err = readVersionInfos(rd, entryLimit)
+		return err
+	})
+	return vs, err
+}
+
+func encodePushResp(p PushResult) ([]byte, error) {
+	return wire.EncodeFrame(respTag, func(w *wire.Writer) {
+		w.U64(statusOK)
+		writePushResults(w, []PushResult{p})
+	})
+}
+
+func decodePushResp(r io.Reader) (PushResult, error) {
+	var p PushResult
+	err := wire.DecodeFrame(r, respTag, maxRumorFrame, func(rd *wire.Reader) error {
+		if st := rd.U64(); st != statusOK {
+			return fmt.Errorf("replic: status %d", st)
+		}
+		ps, err := readPushResults(rd, 1)
+		if err != nil {
+			return err
+		}
+		if len(ps) != 1 {
+			return fmt.Errorf("replic: want 1 push result, got %d", len(ps))
+		}
+		p = ps[0]
+		return nil
+	})
+	return p, err
+}
+
+func encodeStatusResp(status uint64) ([]byte, error) {
+	return wire.EncodeFrame(respTag, func(w *wire.Writer) { w.U64(status) })
+}
+
+func decodeStatusResp(r io.Reader) (uint64, error) {
+	var st uint64
+	err := wire.DecodeFrame(r, respTag, maxRumorFrame, func(rd *wire.Reader) error {
+		st = rd.U64()
+		return rd.Err()
+	})
+	return st, err
+}
+
+func encodeReconcileResp(resp ReconcileResponse) ([]byte, error) {
+	return wire.EncodeFrame(respTag, func(w *wire.Writer) {
+		w.U64(statusOK)
+		writePushResults(w, resp.Dirty)
+		writeVersionInfos(w, resp.Clean)
+	})
+}
+
+func decodeReconcileResp(r io.Reader) (ReconcileResponse, error) {
+	var resp ReconcileResponse
+	err := wire.DecodeFrame(r, respTag, maxRumorFrame, func(rd *wire.Reader) error {
+		if st := rd.U64(); st != statusOK {
+			return fmt.Errorf("replic: status %d", st)
+		}
+		var err error
+		if resp.Dirty, err = readPushResults(rd, entryLimit); err != nil {
+			return err
+		}
+		resp.Clean, err = readVersionInfos(rd, entryLimit)
+		return err
+	})
+	return resp, err
+}

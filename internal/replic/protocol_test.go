@@ -1,0 +1,189 @@
+package replic
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/wire"
+)
+
+func TestProtocolRoundTrips(t *testing.T) {
+	// Single id.
+	b, err := encodeID(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := decodeID(bytes.NewReader(b)); err != nil || id != 42 {
+		t.Errorf("id round trip = %d, %v", id, err)
+	}
+
+	// Id list, including empty.
+	ids := []simfs.FileID{7, 1, 99}
+	b, err = encodeIDList(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeIDList(bytes.NewReader(b))
+	if err != nil || len(got) != 3 || got[0] != 7 || got[1] != 1 || got[2] != 99 {
+		t.Errorf("id list round trip = %v, %v", got, err)
+	}
+	b, _ = encodeIDList(nil)
+	if got, err := decodeIDList(bytes.NewReader(b)); err != nil || len(got) != 0 {
+		t.Errorf("empty id list round trip = %v, %v", got, err)
+	}
+
+	// Push request.
+	b, err = encodePushReq(5, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, base, keep, err := decodePushReq(bytes.NewReader(b))
+	if err != nil || id != 5 || base != 9 || !keep {
+		t.Errorf("push req round trip = %d %d %v %v", id, base, keep, err)
+	}
+
+	// Version response, found and not-found.
+	for _, v := range []VersionInfo{{ID: 3, Version: 17, Found: true}, {ID: 8}} {
+		b, err := encodeVersionResp(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeVersionResp(bytes.NewReader(b))
+		if err != nil || got != v {
+			t.Errorf("version resp round trip = %+v, %v (want %+v)", got, err, v)
+		}
+	}
+
+	// Fetch response.
+	vs := []VersionInfo{{ID: 1, Version: 2, Found: true}, {ID: 2, Found: false}}
+	b, err = encodeFetchResp(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gvs, err := decodeFetchResp(bytes.NewReader(b))
+	if err != nil || len(gvs) != 2 || gvs[0] != vs[0] || gvs[1] != vs[1] {
+		t.Errorf("fetch resp round trip = %+v, %v", gvs, err)
+	}
+
+	// Push response.
+	pr := PushResult{Outcome: PushConflict, Version: 12}
+	b, err = encodePushResp(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := decodePushResp(bytes.NewReader(b)); err != nil || got != pr {
+		t.Errorf("push resp round trip = %+v, %v", got, err)
+	}
+
+	// Status response.
+	b, err = encodeStatusResp(statusNotReplicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := decodeStatusResp(bytes.NewReader(b)); err != nil || st != statusNotReplicated {
+		t.Errorf("status resp round trip = %d, %v", st, err)
+	}
+
+	// Reconcile request/response.
+	req := ReconcileRequest{
+		KeepLocal: true,
+		Dirty:     []BaseEntry{{ID: 1, Base: 0}, {ID: 2, Base: 5}},
+		Clean:     []BaseEntry{{ID: 3, Base: 1}},
+	}
+	b, err = encodeReconcileReq(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greq, err := decodeReconcileReq(bytes.NewReader(b))
+	if err != nil || !greq.KeepLocal || len(greq.Dirty) != 2 || len(greq.Clean) != 1 ||
+		greq.Dirty[1] != req.Dirty[1] || greq.Clean[0] != req.Clean[0] {
+		t.Errorf("reconcile req round trip = %+v, %v", greq, err)
+	}
+
+	resp := ReconcileResponse{
+		Dirty: []PushResult{{Outcome: PushFastForward, Version: 6}},
+		Clean: []VersionInfo{{ID: 3, Version: 4, Found: true}},
+	}
+	b, err = encodeReconcileResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp, err := decodeReconcileResp(bytes.NewReader(b))
+	if err != nil || len(gresp.Dirty) != 1 || len(gresp.Clean) != 1 ||
+		gresp.Dirty[0] != resp.Dirty[0] || gresp.Clean[0] != resp.Clean[0] {
+		t.Errorf("reconcile resp round trip = %+v, %v", gresp, err)
+	}
+}
+
+func TestProtocolRejectsCorruption(t *testing.T) {
+	b, err := encodePushReq(5, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A flipped payload byte fails the frame CRC.
+	for i := range b {
+		bad := append([]byte(nil), b...)
+		bad[i] ^= 0x40
+		if _, _, _, err := decodePushReq(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupted byte %d accepted", i)
+		}
+	}
+
+	// Truncation at every boundary fails.
+	for n := 0; n < len(b); n++ {
+		if _, _, _, err := decodePushReq(bytes.NewReader(b[:n])); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+
+	// A response tag is not a request.
+	resp, err := encodeStatusResp(statusOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := decodePushReq(bytes.NewReader(resp)); err == nil {
+		t.Error("response frame accepted as request")
+	}
+}
+
+func TestProtocolRejectsOversizedCounts(t *testing.T) {
+	// A count field beyond entryLimit is refused before allocation even
+	// though the frame itself checks out.
+	huge, err := wire.EncodeFrame(reqTag, func(w *wire.Writer) {
+		w.U64(entryLimit + 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeIDList(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized count accepted")
+	}
+}
+
+func TestProtocolRejectsInvalidOutcome(t *testing.T) {
+	if PushCreated.String() != "created" || PushConflict.String() != "conflict" {
+		t.Error("outcome names")
+	}
+	if PushOutcome(9).String() == "" {
+		t.Error("unknown outcome unnamed")
+	}
+	// A well-framed response carrying an out-of-range outcome is refused.
+	bad, err := wire.EncodeFrame(respTag, func(w *wire.Writer) {
+		w.U64(statusOK)
+		w.U64(1) // one push result
+		w.U64(uint64(PushConflict) + 1)
+		w.U64(7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePushResp(bytes.NewReader(bad)); err == nil {
+		t.Error("invalid outcome accepted")
+	}
+	if !errors.Is(ErrUnavailable, ErrUnavailable) {
+		t.Error("sentinel identity")
+	}
+}

@@ -93,6 +93,15 @@ type replica struct {
 	evictWanted bool
 }
 
+// BatchSyncer is implemented by substrates that can apply a whole
+// fetch/evict diff in one operation — for the networked substrate, one
+// round trip instead of one per file. failed lists files the server
+// does not replicate (permanent); a non-nil err means nothing was
+// fetched and the whole batch may be retried.
+type BatchSyncer interface {
+	SyncBatch(fetch, evict []simfs.FileID) (failed []simfs.FileID, err error)
+}
+
 // ReconcileReport summarizes a reconciliation pass.
 type ReconcileReport struct {
 	// Propagated counts local updates pushed to the server.
@@ -107,18 +116,28 @@ type ReconcileReport struct {
 	Evicted int
 }
 
+// merge accumulates o into r.
+func (r *ReconcileReport) merge(o ReconcileReport) {
+	r.Propagated += o.Propagated
+	r.Conflicts += o.Conflicts
+	r.Refreshed += o.Refreshed
+	r.Evicted += o.Evicted
+}
+
 // CheapRumor is the in-memory master–slave replication service.
 type CheapRumor struct {
 	fs        *simfs.FS
 	server    map[simfs.FileID]uint64 // authoritative version per file
 	local     map[simfs.FileID]*replica
 	connected bool
+	totals    ReconcileReport
 	// ConflictPolicy: true keeps the local version on conflict (and
 	// pushes it), false keeps the server version.
 	KeepLocalOnConflict bool
 }
 
 var _ Replicator = (*CheapRumor)(nil)
+var _ BatchSyncer = (*CheapRumor)(nil)
 
 // NewCheapRumor returns a connected, empty replication pair over the
 // given file table.
@@ -209,7 +228,11 @@ func (r *CheapRumor) Access(id simfs.FileID) AccessResult {
 }
 
 // WriteLocal records a local modification of a hoarded file (creating
-// the local replica if the file is being created locally).
+// the local replica if the file is being created locally). While
+// connected the update propagates to the server immediately — creation
+// or update alike — so DirtyCount stays zero online; dirty state only
+// accumulates while disconnected. (A connected write over a stale base
+// is a conflict, resolved by the same policy reconciliation uses.)
 func (r *CheapRumor) WriteLocal(id simfs.FileID) {
 	rep := r.local[id]
 	if rep == nil {
@@ -217,12 +240,29 @@ func (r *CheapRumor) WriteLocal(id simfs.FileID) {
 		r.local[id] = rep
 	}
 	rep.dirty = true
-	if _, ok := r.server[id]; !ok && r.connected {
-		// While connected, creations propagate immediately.
+	if !r.connected {
+		return
+	}
+	sv, ok := r.server[id]
+	switch {
+	case !ok:
 		r.server[id] = 1
 		rep.baseVersion = 1
-		rep.dirty = false
+		r.totals.Propagated++
+	case sv == rep.baseVersion:
+		r.server[id] = sv + 1
+		rep.baseVersion = sv + 1
+		r.totals.Propagated++
+	default:
+		r.totals.Conflicts++
+		if r.KeepLocalOnConflict {
+			r.server[id] = sv + 1
+			rep.baseVersion = sv + 1
+		} else {
+			rep.baseVersion = sv
+		}
 	}
+	rep.dirty = false
 }
 
 // DirtyCount returns the number of unpropagated local updates.
@@ -248,8 +288,15 @@ func (r *CheapRumor) SetConnected(up bool) ReconcileReport {
 	if !up || wasUp {
 		return ReconcileReport{}
 	}
-	return r.reconcile()
+	rep := r.reconcile()
+	r.totals.merge(rep)
+	return rep
 }
+
+// Totals returns the cumulative reconciliation outcomes, including
+// connected write-through pushes (which never appear in a
+// SetConnected report).
+func (r *CheapRumor) Totals() ReconcileReport { return r.totals }
 
 func (r *CheapRumor) reconcile() ReconcileReport {
 	var rep ReconcileReport
@@ -305,4 +352,22 @@ func (r *CheapRumor) Sync(fetch, evict []simfs.FileID) (failed int) {
 		r.Evict(id)
 	}
 	return failed
+}
+
+// SyncBatch implements BatchSyncer: in memory every fetch either
+// succeeds or is permanently refused, so the whole diff applies in one
+// call — except while disconnected, which is the retryable condition.
+func (r *CheapRumor) SyncBatch(fetch, evict []simfs.FileID) (failed []simfs.FileID, err error) {
+	if !r.connected {
+		return nil, ErrDisconnected
+	}
+	for _, id := range fetch {
+		if err := r.Fetch(id); err != nil {
+			failed = append(failed, id)
+		}
+	}
+	for _, id := range evict {
+		r.Evict(id)
+	}
+	return failed, nil
 }

@@ -282,3 +282,84 @@ func TestEstimateSync(t *testing.T) {
 	}
 	_ = r
 }
+
+// Regression: a WriteLocal on an already-replicated file while
+// connected must push through immediately — before the fix it stayed
+// dirty until the next disconnect/reconnect cycle even though the
+// substrate was reachable the whole time.
+func TestConnectedWritePropagatesImmediately(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	if err := r.Fetch(f.ID); err != nil {
+		t.Fatal(err)
+	}
+	r.WriteLocal(f.ID)
+	if n := r.DirtyCount(); n != 0 {
+		t.Fatalf("connected update left DirtyCount = %d, want 0 (not pushed)", n)
+	}
+	if v := r.ServerVersion(f.ID); v != 2 {
+		t.Errorf("server version after connected update = %d, want 2", v)
+	}
+	if got := r.Totals(); got.Propagated != 1 {
+		t.Errorf("Totals().Propagated = %d, want 1", got.Propagated)
+	}
+	// A reconnect cycle finds nothing left to do.
+	r.SetConnected(false)
+	if rep := r.SetConnected(true); rep != (ReconcileReport{}) {
+		t.Errorf("reconcile after connected write = %+v, want zero", rep)
+	}
+}
+
+func TestConnectedWriteConflict(t *testing.T) {
+	// Another replica advanced the server while the laptop held a
+	// hoarded copy: a connected write over the stale base is a conflict,
+	// resolved by the same policy reconciliation uses.
+	r, fs := newRumor()
+	f := fs.Create("/a", simfs.Regular, 10, 1)
+	r.ServerCreate(f.ID)
+	if err := r.Fetch(f.ID); err != nil { // base 1
+		t.Fatal(err)
+	}
+	if err := r.ServerUpdate(f.ID); err != nil { // now 2
+		t.Fatal(err)
+	}
+	r.WriteLocal(f.ID)
+	if n := r.DirtyCount(); n != 0 {
+		t.Fatalf("DirtyCount = %d, want 0", n)
+	}
+	if got := r.Totals().Conflicts; got != 1 {
+		t.Errorf("Totals().Conflicts = %d, want 1", got)
+	}
+	// Default policy keeps the server version: no push, base adopted.
+	if v := r.ServerVersion(f.ID); v != 2 {
+		t.Errorf("server version = %d, want 2 (server copy kept)", v)
+	}
+
+	r2, fs2 := newRumor()
+	r2.KeepLocalOnConflict = true
+	g := fs2.Create("/b", simfs.Regular, 10, 1)
+	r2.ServerCreate(g.ID)
+	if err := r2.Fetch(g.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.ServerUpdate(g.ID); err != nil {
+		t.Fatal(err)
+	}
+	r2.WriteLocal(g.ID)
+	if v := r2.ServerVersion(g.ID); v != 3 {
+		t.Errorf("keep-local conflict server version = %d, want 3 (pushed over)", v)
+	}
+}
+
+func TestConnectedCreateRegistersOnServer(t *testing.T) {
+	r, fs := newRumor()
+	f := fs.Create("/new", simfs.Regular, 10, 1)
+	r.WriteLocal(f.ID) // local creation while connected
+	if v := r.ServerVersion(f.ID); v != 1 {
+		t.Errorf("server version after connected create = %d, want 1", v)
+	}
+	if n := r.DirtyCount(); n != 0 {
+		t.Errorf("DirtyCount = %d, want 0", n)
+	}
+}

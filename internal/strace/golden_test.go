@@ -1,0 +1,106 @@
+package strace
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/trace"
+)
+
+// TestGoldenFixture parses a committed `strace -f -tt` capture of a
+// small build session end-to-end and checks the exact event sequence.
+// The fixture deliberately packs the parser's hard cases into one
+// realistic trace: multiple pids with fd-table inheritance across
+// clone, a child closing an fd the parent opened, dup2 aliasing,
+// octal/tab escapes in paths, an unfinished/resumed pair interleaved
+// with another process, signal and exit decoration lines, and a
+// midnight crossing.
+func TestGoldenFixture(t *testing.T) {
+	f, err := os.Open("testdata/golden.strace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := NewParser().Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		pid    trace.PID
+		op     trace.Op
+		path   string
+		failed bool
+	}{
+		{1000, trace.OpExec, "/bin/sh", false},
+		{1000, trace.OpOpen, "/etc/profile", false},
+		{1000, trace.OpClose, "/etc/profile", false},
+		{1000, trace.OpStat, "/home/u/café/notes.txt", false}, // octal UTF-8 escapes
+		{1000, trace.OpStat, "/home/u/.hushlogin", true},      // ENOENT
+		{1001, trace.OpFork, "", false},
+		{1001, trace.OpExec, "/usr/bin/make", false},
+		{1001, trace.OpOpen, "/home/u/proj/Makefile", false},
+		{1001, trace.OpReadDir, "/home/u/proj", false}, // O_DIRECTORY open
+		{1001, trace.OpReadDir, "/home/u/proj", false}, // getdents64
+		{1001, trace.OpClose, "/home/u/proj", false},
+		{1002, trace.OpFork, "", false},
+		{1002, trace.OpExec, "/usr/bin/cc", false},
+		{1002, trace.OpClose, "/home/u/proj/Makefile", false}, // inherited fd 3
+		{1002, trace.OpOpen, "/home/u/proj/main.c", false},
+		{1002, trace.OpCreate, "/home/u/proj/main.o", false},
+		{1002, trace.OpClose, "/home/u/proj/main.o", false}, // fd 4
+		{1002, trace.OpClose, "/home/u/proj/main.o", false}, // fd 5 via dup2
+		{1002, trace.OpClose, "/home/u/proj/main.c", false}, // after midnight
+		{1002, trace.OpExit, "", false},
+		{1002, trace.OpExit, "", false}, // +++ exited +++
+		{1000, trace.OpStat, "/home/u/café", false},
+		{1001, trace.OpOpen, "/home/u/proj/tab\tfile", false}, // resumed
+		{1001, trace.OpClose, "/home/u/proj/tab\tfile", false},
+		{1001, trace.OpRename, "/home/u/proj/main.o", false},
+		{1001, trace.OpExit, "", false},
+		{1001, trace.OpExit, "", false},
+	}
+	if len(evs) != len(want) {
+		for i, ev := range evs {
+			t.Logf("ev[%d] = pid=%d op=%v path=%q", i, ev.PID, ev.Op, ev.Path)
+		}
+		t.Fatalf("events = %d, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		ev := evs[i]
+		if ev.PID != w.pid || ev.Op != w.op || ev.Path != w.path || ev.Failed != w.failed {
+			t.Errorf("ev[%d] = pid=%d op=%v path=%q failed=%v, want pid=%d op=%v path=%q failed=%v",
+				i, ev.PID, ev.Op, ev.Path, ev.Failed, w.pid, w.op, w.path, w.failed)
+		}
+	}
+
+	// Fork parentage.
+	if evs[5].PPID != 1000 {
+		t.Errorf("first fork PPID = %d, want 1000", evs[5].PPID)
+	}
+	if evs[11].PPID != 1001 {
+		t.Errorf("second fork PPID = %d, want 1001", evs[11].PPID)
+	}
+
+	// The rename's destination.
+	if evs[24].Path2 != "/home/u/proj/build/main.o" {
+		t.Errorf("rename dest = %q", evs[24].Path2)
+	}
+
+	// Times are monotone and the midnight crossing advanced the date:
+	// 23:59:59.9 → 00:00:00.1 is 200ms, not a clamp and not a day.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Errorf("ev[%d] time %v before ev[%d] %v", i, evs[i].Time, i-1, evs[i-1].Time)
+		}
+	}
+	preMidnight := evs[17].Time  // close(5) at 23:59:59.900000
+	postMidnight := evs[18].Time // close(3) at 00:00:00.100000
+	if d := postMidnight.Sub(preMidnight); d != 200*time.Millisecond {
+		t.Errorf("midnight gap = %v, want 200ms", d)
+	}
+	if preMidnight.Day() == postMidnight.Day() {
+		t.Error("midnight crossing did not advance the date")
+	}
+}

@@ -41,6 +41,10 @@ type Parser struct {
 	// the matching `<... resumed>` arrives.
 	unfinished map[trace.PID]string
 	lastTime   time.Time
+	// anchor carries the date strace's time-of-day timestamps are
+	// anchored to; it starts at BaseTime's date and rolls forward each
+	// time the clock wraps past midnight.
+	anchor time.Time
 }
 
 // NewParser returns a Parser with defaults.
@@ -85,9 +89,22 @@ func (p *Parser) ParseLine(line string) (trace.Event, bool) {
 		pid = trace.PID(n)
 		line = strings.TrimSpace(line[i:])
 	}
-	// Optional timestamp: HH:MM:SS or HH:MM:SS.micro.
+	// Optional timestamp: HH:MM:SS or HH:MM:SS.micro. Timestamps carry
+	// only a time of day, so the date comes from the rolling anchor: a
+	// clock that jumps backwards by more than ~12 hours is a trace
+	// crossing midnight, not time travel — roll the anchored date
+	// forward and keep going. (Without this, every event after
+	// midnight was clamped to lastTime forever.) Small backwards
+	// jitter within the same day is still clamped monotone below.
+	if p.anchor.IsZero() {
+		p.anchor = p.BaseTime
+	}
 	ts := p.lastTime
-	if t, rest, ok := parseTimestamp(line, p.BaseTime); ok {
+	if t, rest, ok := parseTimestamp(line, p.anchor); ok {
+		if !p.lastTime.IsZero() && p.lastTime.Sub(t) > 12*time.Hour {
+			p.anchor = p.anchor.AddDate(0, 0, 1)
+			t = t.AddDate(0, 0, 1)
+		}
 		ts = t
 		line = rest
 	}
@@ -182,7 +199,23 @@ func (p *Parser) ParseLine(line string) (trace.Event, bool) {
 			return trace.Event{}, false
 		}
 		// The child pid is the return value; the caller is the parent.
-		return p.emit(ts, trace.PID(retval), trace.Event{Op: trace.OpFork, PPID: pid}), true
+		// The child inherits the parent's file descriptors: without
+		// this, close(fd)/getdents(fd) in a forked child resolve to
+		// nothing and those events are silently dropped. CLONE_FILES
+		// shares one fd table between parent and child; fork/vfork and
+		// plain clone copy it.
+		child := trace.PID(retval)
+		if strings.Contains(args, "CLONE_FILES") {
+			p.fdTables[child] = p.fdTable(pid)
+		} else {
+			parent := p.fdTable(pid)
+			ct := make(map[int]string, len(parent))
+			for fd, path := range parent {
+				ct[fd] = path
+			}
+			p.fdTables[child] = ct
+		}
+		return p.emit(ts, child, trace.Event{Op: trace.OpFork, PPID: pid}), true
 	case "unlink", "unlinkat":
 		path, ok := pathArg(args, call == "unlinkat")
 		if !ok {
@@ -311,13 +344,36 @@ func splitCall(line string) (call, args, result string, ok bool) {
 	if strings.ContainsAny(call, " \t<") {
 		return "", "", "", false
 	}
-	eq := strings.LastIndex(line, ") = ")
-	if eq < 0 {
+	argsEnd, resStart := resultSplit(line)
+	if argsEnd < open {
 		return "", "", "", false
 	}
-	args = line[open+1 : eq]
-	result = strings.TrimSpace(line[eq+4:])
+	args = line[open+1 : argsEnd]
+	result = strings.TrimSpace(line[resStart:])
 	return call, args, result, true
+}
+
+// resultSplit locates the `) = result` separator. strace pads short
+// calls so the `=` column lines up (`close(3)          = 0`), so any
+// run of spaces between the closing paren and the `=` must be
+// accepted, not just a single one.
+func resultSplit(line string) (argsEnd, resStart int) {
+	if eq := strings.LastIndex(line, ") = "); eq >= 0 {
+		return eq, eq + 4
+	}
+	for i := len(line) - 2; i > 0; i-- {
+		if line[i] != '=' || line[i+1] != ' ' {
+			continue
+		}
+		j := i - 1
+		for j >= 0 && line[j] == ' ' {
+			j--
+		}
+		if j >= 0 && line[j] == ')' {
+			return j, i + 2
+		}
+	}
+	return -1, -1
 }
 
 // pathArg extracts the first quoted string argument; for *at calls the
@@ -373,8 +429,8 @@ func quotedStringRest(s string) (string, string, bool) {
 	for i < len(s) {
 		c := s[i]
 		if c == '\\' && i+1 < len(s) {
-			b.WriteByte(s[i+1])
-			i += 2
+			n := decodeEscape(&b, s[i+1:])
+			i += 1 + n
 			continue
 		}
 		if c == '"' {
@@ -384,6 +440,76 @@ func quotedStringRest(s string) (string, string, bool) {
 		i++
 	}
 	return "", "", false
+}
+
+// decodeEscape decodes one strace string escape starting after the
+// backslash, writes the decoded byte to b, and returns how many input
+// bytes were consumed. strace emits C-style escapes: \n, \t and
+// friends, \" and \\, and octal \NNN (1–3 digits) for everything
+// non-printable — decoding them as the literal next character mangles
+// any path with a newline, tab, or non-ASCII byte in it.
+func decodeEscape(b *strings.Builder, s string) int {
+	if len(s) == 0 {
+		return 0
+	}
+	switch s[0] {
+	case 'n':
+		b.WriteByte('\n')
+	case 't':
+		b.WriteByte('\t')
+	case 'r':
+		b.WriteByte('\r')
+	case 'f':
+		b.WriteByte('\f')
+	case 'v':
+		b.WriteByte('\v')
+	case 'a':
+		b.WriteByte('\a')
+	case 'b':
+		b.WriteByte('\b')
+	case 'x':
+		// Hex escape (strace -xx): \xNN.
+		v, n := 0, 0
+		for n < 2 && 1+n < len(s) && isHexDigit(s[1+n]) {
+			v = v<<4 | hexVal(s[1+n])
+			n++
+		}
+		if n == 0 {
+			b.WriteByte('x')
+			return 1
+		}
+		b.WriteByte(byte(v))
+		return 1 + n
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		// Octal escape: \NNN, up to three digits.
+		v, n := 0, 0
+		for n < 3 && n < len(s) && s[n] >= '0' && s[n] <= '7' {
+			v = v<<3 | int(s[n]-'0')
+			n++
+		}
+		b.WriteByte(byte(v))
+		return n
+	default:
+		// \" and \\ decode to the character itself; so does anything
+		// unrecognized.
+		b.WriteByte(s[0])
+	}
+	return 1
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
 }
 
 func firstField(s string) string {

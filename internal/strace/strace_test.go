@@ -3,6 +3,7 @@ package strace
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/fmg/seer/internal/trace"
 )
@@ -266,6 +267,166 @@ func TestDupOfUnknownFd(t *testing.T) {
 	evs := parseAll(t, "1 dup(99) = 100\n1 close(100) = 0\n")
 	if len(evs) != 0 {
 		t.Fatalf("unknown dup produced events: %+v", evs)
+	}
+}
+
+func TestForkInheritsFdTable(t *testing.T) {
+	// A forked child inherits the parent's descriptors: close(3) and
+	// getdents64(4) in the child must resolve to the paths the parent
+	// opened. Before the fix both events were silently dropped.
+	src := `100 openat(AT_FDCWD, "/home/u/p/main.c", O_RDONLY) = 3
+100 openat(AT_FDCWD, "/home/u/p", O_RDONLY|O_DIRECTORY) = 4
+100 fork() = 101
+101 getdents64(4, 0x55..., 32768) = 120
+101 close(3) = 0
+100 close(3) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 6 {
+		t.Fatalf("events = %d: %+v", len(evs), evs)
+	}
+	if evs[3].Op != trace.OpReadDir || evs[3].Path != "/home/u/p" || evs[3].PID != 101 {
+		t.Errorf("child getdents = %+v, want readdir /home/u/p", evs[3])
+	}
+	if evs[4].Op != trace.OpClose || evs[4].Path != "/home/u/p/main.c" || evs[4].PID != 101 {
+		t.Errorf("child close = %+v, want close /home/u/p/main.c", evs[4])
+	}
+	// The parent's own table is unaffected by the child's close: the
+	// tables are copies, not shared.
+	if evs[5].Op != trace.OpClose || evs[5].Path != "/home/u/p/main.c" || evs[5].PID != 100 {
+		t.Errorf("parent close = %+v (fd table not copied)", evs[5])
+	}
+}
+
+func TestForkCopyIsIndependent(t *testing.T) {
+	// After a plain fork, a descriptor opened by the child must not
+	// appear in the parent.
+	src := `100 openat(AT_FDCWD, "/a", O_RDONLY) = 3
+100 fork() = 101
+101 openat(AT_FDCWD, "/b", O_RDONLY) = 5
+100 close(5) = 0
+`
+	evs := parseAll(t, src)
+	// open, fork, open — the parent's close(5) must not resolve.
+	if len(evs) != 3 {
+		t.Fatalf("events = %d: %+v (child fd leaked into parent)", len(evs), evs)
+	}
+}
+
+func TestCloneFilesSharesFdTable(t *testing.T) {
+	// CLONE_FILES (threads) shares one fd table: a descriptor opened by
+	// the child resolves in the parent.
+	src := `100 openat(AT_FDCWD, "/a", O_RDONLY) = 3
+100 clone(child_stack=NULL, flags=CLONE_FILES|CLONE_VM|SIGCHLD) = 101
+101 openat(AT_FDCWD, "/b", O_RDONLY) = 5
+100 close(5) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d: %+v", len(evs), evs)
+	}
+	if evs[3].Op != trace.OpClose || evs[3].Path != "/b" || evs[3].PID != 100 {
+		t.Errorf("parent close of thread-opened fd = %+v, want /b", evs[3])
+	}
+}
+
+func TestVforkInheritsFdTable(t *testing.T) {
+	src := `100 openat(AT_FDCWD, "/a", O_RDONLY) = 3
+100 vfork() = 102
+102 close(3) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 3 || evs[2].Path != "/a" || evs[2].PID != 102 {
+		t.Fatalf("vfork child close = %+v, want /a", evs)
+	}
+}
+
+func TestEscapeDecoding(t *testing.T) {
+	// strace escapes non-printable bytes C-style; decoding them as the
+	// literal next character mangles the path. "caf\303\251" is café
+	// in UTF-8; \n, \t, \x and \\ round-trip too.
+	cases := []struct {
+		line, want string
+	}{
+		{`1 openat(AT_FDCWD, "/home/u/caf\303\251/menu", O_RDONLY) = 3`, "/home/u/café/menu"},
+		{`1 openat(AT_FDCWD, "/tmp/line\nbreak", O_RDONLY) = 3`, "/tmp/line\nbreak"},
+		{`1 openat(AT_FDCWD, "/tmp/tab\there", O_RDONLY) = 3`, "/tmp/tab\there"},
+		{`1 openat(AT_FDCWD, "/tmp/hex\x41", O_RDONLY) = 3`, "/tmp/hexA"},
+		{`1 openat(AT_FDCWD, "/tmp/back\\slash", O_RDONLY) = 3`, `/tmp/back\slash`},
+		{`1 openat(AT_FDCWD, "/tmp/bell\7", O_RDONLY) = 3`, "/tmp/bell\a"},
+	}
+	for _, c := range cases {
+		evs := parseAll(t, c.line+"\n")
+		if len(evs) != 1 {
+			t.Errorf("%q: %d events", c.line, len(evs))
+			continue
+		}
+		if evs[0].Path != c.want {
+			t.Errorf("%q decoded to %q, want %q", c.line, evs[0].Path, c.want)
+		}
+	}
+}
+
+func TestMidnightRollover(t *testing.T) {
+	// A trace crossing midnight wraps its time-of-day clock; events
+	// after the wrap must land on the next day, not be clamped to
+	// 23:59:59 forever.
+	src := `1 23:59:59.500000 stat("/a", {...}) = 0
+1 00:00:01.000000 stat("/b", {...}) = 0
+1 00:00:02.000000 stat("/c", {...}) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	d1 := evs[1].Time.Sub(evs[0].Time)
+	if d1 <= 0 || d1 > 2*time.Second {
+		t.Errorf("midnight gap = %v, want ~1.5s (clamped?)", d1)
+	}
+	if d2 := evs[2].Time.Sub(evs[1].Time); d2 != time.Second {
+		t.Errorf("post-midnight gap = %v, want 1s", d2)
+	}
+	if evs[1].Time.Day() == evs[0].Time.Day() {
+		t.Error("date did not roll forward across midnight")
+	}
+}
+
+func TestMultipleMidnights(t *testing.T) {
+	src := `1 23:00:00.000000 stat("/a", {...}) = 0
+1 01:00:00.000000 stat("/b", {...}) = 0
+1 23:30:00.000000 stat("/c", {...}) = 0
+1 00:30:00.000000 stat("/d", {...}) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if !evs[i].Time.After(evs[i-1].Time) {
+			t.Errorf("event %d time %v not after %v", i, evs[i].Time, evs[i-1].Time)
+		}
+	}
+	if got := evs[3].Time.Sub(evs[0].Time); got != 25*time.Hour+30*time.Minute {
+		t.Errorf("total span = %v, want 25h30m", got)
+	}
+}
+
+func TestSameDayJitterStillClamped(t *testing.T) {
+	// Small backwards jumps (reordered strace buffers) are clamped
+	// monotone, not treated as a day rollover.
+	src := `1 12:00:05.000000 stat("/a", {...}) = 0
+1 12:00:04.000000 stat("/b", {...}) = 0
+1 12:00:06.000000 stat("/c", {...}) = 0
+`
+	evs := parseAll(t, src)
+	if len(evs) != 3 {
+		t.Fatal("events")
+	}
+	if !evs[1].Time.Equal(evs[0].Time) {
+		t.Errorf("jitter not clamped: %v vs %v", evs[1].Time, evs[0].Time)
+	}
+	if got := evs[2].Time.Sub(evs[0].Time); got != time.Second {
+		t.Errorf("post-jitter gap = %v, want 1s (rolled a day?)", got)
 	}
 }
 

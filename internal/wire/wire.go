@@ -117,6 +117,31 @@ func (w *Writer) Frame(tag string, body func(*Writer)) {
 	w.U64(uint64(crc32.Checksum(payload, castagnoli)))
 }
 
+// EncodeFrame renders one CRC32-framed message to a byte slice — the
+// request/response framing used by the networked replication substrate
+// (each HTTP body is exactly one frame, so a truncated or corrupted
+// transfer is detected before any field is trusted).
+func EncodeFrame(tag string, body func(*Writer)) ([]byte, error) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Frame(tag, body)
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame reads one frame with the expected tag from r (typically
+// an HTTP request or response body) and decodes it with body. maxFrame
+// bounds the payload allocation; 0 keeps the Reader default.
+func DecodeFrame(r io.Reader, tag string, maxFrame uint64, body func(*Reader) error) error {
+	rd := NewReader(r)
+	if maxFrame > 0 {
+		rd.MaxFrame = maxFrame
+	}
+	return rd.Frame(tag, body)
+}
+
 // Reader deserializes values written by Writer.
 type Reader struct {
 	br  *bufio.Reader

@@ -232,3 +232,44 @@ func TestFrameBodyErrorSticky(t *testing.T) {
 		t.Error("body error not sticky on outer reader")
 	}
 }
+
+func TestEncodeDecodeFrame(t *testing.T) {
+	b, err := EncodeFrame("msg", func(w *Writer) {
+		w.U64(7)
+		w.Str("hello")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v uint64
+	var s string
+	err = DecodeFrame(bytes.NewReader(b), "msg", 0, func(r *Reader) error {
+		v = r.U64()
+		s = r.Str()
+		return r.Err()
+	})
+	if err != nil || v != 7 || s != "hello" {
+		t.Errorf("round trip = %d %q %v", v, s, err)
+	}
+
+	// Wrong tag refused.
+	if err := DecodeFrame(bytes.NewReader(b), "other", 0, func(r *Reader) error { return nil }); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	// Bit flip refused.
+	for i := range b {
+		bad := append([]byte(nil), b...)
+		bad[i] ^= 0x10
+		if err := DecodeFrame(bytes.NewReader(bad), "msg", 0, func(r *Reader) error {
+			r.U64()
+			r.Str()
+			return r.Err()
+		}); err == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+	}
+	// maxFrame enforced.
+	if err := DecodeFrame(bytes.NewReader(b), "msg", 1, func(r *Reader) error { return nil }); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
