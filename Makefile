@@ -17,7 +17,7 @@ BENCH_TIME ?= 5x
 BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
-.PHONY: check vet build test test-race fuzz fuzz-strace chaos rumor-chaos bench bench-check
+.PHONY: check vet build test test-race fuzz fuzz-strace chaos rumor-chaos metrics-smoke bench bench-check
 
 check: vet build test-race
 
@@ -56,6 +56,13 @@ chaos: vet
 		-run 'TestChaosPipeline|TestUnavailableRefusesPlans|TestFollowFailureMatrix' \
 		./cmd/seerd/
 	$(GO) test -race -count=$(CHAOS_COUNT) ./internal/supervise/ ./internal/fault/
+
+# Metrics smoke: run a built seerd against a sample strace file and
+# verify /metrics exposes the core series, the expvar compat view
+# survives, and /debug/traces answers. Needs curl.
+metrics-smoke:
+	$(GO) build -o bin/seerd ./cmd/seerd
+	sh scripts/metrics_smoke.sh
 
 # Replication chaos gate: the networked CheapRumor substrate under 30%
 # injected request loss and repeated partitions must converge to the

@@ -19,7 +19,10 @@
 //
 // /healthz reports the master's counters as JSON and always answers
 // 200 while the process is up — the master is a version table; it has
-// no degraded states.
+// no degraded states. /metrics serves the same counters (plus
+// per-endpoint request/error series) in Prometheus text format. With
+// -debug-addr, a second listener serves pprof profiles alongside the
+// same health and metrics endpoints, matching seerd.
 package main
 
 import (
@@ -27,52 +30,104 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/replic"
 )
 
+// logger is the process logger; main() applies -log-level/-log-format.
+var logger = obs.NewLogger(nil)
+
 func main() {
 	listen := flag.String("listen", ":7078", "HTTP listen address")
+	debugAddr := flag.String("debug-addr", "",
+		"optional listen address for pprof, health, and metrics debug endpoints")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log format: text (key=value) or json")
 	flag.Parse()
 
-	master := replic.NewMaster()
-	mux := http.NewServeMux()
-	mux.Handle("/rumor/", replic.MasterHandler("/rumor", master))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rumord: %v\n", err)
+		os.Exit(2)
+	}
+	logger.SetLevel(lv)
+	switch *logFormat {
+	case "", "text":
+	case "json":
+		logger.SetJSON(true)
+	default:
+		fmt.Fprintf(os.Stderr, "rumord: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	master := replic.NewMasterOn(reg)
+	healthz := func(w http.ResponseWriter, req *http.Request) {
 		files, creates, pushes, conflicts, reconciles := master.Stats()
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"healthy","files":%d,"creates":%d,"pushes":%d,"conflicts":%d,"reconciles":%d}`+"\n",
 			files, creates, pushes, conflicts, reconciles)
-	})
-
-	srv := &http.Server{
-		Addr:              *listen,
-		Handler:           mux,
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      time.Minute,
-		IdleTimeout:       2 * time.Minute,
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/rumor/", replic.MasterHandler("/rumor", master))
+	mux.HandleFunc("/healthz", healthz)
+	mux.Handle("/metrics", reg.Handler())
+
+	newServer := func(addr string, h http.Handler) *http.Server {
+		return &http.Server{
+			Addr:              addr,
+			Handler:           h,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+	}
+	srv := newServer(*listen, mux)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rumord: serving on %s\n", *listen)
+	logger.Info("serving", "addr", *listen)
+
+	var dsrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.HandleFunc("/healthz", healthz)
+		dmux.Handle("/metrics", reg.Handler())
+		dsrv = newServer(*debugAddr, dmux)
+		go func() {
+			if derr := dsrv.ListenAndServe(); derr != nil && derr != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", derr)
+			}
+		}()
+		logger.Info("debug endpoints up", "addr", *debugAddr)
+	}
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "rumord: %v\n", err)
+		logger.Error("listener failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "rumord: signal received, shutting down")
+	logger.Info("signal received, shutting down")
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(shCtx)
+	if dsrv != nil {
+		dsrv.Shutdown(shCtx)
+	}
 }

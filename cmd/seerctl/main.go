@@ -9,6 +9,12 @@
 //	seerctl -trace f.trace hoard -budget 50
 //	seerctl -trace f.trace neighbors /home/u/proj00/src00.c
 //	seerctl -trace f.trace stats
+//
+// The metrics subcommand instead talks to a running daemon: it scrapes
+// /metrics and pretty-prints the paper-§5 quantities (hoard misses,
+// miss-free hoard size, dirty replicas) as a one-screen table:
+//
+//	seerctl -addr http://127.0.0.1:7077 metrics
 package main
 
 import (
@@ -28,10 +34,19 @@ func main() {
 	tracePath := flag.String("trace", "", "trace file (text or binary, auto-detected)")
 	controlPath := flag.String("control", "", "optional control file")
 	budgetMB := flag.Int64("budget", 50, "hoard budget in MB (hoard subcommand)")
+	addr := flag.String("addr", "http://127.0.0.1:7077",
+		"base URL of a running seerd or rumord (metrics subcommand)")
 	flag.Parse()
+	if flag.NArg() >= 1 && flag.Arg(0) == "metrics" {
+		if err := printMetrics(os.Stdout, *addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *tracePath == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr,
-			"usage: seerctl -trace FILE [-control FILE] [-budget MB] clusters|plan|hoard|neighbors PATH|investigate DIR|advise|check|stats")
+			"usage: seerctl -trace FILE [-control FILE] [-budget MB] clusters|plan|hoard|neighbors PATH|investigate DIR|advise|check|stats\n"+
+				"       seerctl [-addr URL] metrics")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/obs"
+)
+
+// printMetrics scrapes base/metrics from a running seerd (or rumord)
+// and renders the paper-relevant series as a one-screen table: the §5
+// headline quantities first (hoard misses, miss-free hoard size, dirty
+// replicas), then pipeline and replication operational detail. Series
+// the scraped daemon does not expose print as "-" rather than erroring,
+// so the same subcommand works against both daemons.
+func printMetrics(w io.Writer, base string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s/metrics: %s", base, resp.Status)
+	}
+	vals, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	get := func(name string) (float64, bool) {
+		v, ok := vals[name]
+		return v, ok
+	}
+	// sumFamily totals every series of a labeled family, e.g. all
+	// stages of seer_stage_restarts_total.
+	sumFamily := func(name string) (float64, bool) {
+		var total float64
+		found := false
+		prefix := name + "{"
+		for k, v := range vals {
+			if k == name || strings.HasPrefix(k, prefix) {
+				total += v
+				found = true
+			}
+		}
+		return total, found
+	}
+	row := func(label, value string) { fmt.Fprintf(w, "%-22s %s\n", label, value) }
+	count := func(label, name string) {
+		if v, ok := get(name); ok {
+			row(label, fmt.Sprintf("%.0f", v))
+		} else {
+			row(label, "-")
+		}
+	}
+	mb := func(label, name string) {
+		if v, ok := get(name); ok {
+			row(label, fmt.Sprintf("%.1f MB", v/(1<<20)))
+		} else {
+			row(label, "-")
+		}
+	}
+
+	fmt.Fprintf(w, "# %s/metrics\n", strings.TrimRight(base, "/"))
+	count("hoard misses", "seer_hoard_misses_total")
+	mb("miss-free hoard size", "seer_hoard_missfree_bytes")
+	count("unhoardable files", "seer_hoard_unhoardable_files")
+	count("hoard files", "seer_hoard_files")
+	mb("hoard bytes", "seer_hoard_bytes")
+	count("plans built", "seer_plans_built_total")
+	count("stale plans served", "seer_stale_plans_served_total")
+	count("events ingested", "seer_events_ingested_total")
+	if depth, ok := get("seer_queue_depth"); ok {
+		capacity, _ := get("seer_queue_capacity")
+		shed, _ := get("seer_queue_shed_total")
+		row("ingest queue", fmt.Sprintf("%.0f/%.0f (shed %.0f)", depth, capacity, shed))
+	}
+	if n, ok := get("seer_cluster_duration_seconds_count"); ok && n > 0 {
+		sum, _ := get("seer_cluster_duration_seconds_sum")
+		hits, _ := get("seer_cluster_cache_hits_total")
+		misses, _ := get("seer_cluster_cache_misses_total")
+		row("clusterings", fmt.Sprintf("%.0f (avg %.1f ms, cache %.0f/%.0f)",
+			n, sum/n*1000, hits, hits+misses))
+	}
+	if restarts, ok := sumFamily("seer_stage_restarts_total"); ok {
+		row("stage restarts", fmt.Sprintf("%.0f", restarts))
+	}
+	if h, ok := get("seer_health_state"); ok {
+		state := map[float64]string{0: "healthy", 1: "degraded", 2: "unavailable"}[h]
+		if state == "" {
+			state = fmt.Sprintf("state %.0f", h)
+		}
+		row("health", state)
+	}
+	count("dirty replicas", "seer_replication_dirty_files")
+	if n, ok := get("seer_replication_rtt_seconds_count"); ok && n > 0 {
+		sum, _ := get("seer_replication_rtt_seconds_sum")
+		errs, _ := get("seer_replication_errors_total")
+		row("replication rtt", fmt.Sprintf("avg %.1f ms over %.0f calls (%.0f errors)",
+			sum/n*1000, n, errs))
+	}
+	if files, ok := get("seer_rumor_files"); ok {
+		pushes, _ := get("seer_rumor_pushes_total")
+		conflicts, _ := get("seer_rumor_conflicts_total")
+		row("rumor master", fmt.Sprintf("%.0f files (pushes %.0f, conflicts %.0f)",
+			files, pushes, conflicts))
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPrintMetrics(t *testing.T) {
+	exposition := strings.Join([]string{
+		`# HELP seer_hoard_misses_total Hoard misses.`,
+		`# TYPE seer_hoard_misses_total counter`,
+		`seer_hoard_misses_total 3`,
+		`seer_hoard_missfree_bytes 52428800`,
+		`seer_hoard_files 210`,
+		`seer_queue_depth 1`,
+		`seer_queue_capacity 8192`,
+		`seer_queue_shed_total 7`,
+		`seer_stage_restarts_total{stage="tailer"} 2`,
+		`seer_stage_restarts_total{stage="feeder"} 1`,
+		`seer_health_state 0`,
+		`seer_cluster_duration_seconds_count 4`,
+		`seer_cluster_duration_seconds_sum 0.2`,
+		`seer_cluster_cache_hits_total 6`,
+		`seer_cluster_cache_misses_total 4`,
+		`seer_replication_dirty_files 5`,
+		``,
+	}, "\n")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/metrics" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Write([]byte(exposition))
+	}))
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := printMetrics(&out, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"hoard misses           3",
+		"miss-free hoard size   50.0 MB",
+		"ingest queue           1/8192 (shed 7)",
+		"stage restarts         3", // summed across the labeled family
+		"health                 healthy",
+		"clusterings            4 (avg 50.0 ms, cache 6/10)",
+		"dirty replicas         5",
+		"plans built            -", // absent series render as "-"
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A daemon that answers non-200 is an error, not an empty table.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	if err := printMetrics(&out, bad.URL); err == nil {
+		t.Error("printMetrics succeeded against a 503 endpoint")
+	}
+}

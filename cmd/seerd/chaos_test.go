@@ -329,6 +329,32 @@ func TestChaosPipeline(t *testing.T) {
 	if got := p.sup.Restarts(); got < 10 {
 		t.Errorf("induced restarts = %d, want >= 10", got)
 	}
+
+	// ---- Scrape after chaos: the registry must still render valid
+	// Prometheus text, and its func-backed series must agree exactly
+	// with the pipeline's own state. ----
+	vals := scrapeMetrics(t, client, base)
+	var restartSum float64
+	for k, v := range vals {
+		if strings.HasPrefix(k, "seer_stage_restarts_total{") {
+			restartSum += v
+		}
+	}
+	if want := float64(p.sup.Restarts()); restartSum != want {
+		t.Errorf("sum of seer_stage_restarts_total = %v, supervisor says %v", restartSum, want)
+	}
+	if got, want := vals["seer_queue_shed_total"], float64(p.queue.Drops()); got != want {
+		t.Errorf("seer_queue_shed_total = %v, queue says %v", got, want)
+	}
+	if got, want := vals["seer_events_ingested_total"], float64(wantEvents()); got != want {
+		t.Errorf("seer_events_ingested_total = %v, correlator says %v", got, want)
+	}
+	if got := vals["seer_stale_plans_served_total"]; got < float64(planDegradedAfter) {
+		t.Errorf("seer_stale_plans_served_total = %v, want >= %d (wedged phase)", got, planDegradedAfter)
+	}
+	if got := vals["seer_health_state"]; got != 0 {
+		t.Errorf("seer_health_state = %v after recovery, want 0 (healthy)", got)
+	}
 	client.CloseIdleConnections()
 	leakDeadline := time.Now().Add(5 * time.Second)
 	slack := 8 // http keep-alives and timer goroutines come and go

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"fmt"
 	"os"
 	"path/filepath"
 
@@ -23,12 +22,13 @@ func restoreDB(path string, opts core.Options) *core.Correlator {
 	if path == "" {
 		return core.New(opts)
 	}
+	dlog := logger.With("component", "db")
 	sawAny := false
 	for _, cand := range []string{path, path + bakSuffix} {
 		f, err := os.Open(cand)
 		if err != nil {
 			if !os.IsNotExist(err) {
-				fmt.Fprintf(os.Stderr, "seerd: open %s: %v\n", cand, err)
+				dlog.Warn("cannot open snapshot", "path", cand, "err", err)
 				sawAny = true
 			}
 			continue
@@ -37,18 +37,18 @@ func restoreDB(path string, opts core.Options) *core.Correlator {
 		c, lerr := core.Load(f, opts)
 		f.Close()
 		if lerr != nil {
-			fmt.Fprintf(os.Stderr, "seerd: snapshot %s unusable: %v\n", cand, lerr)
+			dlog.Warn("snapshot unusable", "path", cand, "err", lerr)
 			continue
 		}
 		if cand != path {
-			fmt.Fprintf(os.Stderr, "seerd: primary snapshot lost; recovered from backup %s\n", cand)
+			dlog.Warn("primary snapshot lost; recovered from backup", "path", cand)
 		}
-		fmt.Fprintf(os.Stderr, "seerd: restored %d events, %d files from %s\n",
-			c.Events(), c.FS().Len(), cand)
+		dlog.Info("database restored", "path", cand,
+			"events", c.Events(), "files", c.FS().Len())
 		return c
 	}
 	if sawAny {
-		fmt.Fprintf(os.Stderr, "seerd: no usable snapshot; starting with a fresh database\n")
+		dlog.Warn("no usable snapshot; starting with a fresh database")
 	}
 	return core.New(opts)
 }

@@ -3,7 +3,6 @@ package main
 import (
 	"bytes"
 	"context"
-	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,9 +11,15 @@ import (
 	"time"
 
 	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
 	"github.com/fmg/seer/internal/supervise"
 )
+
+// logger is the process logger; main() applies -log-level/-log-format
+// to it, and every component derives a tagged child from it.
+var logger = obs.NewLogger(nil)
 
 // planDeadline bounds how long a /plan or /hoard request may spend on
 // a fresh clustering before falling back to the last-good plan (a
@@ -44,9 +49,13 @@ type daemon struct {
 	// sup is set by newPipeline in serving mode; nil in one-shot mode.
 	sup *supervise.Supervisor
 
-	// plansBuilt counts hoard-plan constructions (the /plan and /hoard
-	// endpoints plus the one-shot print path); exported via expvar.
-	plansBuilt expvar.Int
+	// reg is the telemetry registry (adopted from the correlator so both
+	// register on one /metrics); tracer keeps the recent pipeline spans
+	// served at /debug/traces; lastTrace is the trace id of the most
+	// recent completed ingestion batch, which plan/hoard spans join.
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	lastTrace atomic.Uint64
 
 	// planOKAt (unix nano) and planFails (consecutive) drive the plan
 	// health probe; staleServed counts cache fallbacks.
@@ -54,14 +63,52 @@ type daemon struct {
 	planFails   atomic.Int64
 	staleServed atomic.Int64
 
+	// Registry instruments for the decision endpoints (the paper §5
+	// quantities live here: misses recorded, miss-free hoard size).
+	mPlansBuilt    *obs.Counter
+	mStaleServed   *obs.Counter
+	mHoardMisses   *obs.Counter
+	mHoardFiles    *obs.Gauge
+	mHoardBytes    *obs.Gauge
+	mMissFreeBytes *obs.Gauge
+	mUnhoardable   *obs.Gauge
+
 	// plans is the last-good rendered output per endpoint.
 	plans planCache
 }
 
-// newDaemon returns a daemon around corr.
+// newDaemon returns a daemon around corr, registering its instruments
+// on the correlator's registry.
 func newDaemon(corr *core.Correlator, budget int64) *daemon {
-	return &daemon{sem: make(chan struct{}, 1), corr: corr, budget: budget}
+	d := &daemon{
+		sem:    make(chan struct{}, 1),
+		corr:   corr,
+		budget: budget,
+		reg:    corr.Metrics(),
+		tracer: obs.NewTracer(256),
+	}
+	d.mPlansBuilt = d.reg.Counter("seer_plans_built_total",
+		"Hoard-plan constructions (the /plan and /hoard endpoints plus one-shot mode).")
+	d.mStaleServed = d.reg.Counter("seer_stale_plans_served_total",
+		"Plan/hoard responses served from the last-good cache.")
+	d.mHoardMisses = d.reg.Counter("seer_hoard_misses_total",
+		"Hoard misses recorded through /miss (paper §4.4).")
+	d.mHoardFiles = d.reg.Gauge("seer_hoard_files",
+		"Files chosen by the most recent hoard fill.")
+	d.mHoardBytes = d.reg.Gauge("seer_hoard_bytes",
+		"Bytes used by the most recent hoard fill.")
+	d.mMissFreeBytes = d.reg.Gauge("seer_hoard_missfree_bytes",
+		"Hoard size that would have served every observed reference without a miss (paper §5).")
+	d.mUnhoardable = d.reg.Gauge("seer_hoard_unhoardable_files",
+		"Referenced files absent from the current plan (would miss at any budget).")
+	return d
 }
+
+// setTrace records the trace id the next plan/hoard span should join.
+func (d *daemon) setTrace(id obs.TraceID) { d.lastTrace.Store(uint64(id)) }
+
+// trace returns the most recent ingestion trace id (0 before any).
+func (d *daemon) trace() obs.TraceID { return obs.TraceID(d.lastTrace.Load()) }
 
 // lock acquires the correlator lock unconditionally.
 func (d *daemon) lock() { d.sem <- struct{}{} }
@@ -148,6 +195,7 @@ func (d *daemon) serveStale(w http.ResponseWriter, hoard bool) {
 		return
 	}
 	d.staleServed.Add(1)
+	d.mStaleServed.Inc()
 	w.Header().Set(staleHeader, "true")
 	w.Header().Set(staleHeader+"-Age", time.Since(at).Round(time.Second).String())
 	w.Write(body)
@@ -174,15 +222,19 @@ func (d *daemon) handlePlan(w http.ResponseWriter, req *http.Request) {
 	}
 	ctx, cancel := boundCtx(req)
 	defer cancel()
+	sp := d.tracer.StartSpan(d.trace(), "plan")
+	defer sp.End()
 	if !d.lockCtx(ctx) {
+		sp.Attr("outcome", "stale")
 		d.planFails.Add(1)
 		d.serveStale(w, false)
 		return
 	}
-	d.plansBuilt.Add(1)
+	d.mPlansBuilt.Inc()
 	plan, err := d.corr.PlanContext(ctx)
 	if err != nil {
 		d.unlock()
+		sp.Attr("outcome", "stale")
 		d.planFails.Add(1)
 		d.serveStale(w, false)
 		return
@@ -193,6 +245,7 @@ func (d *daemon) handlePlan(w http.ResponseWriter, req *http.Request) {
 			i, e.Reason, e.File.Size, e.Cum, e.File.Path)
 	}
 	d.unlock()
+	sp.Attr("outcome", "fresh").AttrInt("entries", int64(len(plan.Entries)))
 	d.planOKAt.Store(time.Now().UnixNano())
 	d.planFails.Store(0)
 	d.plans.setPlan(buf.Bytes())
@@ -208,7 +261,10 @@ func (d *daemon) handleHoard(w http.ResponseWriter, req *http.Request) {
 	}
 	ctx, cancel := boundCtx(req)
 	defer cancel()
+	sp := d.tracer.StartSpan(d.trace(), "hoard")
+	defer sp.End()
 	if !d.lockCtx(ctx) {
+		sp.Attr("outcome", "stale")
 		d.planFails.Add(1)
 		d.serveStale(w, true)
 		return
@@ -217,23 +273,39 @@ func (d *daemon) handleHoard(w http.ResponseWriter, req *http.Request) {
 	err := d.renderHoard(ctx, &buf)
 	d.unlock()
 	if err != nil {
+		sp.Attr("outcome", "stale")
 		d.planFails.Add(1)
 		d.serveStale(w, true)
 		return
 	}
+	sp.Attr("outcome", "fresh").AttrInt("files", d.mHoardFiles.Value())
 	d.planOKAt.Store(time.Now().UnixNano())
 	d.planFails.Store(0)
 	d.plans.setHoard(buf.Bytes())
 	w.Write(buf.Bytes())
 }
 
-// renderHoard writes the hoard listing; the caller holds the lock.
+// renderHoard writes the hoard listing; the caller holds the lock. As
+// a side effect it refreshes the live hoard gauges, including the
+// paper-§5 miss-free size: the hoard that would have served every
+// currently observed reference.
 func (d *daemon) renderHoard(ctx context.Context, w io.Writer) error {
-	d.plansBuilt.Add(1)
-	contents, err := d.corr.FillContext(ctx, d.budget)
+	d.mPlansBuilt.Inc()
+	plan, err := d.corr.PlanContext(ctx)
 	if err != nil {
 		return err
 	}
+	contents := plan.Fill(d.budget, d.corr.Params().SkipUnfittingClusters)
+	refs := d.corr.Observer().LastRefs()
+	ids := make([]simfs.FileID, 0, len(refs))
+	for id := range refs {
+		ids = append(ids, id)
+	}
+	missFree, unhoardable := plan.MissFreeSize(ids)
+	d.mHoardFiles.Set(int64(contents.Len()))
+	d.mHoardBytes.Set(contents.UsedBytes())
+	d.mMissFreeBytes.Set(missFree)
+	d.mUnhoardable.Set(int64(unhoardable))
 	fmt.Fprintf(w, "# hoard: %d files, %d bytes of %d budget\n",
 		contents.Len(), contents.UsedBytes(), contents.Budget())
 	// How long a cold fill would hold the link (paper §1: bandwidth is
@@ -313,8 +385,10 @@ func (d *daemon) handleMiss(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "busy: clustering in progress", http.StatusServiceUnavailable)
 		return
 	}
+	d.mHoardMisses.Inc()
 	mates := d.corr.ForceHoard(path)
 	d.unlock()
+	logger.Info("hoard miss recorded", "path", path)
 	fmt.Fprintf(w, "recorded miss of %s; forced %d project mates:\n", path, len(mates))
 	for _, m := range mates {
 		fmt.Fprintf(w, "  %s\n", m)

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/strace"
 )
 
@@ -69,13 +70,30 @@ func main() {
 		"bounded ingestion queue capacity between the tailer and the correlator")
 	rumor := flag.Bool("rumor", false,
 		"serve the CheapRumor replication-master endpoints under /rumor/ (requires -listen)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log format: text (key=value) or json")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
+		os.Exit(2)
+	}
+	logger.SetLevel(lv)
+	switch *logFormat {
+	case "", "text":
+	case "json":
+		logger.SetJSON(true)
+	default:
+		fmt.Fprintf(os.Stderr, "seerd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
 
 	var in io.Reader = os.Stdin
 	if *stracePath != "-" {
 		f, err := os.Open(*stracePath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
+			logger.Error("cannot open strace file", "path", *stracePath, "err", err)
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -88,32 +106,40 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Bootstrap: one cold pass over the existing trace. A signal during
-	// a large read stops it promptly; whatever was learned up to that
-	// point is still checkpointed below before a clean exit.
+	// Bootstrap: one cold pass over the existing trace, recorded as its
+	// own ingestion trace so /debug/traces shows the cold load next to
+	// the follow batches. A signal during a large read stops it
+	// promptly; whatever was learned up to that point is still
+	// checkpointed below before a clean exit.
 	parser := strace.NewParser()
 	interrupted := false
-	err := feedLines(ctx, in, maxLineLen, func(line string) {
+	tid := d.tracer.NewTrace()
+	sp := d.tracer.StartSpan(tid, "ingest").Attr("source", "bootstrap")
+	var bootN int64
+	err = feedLines(ctx, in, maxLineLen, func(line string) {
 		if ev, ok := parser.ParseLine(line); ok {
+			bootN++
 			d.corr.Feed(ev)
 		}
 	})
+	sp.AttrInt("events", bootN).End()
+	d.setTrace(tid)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "seerd: interrupted during bootstrap (continuing with %d events)\n",
-				d.corr.Events())
+			logger.Warn("interrupted during bootstrap; continuing",
+				"events", d.corr.Events())
 			interrupted = true
 		} else {
 			// A bad input stream costs the unread tail, not the
 			// accumulated database: keep going with what was learned.
-			fmt.Fprintf(os.Stderr, "seerd: read: %v (continuing with %d events)\n",
-				err, d.corr.Events())
+			logger.Warn("bootstrap read failed; continuing",
+				"err", err, "events", d.corr.Events())
 		}
 	}
 
 	if *dbPath != "" {
 		if err := saveDB(d, *dbPath); err != nil {
-			fmt.Fprintf(os.Stderr, "seerd: save %s: %v\n", *dbPath, err)
+			logger.Error("checkpoint failed", "path", *dbPath, "err", err)
 			if *listen == "" {
 				os.Exit(1)
 			}
@@ -143,23 +169,23 @@ func main() {
 	for i := 0; i < 100 && p.addr() == ""; i++ {
 		time.Sleep(10 * time.Millisecond)
 	}
-	fmt.Fprintf(os.Stderr, "seerd: %d events observed, serving on %s\n",
-		d.corr.Events(), p.addr())
+	logger.Info("serving", "events", d.corr.Events(), "addr", p.addr(),
+		"trace", tid.String())
 	if *debugAddr != "" {
-		fmt.Fprintf(os.Stderr, "seerd: debug endpoints on %s\n", p.debugAddr())
+		logger.Info("debug endpoints up", "addr", p.debugAddr())
 	}
 
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "seerd: signal received, shutting down")
+	logger.Info("signal received, shutting down")
 	p.wait()
 	p.drain()
 	// Graceful exit: one final checkpoint so nothing learned since the
 	// last periodic save is lost.
 	if *dbPath != "" {
 		if err := saveDB(d, *dbPath); err != nil {
-			fmt.Fprintf(os.Stderr, "seerd: final checkpoint: %v\n", err)
+			logger.Error("final checkpoint failed", "path", *dbPath, "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "seerd: final checkpoint saved to %s\n", *dbPath)
+		logger.Info("final checkpoint saved", "path", *dbPath)
 	}
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/obs"
+	"github.com/fmg/seer/internal/supervise"
+)
+
+// scrapeMetrics fetches base/metrics and parses the exposition into a
+// key → value map (keys carry labels, e.g. `x_total{stage="tailer"}`).
+func scrapeMetrics(t *testing.T, client *http.Client, base string) map[string]float64 {
+	t.Helper()
+	code, _, body := httpGet(t, client, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: code=%d", code)
+	}
+	vals, err := obs.ParseProm(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text: %v\n%s", err, body)
+	}
+	return vals
+}
+
+// TestTraceFollowsBatchToPlan pins the end-to-end tracing contract: a
+// trace id assigned at strace ingestion is retrievable at /debug/traces
+// after the plan is built, with ingest, feed, and plan spans joined
+// under that id. It also smoke-checks that the /metrics exposition on
+// the main listener carries the core series the README documents.
+func TestTraceFollowsBatchToPlan(t *testing.T) {
+	oldPoll := followPoll
+	followPoll = 5 * time.Millisecond
+	defer func() { followPoll = oldPoll }()
+
+	dir := t.TempDir()
+	path := dir + "/seer.strace"
+	appendLine(t, path, "seed line before follow\n")
+
+	d := newDaemon(core.New(core.Options{Seed: 1}), 1<<20)
+	p := newPipeline(d, pipelineConfig{
+		stracePath: path,
+		follow:     true,
+		listen:     "127.0.0.1:0",
+		rumor:      true,
+		supervisor: supervise.Config{
+			Backoff: supervise.Backoff{Initial: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2},
+		},
+	})
+	shutdown, client := startPipeline(t, p)
+	defer shutdown()
+	base := "http://" + p.addr()
+
+	// One ingestion batch: the tailer reads these lines in one burst and
+	// closes the batch at the next EOF pause, publishing its trace id.
+	time.Sleep(30 * time.Millisecond) // tailer seeks to end first
+	for i := 0; i < 5; i++ {
+		appendLine(t, path, chaosLine(i))
+	}
+	waitEvents(t, d, 3)
+	waitFor(t, "ingestion batch trace id", func() bool { return d.trace() != 0 })
+	tid := d.trace()
+
+	if code, _, _ := httpGet(t, client, base+"/plan"); code != 200 {
+		t.Fatalf("/plan: code=%d", code)
+	}
+
+	// The trace id from ingestion must now resolve at /debug/traces to
+	// the full pipeline: ingest (tailer) → feed (correlator) → plan.
+	var spans []struct {
+		Trace string `json:"trace"`
+		Stage string `json:"stage"`
+	}
+	waitFor(t, "ingest+feed+plan spans under one trace", func() bool {
+		_, _, body := httpGet(t, client, base+"/debug/traces?trace="+tid.String())
+		if err := json.Unmarshal([]byte(body), &spans); err != nil {
+			return false
+		}
+		stages := map[string]bool{}
+		for _, s := range spans {
+			if s.Trace != tid.String() {
+				t.Fatalf("span of trace %s in filtered response for %s", s.Trace, tid)
+			}
+			stages[s.Stage] = true
+		}
+		return stages["ingest"] && stages["feed"] && stages["plan"]
+	})
+
+	// Core series present on the main listener (the acceptance check
+	// `curl /metrics` automates in CI).
+	vals := scrapeMetrics(t, client, base)
+	for _, name := range []string{
+		"seer_events_ingested_total",
+		"seer_cluster_duration_seconds_count",
+		"seer_hoard_misses_total",
+		"seer_queue_depth",
+		"seer_plans_built_total",
+		"seer_rumor_files", // replication series via -rumor
+	} {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("/metrics is missing %s", name)
+		}
+	}
+	if got := vals["seer_events_ingested_total"]; got < 3 {
+		t.Errorf("seer_events_ingested_total = %v, want >= 3", got)
+	}
+	var stageSeries int
+	for k := range vals {
+		if strings.HasPrefix(k, "seer_stage_restarts_total{") {
+			stageSeries++
+		}
+	}
+	if stageSeries == 0 {
+		t.Error("/metrics has no seer_stage_restarts_total series")
+	}
+}
+
+// startPipeline launches p and waits for its main listener to bind.
+// The returned shutdown must run via defer (not t.Cleanup) so it
+// precedes the caller's own deferred global restores.
+func startPipeline(t *testing.T, p *pipeline) (shutdown func(), client *http.Client) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	p.start(ctx)
+	client = &http.Client{Timeout: 10 * time.Second}
+	shutdown = func() {
+		client.CloseIdleConnections()
+		cancel()
+		done := make(chan struct{})
+		go func() { p.wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("pipeline did not shut down")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.addr() == "" && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if p.addr() == "" {
+		shutdown()
+		t.Fatal("listener never bound")
+	}
+	return shutdown, client
+}

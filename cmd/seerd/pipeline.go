@@ -8,15 +8,22 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/replic"
 	"github.com/fmg/seer/internal/supervise"
 	"github.com/fmg/seer/internal/trace"
 )
+
+// queuedEvent is one parsed strace event in flight between the tailer
+// and the feeder, carrying the ingestion-batch trace id it belongs to.
+type queuedEvent struct {
+	ev  trace.Event
+	tid obs.TraceID
+}
 
 // pipelineConfig wires a supervised daemon.
 type pipelineConfig struct {
@@ -68,7 +75,7 @@ type pipeline struct {
 	d     *daemon
 	cfg   pipelineConfig
 	sup   *supervise.Supervisor
-	queue *supervise.Queue[trace.Event]
+	queue *supervise.Queue[queuedEvent]
 
 	// master is the replication master served under /rumor/ when
 	// cfg.rumor is set; nil otherwise.
@@ -100,7 +107,7 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 	p := &pipeline{
 		d:     d,
 		cfg:   cfg,
-		queue: supervise.NewQueue[trace.Event](cfg.queueCap, cfg.queueBlock),
+		queue: supervise.NewQueue[queuedEvent](cfg.queueCap, cfg.queueBlock),
 	}
 	p.feed = func(ev trace.Event) {
 		d.lock()
@@ -111,28 +118,37 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 
 	sc := cfg.supervisor
 	if sc.OnEvent == nil {
+		slog := logger.With("component", "supervise")
 		sc.OnEvent = func(e supervise.Event) {
 			if e.Err != nil {
-				fmt.Fprintf(os.Stderr, "seerd: stage %s %s: %v\n", e.Stage, e.Kind, firstLine(e.Err.Error()))
+				slog.Error("stage failure", "stage", e.Stage, "kind", e.Kind,
+					"err", firstLine(e.Err.Error()))
 			} else {
-				fmt.Fprintf(os.Stderr, "seerd: stage %s %s (restarts=%d)\n", e.Stage, e.Kind, e.Restarts)
+				slog.Info("stage lifecycle", "stage", e.Stage, "kind", e.Kind,
+					"restarts", e.Restarts)
 			}
 		}
 	}
 	p.sup = supervise.New(sc)
 	d.sup = p.sup
 
+	var stages []string
+	addStage := func(name string, fn supervise.StageFunc, opts ...supervise.StageOption) {
+		p.sup.Add(name, fn, opts...)
+		stages = append(stages, name)
+	}
 	if cfg.follow && cfg.stracePath != "-" {
-		p.sup.Add("tailer", p.tailStage)
+		addStage("tailer", p.tailStage)
 	}
-	p.sup.Add("feeder", p.feedStage)
+	addStage("feeder", p.feedStage)
 	if cfg.dbPath != "" {
-		p.sup.Add("checkpointer", p.checkpointStage)
+		addStage("checkpointer", p.checkpointStage)
 	}
-	p.sup.Add("http", p.serverStage(cfg.listen, p.mainMux(), &p.httpAddr), supervise.Critical())
+	addStage("http", p.serverStage(cfg.listen, p.mainMux(), &p.httpAddr), supervise.Critical())
 	if cfg.debugAddr != "" {
-		p.sup.Add("debug", p.serverStage(cfg.debugAddr, p.debugMux(), &p.debugHTTPAddr))
+		addStage("debug", p.serverStage(cfg.debugAddr, p.debugMux(), &p.debugHTTPAddr))
 	}
+	p.registerMetrics(stages)
 
 	p.sup.AddProbe("queue", func() supervise.Probe {
 		depth, capacity := p.queue.Len(), p.queue.Cap()
@@ -189,24 +205,53 @@ func (p *pipeline) wait() { p.sup.Wait() }
 // event the tailer managed to enqueue.
 func (p *pipeline) drain() {
 	for {
-		ev, ok := p.queue.TryGet()
+		qe, ok := p.queue.TryGet()
 		if !ok {
 			return
 		}
-		p.feed(ev)
+		p.feed(qe.ev)
 	}
 }
 
 // feedStage drains the event queue into the correlator. It holds the
 // daemon lock only per event, so plan requests interleave with
 // ingestion, and the queue absorbs bursts while a clustering runs.
+// Each contiguous run of same-trace events becomes one "feed" span, so
+// a batch's trace shows ingestion and correlation side by side.
 func (p *pipeline) feedStage(ctx context.Context) error {
 	for {
-		ev, ok := p.queue.Get(ctx)
+		qe, ok := p.queue.Get(ctx)
 		if !ok {
 			return nil
 		}
-		p.feed(ev)
+		var (
+			sp  *obs.ActiveSpan
+			cur obs.TraceID
+			n   int64
+		)
+		end := func() {
+			if sp != nil {
+				sp.AttrInt("events", n).End()
+			}
+			sp, n = nil, 0
+		}
+		for {
+			if sp == nil || qe.tid != cur {
+				end()
+				cur = qe.tid
+				sp = p.d.tracer.StartSpan(cur, "feed")
+			}
+			p.feed(qe.ev)
+			n++
+			next, more := p.queue.TryGet()
+			if !more {
+				break
+			}
+			qe = next
+		}
+		// Queue momentarily empty: close the span rather than letting it
+		// absorb idle time waiting for the next batch.
+		end()
 	}
 }
 
@@ -226,7 +271,7 @@ func (p *pipeline) checkpointStage(ctx context.Context) error {
 		}
 		if err := p.save(); err != nil {
 			p.ckptFailures.Add(1)
-			fmt.Fprintf(os.Stderr, "seerd: checkpoint: %v\n", err)
+			logger.Warn("checkpoint failed", "component", "checkpointer", "err", err)
 		} else {
 			p.ckptFailures.Store(0)
 			p.lastCkptOK.Store(time.Now().UnixNano())
@@ -303,8 +348,10 @@ func (p *pipeline) mainMux() *http.ServeMux {
 	mux.HandleFunc("/miss", d.handleMiss)
 	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
 	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
+	mux.Handle("/metrics", d.reg.Handler())
+	mux.Handle("/debug/traces", d.tracer.Handler())
 	if p.cfg.rumor {
-		p.master = replic.NewMaster()
+		p.master = replic.NewMasterOn(d.reg)
 		mux.Handle("/rumor/", replic.MasterHandler("/rumor", p.master))
 	}
 	return mux
@@ -321,9 +368,39 @@ func (p *pipeline) debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", p.d.reg.Handler())
+	mux.Handle("/debug/traces", p.d.tracer.Handler())
 	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
 	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
 	return mux
+}
+
+// registerMetrics publishes the pipeline-level series: queue occupancy
+// and shedding, per-stage restart counts, and the aggregate health
+// state. All are func-backed, so a scrape reads the live values rather
+// than shadow copies updated on some schedule.
+func (p *pipeline) registerMetrics(stages []string) {
+	reg := p.d.reg
+	reg.GaugeFunc("seer_queue_depth",
+		"Events waiting in the tailer-to-feeder queue.",
+		func() float64 { return float64(p.queue.Len()) })
+	reg.GaugeFunc("seer_queue_capacity",
+		"Capacity of the tailer-to-feeder queue.",
+		func() float64 { return float64(p.queue.Cap()) })
+	reg.CounterFunc("seer_queue_shed_total",
+		"Events shed by the bounded queue under overload.",
+		func() float64 { return float64(p.queue.Drops()) })
+	reg.GaugeFunc("seer_health_state",
+		"Aggregate supervisor health (0 healthy, 1 degraded, 2 unavailable).",
+		func() float64 { return float64(p.sup.Health()) })
+	restarts := reg.CounterFuncVec("seer_stage_restarts_total",
+		"Stage restarts performed by the supervisor.", "stage")
+	for _, name := range stages {
+		name := name
+		restarts.Register(func() float64 {
+			return float64(p.sup.StageRestarts()[name])
+		}, name)
+	}
 }
 
 // activePipeline is the pipeline whose counters the process-global
@@ -353,7 +430,7 @@ func publishVarsOnce() {
 			if p == nil {
 				return 0
 			}
-			return p.d.plansBuilt.Value()
+			return p.d.mPlansBuilt.Value()
 		}))
 		expvar.Publish("seer.cluster_cache", expvar.Func(func() any {
 			p := pget()

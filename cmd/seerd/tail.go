@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/strace"
 )
 
@@ -55,7 +56,7 @@ func feedLines(ctx context.Context, r io.Reader, maxLine int, fn func(string)) e
 			partial = append(partial, chunk...)
 			complete := err == nil
 			if len(partial) > maxLine {
-				fmt.Fprintf(os.Stderr, "seerd: skipping oversized line (%d+ bytes)\n", len(partial))
+				logger.Warn("skipping oversized line", "bytes", len(partial))
 				partial = partial[:0]
 				skipping = !complete
 			} else if complete {
@@ -85,6 +86,7 @@ func feedLines(ctx context.Context, r io.Reader, maxLine int, fn func(string)) e
 // which restarts the stage with backoff (each fresh start seeks to the
 // current end of the file).
 func (p *pipeline) tailStage(ctx context.Context) error {
+	tlog := logger.With("component", "tailer")
 	parser := strace.NewParser()
 	var (
 		f        *os.File
@@ -93,6 +95,25 @@ func (p *pipeline) tailStage(ctx context.Context) error {
 		partial  []byte
 		skipping bool
 	)
+	// One ingestion batch — everything read between two EOF pauses —
+	// shares a trace id. The "ingest" span opens on the batch's first
+	// parsed event and closes at the EOF pause, at which point the batch
+	// becomes the daemon's current trace for plan/hoard spans to join.
+	var (
+		tid    obs.TraceID
+		sp     *obs.ActiveSpan
+		batchN int64
+	)
+	endBatch := func() {
+		if sp == nil {
+			return
+		}
+		sp.AttrInt("events", batchN).End()
+		p.d.setTrace(tid)
+		tlog.Debug("ingestion batch complete", "trace", tid.String(), "events", batchN)
+		sp, batchN = nil, 0
+	}
+	defer endBatch()
 	open := func(seekEnd bool) error {
 		nf, err := os.Open(p.cfg.stracePath)
 		if err != nil {
@@ -130,9 +151,14 @@ func (p *pipeline) tailStage(ctx context.Context) error {
 			} else {
 				partial = append(partial, chunk...)
 				if len(partial) > maxLineLen {
-					fmt.Fprintf(os.Stderr, "seerd: follow: skipping oversized line (%d bytes)\n", len(partial))
+					tlog.Warn("skipping oversized line", "bytes", len(partial))
 				} else if ev, ok := parser.ParseLine(strings.TrimSuffix(string(partial), "\n")); ok {
-					p.queue.Put(ctx, ev)
+					if sp == nil {
+						tid = p.d.tracer.NewTrace()
+						sp = p.d.tracer.StartSpan(tid, "ingest")
+					}
+					batchN++
+					p.queue.Put(ctx, queuedEvent{ev: ev, tid: tid})
 				}
 				partial = partial[:0]
 			}
@@ -142,11 +168,12 @@ func (p *pipeline) tailStage(ctx context.Context) error {
 			if !skipping {
 				partial = append(partial, chunk...)
 				if len(partial) > maxLineLen {
-					fmt.Fprintf(os.Stderr, "seerd: follow: skipping oversized line (%d+ bytes)\n", len(partial))
+					tlog.Warn("skipping oversized line", "bytes", len(partial))
 					partial = partial[:0]
 					skipping = true
 				}
 			}
+			endBatch()
 			select {
 			case <-ctx.Done():
 				return nil
@@ -161,9 +188,9 @@ func (p *pipeline) tailStage(ctx context.Context) error {
 					if truncated {
 						why = "truncated"
 					}
-					fmt.Fprintf(os.Stderr, "seerd: follow: %s was %s; reopening from start\n", p.cfg.stracePath, why)
+					tlog.Warn("trace file replaced; reopening from start", "path", p.cfg.stracePath, "why", why)
 					if oerr := open(false); oerr != nil {
-						fmt.Fprintf(os.Stderr, "seerd: follow: reopen: %v\n", oerr)
+						tlog.Error("reopen failed", "path", p.cfg.stracePath, "err", oerr)
 					}
 				}
 			}

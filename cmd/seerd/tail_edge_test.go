@@ -149,8 +149,8 @@ func TestFollowFailureMatrix(t *testing.T) {
 // keep that edge from silently moving.
 func TestFeedLinesMaxLineBoundary(t *testing.T) {
 	const maxLine = 100
-	exact := strings.Repeat("a", maxLine)      // maxLine content + \n => skipped
-	under := strings.Repeat("b", maxLine-1)    // maxLine-1 content + \n => delivered
+	exact := strings.Repeat("a", maxLine)   // maxLine content + \n => skipped
+	under := strings.Repeat("b", maxLine-1) // maxLine-1 content + \n => delivered
 	in := exact + "\n" + under + "\n" + "ok\n"
 	var got []string
 	if err := feedLines(context.Background(), strings.NewReader(in), maxLine, func(s string) {

@@ -30,6 +30,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/fmg/seer/internal/simfs"
 )
@@ -82,6 +83,12 @@ type Options struct {
 	// so a deadline-bound plan request cannot leak a worker pool behind
 	// a client that has given up. Nil means run to completion.
 	Ctx context.Context
+	// OnPhase, when non-nil, receives the wall time of each completed
+	// Build phase ("pairs" for pair generation, "assign" for the
+	// two-phase assignment) — the hook telemetry hangs latency
+	// histograms on without the cluster package knowing about metrics.
+	// It is called from the goroutine running Build, never concurrently.
+	OnPhase func(phase string, d time.Duration)
 }
 
 // doneOf extracts the cancellation channel (nil when no context is
@@ -411,11 +418,20 @@ func Build(src NeighborSource, opts Options, kn, kf float64) *Result {
 	if canceled(done) {
 		return nil
 	}
+	start := time.Now()
 	pairs := buildDense(d, opts)
+	if opts.OnPhase != nil {
+		opts.OnPhase("pairs", time.Since(start))
+	}
 	if canceled(done) {
 		return nil
 	}
-	return runDense(d.in, pairs, kn, kf, done)
+	start = time.Now()
+	res := runDense(d.in, pairs, kn, kf, done)
+	if opts.OnPhase != nil && res != nil {
+		opts.OnPhase("assign", time.Since(start))
+	}
+	return res
 }
 
 // runDense is the two-phase algorithm over interned pairs. Every id in

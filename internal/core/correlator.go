@@ -22,6 +22,7 @@ import (
 	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/hoard"
 	"github.com/fmg/seer/internal/investigate"
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/observer"
 	"github.com/fmg/seer/internal/semdist"
 	"github.com/fmg/seer/internal/simfs"
@@ -58,6 +59,18 @@ type Correlator struct {
 	// lastClusterTime is how long the most recent (uncached) clustering
 	// took; surfaced by the daemon's debug endpoint.
 	lastClusterTime time.Duration
+
+	// reg and the instruments below are the correlator's telemetry. The
+	// registry is shared with the embedding daemon (seerd mounts it at
+	// /metrics); instruments are plain atomics, so recording them does
+	// not perturb the single-threaded Feed discipline.
+	reg          *obs.Registry
+	mEvents      *obs.Counter
+	mCacheHits   *obs.Counter
+	mCacheMiss   *obs.Counter
+	mClusterDur  *obs.Histogram
+	mPhasePairs  *obs.Histogram
+	mPhaseAssign *obs.Histogram
 }
 
 // Options configures a Correlator.
@@ -74,6 +87,10 @@ type Options struct {
 	// DirSize reports directory fan-out for the meaningless-process
 	// heuristic; nil assumes observer.DefaultDirSize.
 	DirSize func(path string) int
+	// Metrics is the registry the correlator's instruments register on;
+	// nil creates a private one (retrievable via Metrics()), so embedders
+	// that do not care about telemetry pay only a few atomic increments.
+	Metrics *obs.Registry
 }
 
 // New returns a Correlator.
@@ -90,15 +107,38 @@ func New(opts Options) *Correlator {
 	if fs == nil {
 		fs = simfs.New(stats.NewRand(opts.Seed))
 	}
-	return &Correlator{
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Correlator{
 		p:      p,
 		ctl:    ctl,
 		fs:     fs,
 		obs:    observer.New(p, ctl, fs, opts.DirSize),
 		tbl:    semdist.NewTable(p, stats.NewRand(opts.Seed+1)),
 		forced: make(map[simfs.FileID]bool),
+		reg:    reg,
 	}
+	c.mEvents = reg.Counter("seer_events_ingested_total",
+		"Trace events fed to the correlator.")
+	c.mCacheHits = reg.Counter("seer_cluster_cache_hits_total",
+		"Clusterings served from the dirty-counter cache.")
+	c.mCacheMiss = reg.Counter("seer_cluster_cache_misses_total",
+		"Clusterings that had to re-run the algorithm.")
+	c.mClusterDur = reg.Histogram("seer_cluster_duration_seconds",
+		"Wall time of a full (uncached) clustering.", nil)
+	c.mPhasePairs = reg.Histogram("seer_cluster_pairs_duration_seconds",
+		"Wall time of the pair-generation phase (BuildPairs).", nil)
+	c.mPhaseAssign = reg.Histogram("seer_cluster_assign_duration_seconds",
+		"Wall time of the two-phase cluster-assignment pass.", nil)
+	return c
 }
+
+// Metrics returns the registry the correlator's instruments live on —
+// the one from Options.Metrics, or the private one created in its
+// absence. Embedders (the seerd daemon) mount it at /metrics.
+func (c *Correlator) Metrics() *obs.Registry { return c.reg }
 
 // FS returns the underlying file table.
 func (c *Correlator) FS() *simfs.FS { return c.fs }
@@ -133,6 +173,7 @@ func (c *Correlator) LastClusterDuration() time.Duration { return c.lastClusterT
 func (c *Correlator) Feed(ev trace.Event) {
 	c.invalidate()
 	c.events++
+	c.mEvents.Inc()
 	for _, ref := range c.obs.Observe(ev) {
 		c.apply(ev, ref)
 	}
@@ -301,9 +342,11 @@ func (c *Correlator) Clusters() *cluster.Result {
 func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, error) {
 	if c.cache != nil && c.cacheAt == c.dirty {
 		c.cacheHits++
+		c.mCacheHits.Inc()
 		return c.cache, nil
 	}
 	c.cacheMiss++
+	c.mCacheMiss.Inc()
 	src := filteredSource{tbl: c.tbl, obs: c.obs}
 	opts := cluster.Options{
 		Adjust: investigate.DirDistanceAdjust(c.p.DirDistanceWeight, func(id simfs.FileID) string {
@@ -314,6 +357,14 @@ func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, erro
 		}),
 		ExtraPairs: c.extraPairs,
 		Ctx:        ctx,
+		OnPhase: func(phase string, d time.Duration) {
+			switch phase {
+			case "pairs":
+				c.mPhasePairs.Observe(d.Seconds())
+			case "assign":
+				c.mPhaseAssign.Observe(d.Seconds())
+			}
+		},
 	}
 	start := time.Now()
 	res := cluster.Build(src, opts, float64(c.p.KNear), float64(c.p.KFar))
@@ -324,6 +375,7 @@ func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, erro
 		return nil, ErrCanceled
 	}
 	c.lastClusterTime = time.Since(start)
+	c.mClusterDur.Observe(c.lastClusterTime.Seconds())
 	c.cache = res
 	c.cacheAt = c.dirty
 	return res, nil

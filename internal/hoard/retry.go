@@ -32,6 +32,11 @@ type RetryPolicy struct {
 	// Sleep is the delay function; nil means time.Sleep. Tests inject a
 	// stub to run instantly.
 	Sleep func(time.Duration)
+	// OnRetry, when non-nil, is called once per backoff (i.e. per retry
+	// about to happen) with the failed attempt number and its error —
+	// the hook retry counters hang off without the policy knowing about
+	// metrics.
+	OnRetry func(attempt int, err error)
 }
 
 // DefaultRetry is a sensible policy for interactive refills: four
@@ -89,6 +94,9 @@ func (p RetryPolicy) Do(op func() error) error {
 		}
 		if attempt >= p.MaxAttempts {
 			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
 		}
 		p.Sleep(p.delay(attempt))
 	}

@@ -222,8 +222,8 @@ func (c *countingBatcher) Fetch(id simfs.FileID) error {
 	c.fetchCalls++
 	return c.inner.Fetch(id)
 }
-func (c *countingBatcher) Evict(id simfs.FileID)                 { c.inner.Evict(id) }
-func (c *countingBatcher) HasLocal(id simfs.FileID) bool         { return c.inner.HasLocal(id) }
+func (c *countingBatcher) Evict(id simfs.FileID)         { c.inner.Evict(id) }
+func (c *countingBatcher) HasLocal(id simfs.FileID) bool { return c.inner.HasLocal(id) }
 func (c *countingBatcher) Access(id simfs.FileID) replic.AccessResult {
 	return c.inner.Access(id)
 }

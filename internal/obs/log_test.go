@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+}
+
+func newTestLogger() (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := NewLogger(&syncBuilder{b: &b})
+	l.st.now = fixedClock
+	return l, &b
+}
+
+// syncBuilder serializes writes so the test can read the builder after
+// concurrent logging without a race.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  *strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func TestLoggerText(t *testing.T) {
+	l, b := newTestLogger()
+	l.Info("plan built", "files", 12, "dur", "40ms")
+	got := b.String()
+	want := `ts=2026-08-05T12:00:00.000Z level=info msg="plan built" files=12 dur=40ms` + "\n"
+	if got != want {
+		t.Fatalf("got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerWithTags(t *testing.T) {
+	l, b := newTestLogger()
+	tl := l.With("component", "tailer")
+	tl.Warn("shed", "n", 3)
+	if got := b.String(); !strings.Contains(got, "component=tailer") || !strings.Contains(got, "level=warn") {
+		t.Fatalf("got %q", got)
+	}
+	// Child shares the parent's level.
+	l.SetLevel(LevelError)
+	b.Reset()
+	tl.Warn("dropped")
+	if b.Len() != 0 {
+		t.Fatalf("warn emitted past error level: %q", b.String())
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	l, b := newTestLogger()
+	l.Debug("hidden")
+	if b.Len() != 0 {
+		t.Fatalf("debug emitted at info level: %q", b.String())
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("shown")
+	if !strings.Contains(b.String(), "level=debug") {
+		t.Fatalf("debug missing: %q", b.String())
+	}
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("Enabled(debug) = false at debug level")
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	l, b := newTestLogger()
+	l.SetJSON(true)
+	l.Error("boom", "err", errors.New("bad\nstack"), "stage", "feeder")
+	var m map[string]string
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("not valid JSON: %v\n%q", err, b.String())
+	}
+	if m["level"] != "error" || m["msg"] != "boom" || m["stage"] != "feeder" {
+		t.Fatalf("parsed %v", m)
+	}
+	// Error values truncate at the first newline.
+	if m["err"] != "bad" {
+		t.Fatalf("err = %q, want %q", m["err"], "bad")
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, b := newTestLogger()
+	l.Info("x", "path", "/tmp/a b", "empty", "")
+	got := b.String()
+	if !strings.Contains(got, `path="/tmp/a b"`) || !strings.Contains(got, `empty=""`) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"WARN": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	l, b := newTestLogger()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := l.With("worker", Level(i).String())
+			for j := 0; j < 200; j++ {
+				cl.Info("tick", "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 1600 {
+		t.Fatalf("got %d lines, want 1600", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "ts=") || !strings.Contains(ln, "msg=tick") {
+			t.Fatalf("torn line %q", ln)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("seer_events_total", "events")
+	c2 := r.Counter("seer_events_total", "events")
+	if c1 != c2 {
+		t.Fatal("same name returned different counters")
+	}
+	c1.Add(3)
+	if got := c2.Value(); got != 3 {
+		t.Fatalf("shared counter value = %d, want 3", got)
+	}
+	g1 := r.Gauge("seer_depth", "depth")
+	if g2 := r.Gauge("seer_depth", "depth"); g1 != g2 {
+		t.Fatal("same name returned different gauges")
+	}
+	h1 := r.Histogram("seer_lat_seconds", "latency", nil)
+	if h2 := r.Histogram("seer_lat_seconds", "latency", nil); h1 != h2 {
+		t.Fatal("same name returned different histograms")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("seer_x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("seer_x_total", "")
+}
+
+func TestRegistryFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("seer_live", "", func() float64 { return 1 })
+	r.GaugeFunc("seer_live", "", func() float64 { return 7 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "seer_live 7\n") {
+		t.Fatalf("func not replaced:\n%s", b.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("seer_ops_total", "ops", "kind")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			kinds := []string{"read", "write", "stat"}
+			for i := 0; i < 1000; i++ {
+				r.Counter("seer_shared_total", "").Inc()
+				r.Gauge("seer_gauge", "").Add(1)
+				r.Histogram("seer_h_seconds", "", nil).Observe(float64(i%7) / 1000)
+				vec.With(kinds[i%len(kinds)]).Inc()
+				if i%100 == 0 {
+					r.GaugeFunc("seer_fn", "", func() float64 { return float64(g) })
+				}
+			}
+		}(g)
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("seer_shared_total", "").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("seer_gauge", "").Value(); got != 8000 {
+		t.Fatalf("gauge = %d, want 8000", got)
+	}
+	if got := r.Histogram("seer_h_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	var total uint64
+	for _, k := range []string{"read", "write", "stat"} {
+		total += vec.With(k).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("vec total = %d, want 8000", total)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	// Bucket counts are per-bucket internally: (-inf,0.01], (0.01,0.1],
+	// (0.1,1], (1,+inf). 0.01 lands in the first bucket because bounds
+	// are inclusive upper bounds.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 0.001+0.01+0.05+0.5+2+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// 10 samples uniform in (0,1], 10 in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if q := h.Quantile(0.25); q <= 0 || q > 1 {
+		t.Fatalf("q25 = %g, want within (0,1]", q)
+	}
+	if q := h.Quantile(0.75); q <= 1 || q > 2 {
+		t.Fatalf("q75 = %g, want within (1,2]", q)
+	}
+	// Median at the boundary interpolates to the top of the first bucket.
+	if q := h.Quantile(0.5); math.Abs(q-1) > 1e-9 {
+		t.Fatalf("q50 = %g, want 1", q)
+	}
+	// +Inf samples clamp to the highest finite bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("+Inf bucket quantile = %g, want 1", q)
+	}
+	var empty Histogram
+	if q := (&empty).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+// TestExpositionGolden locks the exact text format: HELP/TYPE comments,
+// sorted families, label escaping, cumulative histogram buckets with
+// +Inf, _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("seer_events_total", "Events ingested.").Add(42)
+	r.Gauge("seer_queue_depth", "Queue depth.").Set(7)
+	h := r.Histogram("seer_build_seconds", "Build time.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	vec := r.CounterVec("seer_requests_total", "Requests.", "endpoint")
+	vec.With("push").Add(3)
+	vec.With(`we"ird\`).Inc()
+	r.GaugeFunc("seer_alive", "Liveness.", func() float64 { return 1 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP seer_alive Liveness.
+# TYPE seer_alive gauge
+seer_alive 1
+# HELP seer_build_seconds Build time.
+# TYPE seer_build_seconds histogram
+seer_build_seconds_bucket{le="0.1"} 1
+seer_build_seconds_bucket{le="1"} 2
+seer_build_seconds_bucket{le="+Inf"} 3
+seer_build_seconds_sum 5.55
+seer_build_seconds_count 3
+# HELP seer_events_total Events ingested.
+# TYPE seer_events_total counter
+seer_events_total 42
+# HELP seer_queue_depth Queue depth.
+# TYPE seer_queue_depth gauge
+seer_queue_depth 7
+# HELP seer_requests_total Requests.
+# TYPE seer_requests_total counter
+seer_requests_total{endpoint="push"} 3
+seer_requests_total{endpoint="we\"ird\\"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("seer_x_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	m, err := ParseProm(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["seer_x_total"] != 1 {
+		t.Fatalf("parsed scrape = %v", m)
+	}
+}
+
+// TestParsePromRoundTrip parses what WritePrometheus emits and checks
+// every series survives with its value.
+func TestParsePromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("seer_a_total", "a").Add(9)
+	r.Gauge("seer_b", "b").Set(-4)
+	h := r.Histogram("seer_c_seconds", "c", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	r.CounterVec("seer_d_total", "d", "stage", "kind").With("tailer", "shed").Add(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"seer_a_total":                             9,
+		"seer_b":                                   -4,
+		`seer_c_seconds_bucket{le="0.5"}`:          1,
+		`seer_c_seconds_bucket{le="+Inf"}`:         2,
+		"seer_c_seconds_sum":                       1,
+		"seer_c_seconds_count":                     2,
+		`seer_d_total{kind="shed",stage="tailer"}`: 2,
+	}
+	for k, want := range checks {
+		if got, ok := m[k]; !ok || got != want {
+			t.Fatalf("parsed[%q] = %v (present=%v), want %v\nscrape:\n%s", k, got, ok, want, b.String())
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		3:           "3",
+		-4:          "-4",
+		0.25:        "0.25",
+		1e15:        "1e+15",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Fatalf("formatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

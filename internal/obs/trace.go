@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one traced unit of work — for seerd, one batch of
+// strace events from ingestion through correlation to the plan built
+// over them. Zero means "no trace".
+type TraceID uint64
+
+// String renders the id as fixed-width hex, the form logs and the
+// /debug/traces query parameter use.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// ParseTraceID parses the hex form back into an id.
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad trace id %q: %v", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// Attr is one span attribute (an event count, a cache disposition).
+// Values are strings from small sets or rendered numbers — never file
+// paths or other unbounded user data.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one completed stage of a trace.
+type Span struct {
+	Trace    TraceID
+	Stage    string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Tracer hands out trace ids and keeps the most recent completed spans
+// in a fixed ring buffer, cheap enough to leave on in production and
+// inspectable at /debug/traces. All methods are safe for concurrent
+// use.
+type Tracer struct {
+	next atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	pos   int
+	count uint64 // total spans ever recorded
+}
+
+// NewTracer returns a tracer remembering the last capacity spans
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// NewTrace allocates a fresh trace id (monotonic within the process).
+func (t *Tracer) NewTrace() TraceID { return TraceID(t.next.Add(1)) }
+
+// Record stores a completed span in the ring, evicting the oldest when
+// full.
+func (t *Tracer) Record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		return
+	}
+	t.ring[t.pos] = s
+	t.pos = (t.pos + 1) % len(t.ring)
+}
+
+// Count returns the total number of spans ever recorded (including
+// those already evicted from the ring).
+func (t *Tracer) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Spans returns the buffered spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.pos:]...)
+	out = append(out, t.ring[:t.pos]...)
+	return out
+}
+
+// TraceSpans returns the buffered spans of one trace, oldest first.
+func (t *Tracer) TraceSpans(id TraceID) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ActiveSpan is an in-progress span; End records it.
+type ActiveSpan struct {
+	t     *Tracer
+	span  Span
+	ended atomic.Bool
+}
+
+// StartSpan begins a span of the given trace and stage. A nil Tracer or
+// zero id returns a no-op span, so call sites need no guards.
+func (t *Tracer) StartSpan(id TraceID, stage string) *ActiveSpan {
+	if t == nil || id == 0 {
+		return nil
+	}
+	return &ActiveSpan{t: t, span: Span{Trace: id, Stage: stage, Start: time.Now()}}
+}
+
+// Attr adds one attribute; it returns the span for chaining.
+func (s *ActiveSpan) Attr(key, value string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// AttrInt adds one integer attribute.
+func (s *ActiveSpan) AttrInt(key string, value int64) *ActiveSpan {
+	return s.Attr(key, strconv.FormatInt(value, 10))
+}
+
+// End completes the span and records it; safe to call on a nil span and
+// idempotent on double End.
+func (s *ActiveSpan) End() {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	s.span.Duration = time.Since(s.span.Start)
+	s.t.Record(s.span)
+}
+
+// spanJSON is the /debug/traces wire form of one span.
+type spanJSON struct {
+	Trace      string  `json:"trace"`
+	Stage      string  `json:"stage"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+}
+
+// Handler serves the ring buffer as JSON: newest trace first, spans of
+// a trace oldest first. ?trace=<hex id> filters to one trace;
+// ?limit=<n> bounds the span count (default all buffered).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		spans := t.Spans()
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, err := ParseTraceID(q)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			kept := spans[:0]
+			for _, s := range spans {
+				if s.Trace == id {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
+		}
+		if q := req.URL.Query().Get("limit"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		out := make([]spanJSON, len(spans))
+		for i, s := range spans {
+			out[i] = spanJSON{
+				Trace:      s.Trace.String(),
+				Stage:      s.Stage,
+				Start:      s.Start.UTC().Format(time.RFC3339Nano),
+				DurationMS: float64(s.Duration) / float64(time.Millisecond),
+				Attrs:      s.Attrs,
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/simfs"
 )
 
@@ -23,17 +24,43 @@ type Master struct {
 	mu       sync.Mutex
 	versions map[simfs.FileID]uint64
 
-	// counters for observability (exposed by rumord's /healthz).
-	creates    uint64
-	pushes     uint64
-	conflicts  uint64
-	reconciles uint64
+	// Operation counters live on the registry so they are scrapeable at
+	// /metrics (and still feed rumord's /healthz via Stats()). They are
+	// atomics, so reading them never contends with the version-table
+	// lock.
+	reg         *obs.Registry
+	mFiles      *obs.Gauge
+	mCreates    *obs.Counter
+	mPushes     *obs.Counter
+	mConflicts  *obs.Counter
+	mReconciles *obs.Counter
 }
 
-// NewMaster returns an empty master.
-func NewMaster() *Master {
-	return &Master{versions: make(map[simfs.FileID]uint64)}
+// NewMaster returns an empty master with a private metrics registry.
+func NewMaster() *Master { return NewMasterOn(nil) }
+
+// NewMasterOn returns an empty master registering its instruments on
+// reg (nil creates a private registry, retrievable via Metrics()).
+func NewMasterOn(reg *obs.Registry) *Master {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &Master{versions: make(map[simfs.FileID]uint64), reg: reg}
+	m.mFiles = reg.Gauge("seer_rumor_files",
+		"Files in the master's replicated version table.")
+	m.mCreates = reg.Counter("seer_rumor_creates_total",
+		"Files registered through Create.")
+	m.mPushes = reg.Counter("seer_rumor_pushes_total",
+		"Local updates pushed to the master (direct or via reconcile).")
+	m.mConflicts = reg.Counter("seer_rumor_conflicts_total",
+		"Pushes that found the master's version diverged from the client's base.")
+	m.mReconciles = reg.Counter("seer_rumor_reconciles_total",
+		"Batched reconciliation rounds served.")
+	return m
 }
+
+// Metrics returns the registry the master's instruments live on.
+func (m *Master) Metrics() *obs.Registry { return m.reg }
 
 // Create registers a file at version 1 (idempotent) and returns its
 // version.
@@ -44,7 +71,8 @@ func (m *Master) Create(id simfs.FileID) uint64 {
 		return v
 	}
 	m.versions[id] = 1
-	m.creates++
+	m.mFiles.Set(int64(len(m.versions)))
+	m.mCreates.Inc()
 	return 1
 }
 
@@ -100,17 +128,18 @@ func (m *Master) Push(id simfs.FileID, base uint64, keepLocal bool) PushResult {
 }
 
 func (m *Master) pushLocked(id simfs.FileID, base uint64, keepLocal bool) PushResult {
-	m.pushes++
+	m.mPushes.Inc()
 	sv, ok := m.versions[id]
 	switch {
 	case !ok:
 		m.versions[id] = 1
+		m.mFiles.Set(int64(len(m.versions)))
 		return PushResult{Outcome: PushCreated, Version: 1}
 	case sv == base:
 		m.versions[id] = sv + 1
 		return PushResult{Outcome: PushFastForward, Version: sv + 1}
 	default:
-		m.conflicts++
+		m.mConflicts.Inc()
 		if keepLocal {
 			m.versions[id] = sv + 1
 			return PushResult{Outcome: PushConflict, Version: sv + 1}
@@ -125,7 +154,7 @@ func (m *Master) pushLocked(id simfs.FileID, base uint64, keepLocal bool) PushRe
 func (m *Master) Reconcile(req ReconcileRequest) ReconcileResponse {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.reconciles++
+	m.mReconciles.Inc()
 	resp := ReconcileResponse{
 		Dirty: make([]PushResult, len(req.Dirty)),
 		Clean: make([]VersionInfo, len(req.Clean)),
@@ -143,8 +172,10 @@ func (m *Master) Reconcile(req ReconcileRequest) ReconcileResponse {
 // Stats returns the master's operation counters.
 func (m *Master) Stats() (files int, creates, pushes, conflicts, reconciles uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.versions), m.creates, m.pushes, m.conflicts, m.reconciles
+	files = len(m.versions)
+	m.mu.Unlock()
+	return files, m.mCreates.Value(), m.mPushes.Value(),
+		m.mConflicts.Value(), m.mReconciles.Value()
 }
 
 // MasterHandler serves the CheapRumor wire protocol for m. prefix is
@@ -153,15 +184,26 @@ func (m *Master) Stats() (files int, creates, pushes, conflicts, reconciles uint
 // mismatch, oversized counts) get 400; unknown paths 404; non-POST 405.
 func MasterHandler(prefix string, m *Master) http.Handler {
 	mux := http.NewServeMux()
+	// Per-endpoint traffic counters; endpoint values come from the fixed
+	// protocol path set, never from request data.
+	reqs := m.reg.CounterVec("seer_rumor_requests_total",
+		"Wire-protocol requests served, by endpoint.", "endpoint")
+	errs := m.reg.CounterVec("seer_rumor_errors_total",
+		"Wire-protocol requests rejected (bad method or undecodable body), by endpoint.", "endpoint")
 	handle := func(path string, fn func(w http.ResponseWriter, req *http.Request) error) {
+		endpoint := strings.TrimPrefix(path, "/")
+		mReq, mErr := reqs.With(endpoint), errs.With(endpoint)
 		mux.HandleFunc(prefix+path, func(w http.ResponseWriter, req *http.Request) {
+			mReq.Inc()
 			if req.Method != http.MethodPost {
 				w.Header().Set("Allow", http.MethodPost)
 				http.Error(w, "method not allowed; use POST", http.StatusMethodNotAllowed)
+				mErr.Inc()
 				return
 			}
 			if err := fn(w, req); err != nil {
 				http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+				mErr.Inc()
 			}
 		})
 	}

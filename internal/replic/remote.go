@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/simfs"
 )
 
@@ -56,6 +58,14 @@ type RemoteRumor struct {
 	known     map[simfs.FileID]bool // ids the master has confirmed replicated
 	connected bool
 	totals    ReconcileReport
+
+	// Optional instruments (nil until InstrumentOn); obs instruments are
+	// nil-safe, so the hot paths record unconditionally.
+	mRTT         *obs.Histogram
+	mErrs        *obs.Counter
+	mRetries     *obs.Counter
+	mReconnects  *obs.Counter
+	mDisconnects *obs.Counter
 }
 
 var _ Replicator = (*RemoteRumor)(nil)
@@ -80,18 +90,60 @@ func NewRemoteRumor(baseURL string, client *http.Client) *RemoteRumor {
 	}
 }
 
-// retry applies the configured retry hook around one round trip.
+// InstrumentOn registers the client's replication instruments on reg:
+// round-trip latency, transport errors, Retry-hook re-attempts,
+// partition/reconnect transitions, and the dirty-replica depth (a
+// scrape-time gauge over DirtyCount). Call it once, before the client
+// carries traffic; it returns r for chaining.
+func (r *RemoteRumor) InstrumentOn(reg *obs.Registry) *RemoteRumor {
+	r.mRTT = reg.Histogram("seer_replication_rtt_seconds",
+		"Round-trip time of master protocol requests.", nil)
+	r.mErrs = reg.Counter("seer_replication_errors_total",
+		"Master round trips that failed (transport, status, or frame).")
+	r.mRetries = reg.Counter("seer_replication_retries_total",
+		"Round trips re-attempted by the Retry hook after a failure.")
+	r.mReconnects = reg.Counter("seer_replication_reconnects_total",
+		"Disconnected-to-connected transitions that reconciled successfully.")
+	r.mDisconnects = reg.Counter("seer_replication_disconnects_total",
+		"Connected-to-disconnected transitions (deliberate or reconcile failure).")
+	reg.GaugeFunc("seer_replication_dirty_files",
+		"Local updates not yet propagated to the master.",
+		func() float64 { return float64(r.DirtyCount()) })
+	return r
+}
+
+// retry applies the configured retry hook around one round trip,
+// counting every re-attempt beyond the first so any hook (a
+// hoard.RetryPolicy, a test stub) is measured without knowing about
+// the registry.
 func (r *RemoteRumor) retry(op func() error) error {
-	if r.Retry != nil {
-		return r.Retry(op)
+	if r.Retry == nil {
+		return op()
 	}
-	return op()
+	attempts := 0
+	return r.Retry(func() error {
+		attempts++
+		if attempts > 1 {
+			r.mRetries.Inc()
+		}
+		return op()
+	})
 }
 
 // post performs one protocol round trip and hands the response body to
 // decode. Transport failures, non-200 statuses, and frame corruption
 // all come back wrapping ErrUnavailable.
 func (r *RemoteRumor) post(path string, body []byte, decode func(io.Reader) error) error {
+	start := time.Now()
+	err := r.postOnce(path, body, decode)
+	r.mRTT.ObserveSince(start)
+	if err != nil {
+		r.mErrs.Inc()
+	}
+	return err
+}
+
+func (r *RemoteRumor) postOnce(path string, body []byte, decode func(io.Reader) error) error {
 	resp, err := r.hc.Post(r.baseURL+path, "application/x-seer-rumor", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrUnavailable, path, err)
@@ -379,14 +431,19 @@ func (r *RemoteRumor) SetConnected(up bool) ReconcileReport {
 	defer r.mu.Unlock()
 	wasUp := r.connected
 	r.connected = up
+	if wasUp && !up {
+		r.mDisconnects.Inc()
+	}
 	if !up || wasUp {
 		return ReconcileReport{}
 	}
 	rep, err := r.reconcileLocked()
 	if err != nil {
 		r.connected = false
+		r.mDisconnects.Inc()
 		return ReconcileReport{}
 	}
+	r.mReconnects.Inc()
 	return rep
 }
 

@@ -22,6 +22,14 @@ type Disconnection struct {
 	Used bool
 	// Misses is the period's miss log.
 	Misses *hoard.MissLog
+	// MissFreeBytes is the smallest hoard, following the plan's
+	// inclusion order at disconnection time, that would have served
+	// every meaningful reference of the period without a miss (the
+	// live counterpart of the paper's §5.2 miss-free hoard size);
+	// Unhoardable counts referenced files absent from that plan, which
+	// would have missed at any budget.
+	MissFreeBytes int64
+	Unhoardable   int
 }
 
 // LiveResult is a complete live replay of one machine.
@@ -62,6 +70,7 @@ func Live(opts Options, budgetBytes int64) *LiveResult {
 		activeAccum time.Duration
 		activeSince time.Time
 		missed      map[simfs.FileID]bool
+		refd        map[simfs.FileID]bool
 	)
 
 	finish := func(t time.Time) {
@@ -73,6 +82,13 @@ func Live(opts Options, budgetBytes int64) *LiveResult {
 		}
 		cur.Active = activeAccum
 		cur.Span.End = t
+		if plan != nil {
+			ids := make([]simfs.FileID, 0, len(refd))
+			for id := range refd {
+				ids = append(ids, id)
+			}
+			cur.MissFreeBytes, cur.Unhoardable = plan.MissFreeSize(ids)
+		}
 		if cur.Span.Duration() >= 15*time.Minute {
 			res.Disconnections = append(res.Disconnections, *cur)
 		}
@@ -99,6 +115,7 @@ func Live(opts Options, budgetBytes int64) *LiveResult {
 			activeAccum = 0
 			activeSince = ev.Time
 			missed = make(map[simfs.FileID]bool)
+			refd = make(map[simfs.FileID]bool)
 			cur = &Disconnection{
 				Span:   workload.Span{Start: ev.Time},
 				Misses: hoard.NewMissLog(),
@@ -144,6 +161,12 @@ func Live(opts Options, budgetBytes int64) *LiveResult {
 			continue
 		}
 		cur.Used = cur.Used || meaningful
+		if meaningful && (f.CreatedSeq < discSeq || f.CreatedSeq == 0) {
+			// Files created during the disconnection are excluded from
+			// the miss-free size for the same reason they are not
+			// misses: no hoard filled beforehand could contain them.
+			refd[f.ID] = true
+		}
 		if contents.Has(f.ID) || missed[f.ID] {
 			continue
 		}

@@ -171,6 +171,25 @@ func TestLiveReplay(t *testing.T) {
 			t.Errorf("Table5 stats implausible: %+v", row)
 		}
 	}
+	// Live miss-free statistics: every used disconnection references
+	// something, so its miss-free hoard size is positive, and at least
+	// one period under a 50 MB budget must need more than the budget
+	// (otherwise Table4 could not report any failures).
+	anyOverBudget := false
+	for _, d := range r.Disconnections {
+		if d.MissFreeBytes < 0 || d.Unhoardable < 0 {
+			t.Fatalf("negative miss-free stats: %+v", d)
+		}
+		if d.Used && d.MissFreeBytes == 0 {
+			t.Errorf("used disconnection with zero miss-free size")
+		}
+		if d.MissFreeBytes > 50*mb {
+			anyOverBudget = true
+		}
+	}
+	if t4.AnySeverity > 0 && !anyOverBudget {
+		t.Error("user misses reported but no disconnection needed more than the budget")
+	}
 }
 
 // With a generous budget (everything fits) there are no user misses at

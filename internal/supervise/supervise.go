@@ -433,3 +433,15 @@ func (s *Supervisor) Restarts() uint64 {
 	}
 	return n
 }
+
+// StageRestarts returns the restart count per stage name, the
+// per-series breakdown behind the seer_stage_restarts_total metric.
+func (s *Supervisor) StageRestarts() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.stages))
+	for _, st := range s.stages {
+		out[st.name] = st.restarts
+	}
+	return out
+}
