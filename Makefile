@@ -17,7 +17,7 @@ BENCH_TIME ?= 5x
 BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
-.PHONY: check vet build test test-race fuzz fuzz-strace chaos rumor-chaos metrics-smoke bench bench-check
+.PHONY: check vet build test test-race fuzz fuzz-strace chaos rumor-chaos metrics-smoke reload-smoke bench bench-check
 
 check: vet build test-race
 
@@ -53,7 +53,7 @@ fuzz-strace:
 CHAOS_COUNT ?= 1
 chaos: vet
 	$(GO) test -race -count=$(CHAOS_COUNT) \
-		-run 'TestChaosPipeline|TestUnavailableRefusesPlans|TestFollowFailureMatrix' \
+		-run 'TestChaosPipeline|TestUnavailableRefusesPlans|TestFollowFailureMatrix|TestAdmissionChaosShedAndRecover|TestReloadRaceUnderLoad' \
 		./cmd/seerd/
 	$(GO) test -race -count=$(CHAOS_COUNT) ./internal/supervise/ ./internal/fault/
 
@@ -63,6 +63,14 @@ chaos: vet
 metrics-smoke:
 	$(GO) build -o bin/seerd ./cmd/seerd
 	sh scripts/metrics_smoke.sh
+
+# Reload smoke: run a built seerd with a watched config file, hot-apply
+# a valid edit, confirm a structural edit is rejected without moving the
+# active generation, and check the reload counters — all with zero
+# stage restarts. Needs curl.
+reload-smoke:
+	$(GO) build -o bin/seerd ./cmd/seerd
+	sh scripts/reload_smoke.sh
 
 # Replication chaos gate: the networked CheapRumor substrate under 30%
 # injected request loss and repeated partitions must converge to the

@@ -17,69 +17,75 @@
 // running the substrate on a different host (or behind different
 // provisioning) than the observer.
 //
-// /healthz reports the master's counters as JSON and always answers
-// 200 while the process is up — the master is a version table; it has
-// no degraded states. /metrics serves the same counters (plus
-// per-endpoint request/error series) in Prometheus text format. With
-// -debug-addr, a second listener serves pprof profiles alongside the
-// same health and metrics endpoints, matching seerd.
+// Configuration shares seerd's declarative knob table: the same
+// -log-level/-log-format/-admit-* flags, and the same -config file
+// watched for live reloads (log shape and admission limits retune
+// without a restart; listen addresses are structural and reject the
+// reload). /rumor/ sits behind admission control — excess concurrency
+// is shed with 429 + Retry-After rather than queued — and /healthz
+// reports degraded while shedding is recent. /debug/config serves the
+// active settings and the last reload outcome; /metrics includes the
+// admitted/shed counters per endpoint. With -debug-addr, a second
+// listener serves pprof profiles alongside the same health, metrics,
+// and config endpoints, matching seerd.
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/obs"
-	"github.com/fmg/seer/internal/replic"
 )
 
 // logger is the process logger; main() applies -log-level/-log-format.
 var logger = obs.NewLogger(nil)
 
 func main() {
-	listen := flag.String("listen", ":7078", "HTTP listen address")
-	debugAddr := flag.String("debug-addr", "",
-		"optional listen address for pprof, health, and metrics debug endpoints")
-	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
-	logFormat := flag.String("log-format", "text", "log format: text (key=value) or json")
+	rt := config.DefaultRuntime()
+	rt.Daemon.Listen = ":7078" // rumord's historical default
+	config.RegisterFlags(flag.CommandLine, &rt, config.ForRumord)
+	cfgPath := flag.String("config", "",
+		"runtime config file: flag-style `key value` lines; watched for live reloads")
 	flag.Parse()
 
-	lv, err := obs.ParseLevel(*logLevel)
-	if err != nil {
+	base := rt
+	var cfgData []byte
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			logger.Warn("config file missing; starting from flags", "path", *cfgPath)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "rumord: %v\n", err)
+			os.Exit(2)
+		default:
+			if err := config.ApplyFile(&rt, bytes.NewReader(data)); err != nil {
+				fmt.Fprintf(os.Stderr, "rumord: %s: %v\n", *cfgPath, err)
+				os.Exit(2)
+			}
+			cfgData = data
+		}
+	}
+	if err := rt.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "rumord: %v\n", err)
 		os.Exit(2)
 	}
+	lv, _ := obs.ParseLevel(rt.Daemon.LogLevel) // Validate vetted it
 	logger.SetLevel(lv)
-	switch *logFormat {
-	case "", "text":
-	case "json":
-		logger.SetJSON(true)
-	default:
-		fmt.Fprintf(os.Stderr, "rumord: unknown -log-format %q (want text or json)\n", *logFormat)
-		os.Exit(2)
-	}
+	logger.SetJSON(rt.Daemon.LogFormat == "json")
 
-	reg := obs.NewRegistry()
-	master := replic.NewMasterOn(reg)
-	healthz := func(w http.ResponseWriter, req *http.Request) {
-		files, creates, pushes, conflicts, reconciles := master.Stats()
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"healthy","files":%d,"creates":%d,"pushes":%d,"conflicts":%d,"reconciles":%d}`+"\n",
-			files, creates, pushes, conflicts, reconciles)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/rumor/", replic.MasterHandler("/rumor", master))
-	mux.HandleFunc("/healthz", healthz)
-	mux.Handle("/metrics", reg.Handler())
+	s := newServer(config.NewStore(rt), base, *cfgPath, cfgData)
 
-	newServer := func(addr string, h http.Handler) *http.Server {
+	newHTTP := func(addr string, h http.Handler) *http.Server {
 		return &http.Server{
 			Addr:              addr,
 			Handler:           h,
@@ -89,32 +95,32 @@ func main() {
 			IdleTimeout:       2 * time.Minute,
 		}
 	}
-	srv := newServer(*listen, mux)
+	srv := newHTTP(rt.Daemon.Listen, s.mainMux())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go s.watch(ctx)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			s.kickReload()
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("serving", "addr", *listen)
+	logger.Info("serving", "addr", rt.Daemon.Listen)
 
 	var dsrv *http.Server
-	if *debugAddr != "" {
-		dmux := http.NewServeMux()
-		dmux.HandleFunc("/debug/pprof/", pprof.Index)
-		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		dmux.HandleFunc("/healthz", healthz)
-		dmux.Handle("/metrics", reg.Handler())
-		dsrv = newServer(*debugAddr, dmux)
+	if rt.Daemon.DebugAddr != "" {
+		dsrv = newHTTP(rt.Daemon.DebugAddr, s.debugMux())
 		go func() {
 			if derr := dsrv.ListenAndServe(); derr != nil && derr != http.ErrServerClosed {
-				logger.Error("debug listener failed", "addr", *debugAddr, "err", derr)
+				logger.Error("debug listener failed", "addr", rt.Daemon.DebugAddr, "err", derr)
 			}
 		}()
-		logger.Info("debug endpoints up", "addr", *debugAddr)
+		logger.Info("debug endpoints up", "addr", rt.Daemon.DebugAddr)
 	}
 
 	select {

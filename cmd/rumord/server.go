@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/admit"
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/obs"
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/supervise"
+)
+
+// admitShedWindow is how long after the last shed /healthz reports
+// degraded (a variable so tests can shorten it).
+var admitShedWindow = 15 * time.Second
+
+// confPollEvery is the config-file poll interval (a variable so tests
+// can tighten it).
+var confPollEvery = time.Second
+
+// server is the testable core of rumord: the replication master, its
+// admission-controlled mux, and the hot-reload plumbing. main() only
+// parses flags, builds one of these, and runs listeners around it.
+type server struct {
+	store   *config.Store
+	base    config.Runtime
+	cfgPath string
+
+	reg      *obs.Registry
+	master   *replic.Master
+	rumorLim *admit.Limiter
+	watcher  *supervise.Watcher
+
+	mReloadApplied  *obs.Counter
+	mReloadRejected *obs.Counter
+}
+
+// newServer builds the rumord core from the startup runtime. base is
+// the flag-derived runtime reloads re-parse the config file over;
+// cfgData is the file content already applied at startup (so the first
+// poll does not re-apply it).
+func newServer(store *config.Store, base config.Runtime, cfgPath string, cfgData []byte) *server {
+	s := &server{
+		store:   store,
+		base:    base,
+		cfgPath: cfgPath,
+		reg:     obs.NewRegistry(),
+	}
+	s.master = replic.NewMasterOn(s.reg)
+	s.rumorLim = admit.New("rumor", s.reg, nil)
+	s.applyLimits(*store.Get())
+
+	reloads := s.reg.CounterVec("seer_config_reloads_total",
+		"Config hot-reload attempts by result.", "result")
+	s.mReloadApplied = reloads.With("applied")
+	s.mReloadRejected = reloads.With("rejected")
+	s.reg.GaugeFunc("seer_config_generation",
+		"Active config generation (1 = the startup configuration).",
+		func() float64 { return float64(s.store.Generation()) })
+
+	if cfgPath != "" {
+		s.watcher = supervise.NewWatcher(cfgPath, confPollEvery, s.applyConfig)
+		s.watcher.MarkApplied(cfgData)
+	}
+	return s
+}
+
+// watch runs the config watcher until ctx ends; a no-op without
+// -config. rumord has no supervisor, so the watcher runs as a plain
+// goroutine owned by the caller.
+func (s *server) watch(ctx context.Context) {
+	if s.watcher != nil {
+		s.watcher.Stage()(ctx)
+	}
+}
+
+// kickReload forces an immediate config-file check (SIGHUP).
+func (s *server) kickReload() {
+	if s.watcher != nil {
+		s.watcher.Kick()
+	}
+}
+
+// applyLimits pushes rt's admission section into the rumor limiter.
+func (s *server) applyLimits(rt config.Runtime) {
+	a := rt.Admit
+	s.rumorLim.SetLimits(admit.Limits{
+		MaxInFlight: a.RumorMaxInFlight,
+		MaxLatency:  time.Duration(a.MaxLatencyMS) * time.Millisecond,
+		RetryAfter:  time.Duration(a.RetryAfterSec) * time.Second,
+	})
+}
+
+// applyConfig is rumord's hot-reload path: the same
+// parse-over-base / validate / reject-structural / swap-and-propagate
+// discipline as seerd, with rumord's smaller hot surface (log shape and
+// admission limits).
+func (s *server) applyConfig(data []byte) error {
+	next := s.base
+	err := func() error {
+		if err := config.ApplyFile(&next, bytes.NewReader(data)); err != nil {
+			return err
+		}
+		if err := next.Validate(); err != nil {
+			return err
+		}
+		if diffs := config.StructuralDiff(*s.store.Get(), next); len(diffs) > 0 {
+			return fmt.Errorf("structural settings cannot change on a live reload: %s",
+				strings.Join(diffs, ", "))
+		}
+		return nil
+	}()
+	if err != nil {
+		s.store.RecordReload(err)
+		s.mReloadRejected.Inc()
+		logger.Warn("config reload rejected; active config unchanged",
+			"component", "confwatch", "err", err)
+		return err
+	}
+	old := *s.store.Get()
+	changed := config.Changed(old, next)
+	gen := s.store.Swap(next)
+	if lv, lerr := obs.ParseLevel(next.Daemon.LogLevel); lerr == nil {
+		logger.SetLevel(lv)
+	}
+	logger.SetJSON(next.Daemon.LogFormat == "json")
+	s.applyLimits(next)
+	s.store.RecordReload(nil)
+	s.mReloadApplied.Inc()
+	logger.Info("config reloaded", "component", "confwatch",
+		"generation", gen, "changed", strings.Join(changed, " "))
+	return nil
+}
+
+// handleHealthz reports the master's counters; the status flips to
+// degraded while the rumor endpoint is shedding so an overloaded master
+// is visible to the same checks that watch seerd.
+func (s *server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	status := "healthy"
+	if s.rumorLim.ShedRecently(admitShedWindow) {
+		status = "degraded"
+	}
+	files, creates, pushes, conflicts, reconciles := s.master.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":%q,"files":%d,"creates":%d,"pushes":%d,"conflicts":%d,"reconciles":%d,"shed":%d}`+"\n",
+		status, files, creates, pushes, conflicts, reconciles, s.rumorLim.Sheds())
+}
+
+// handleDebugConfig mirrors seerd's /debug/config: the active redacted
+// settings plus the last reload outcome. GET only.
+func (s *server) handleDebugConfig(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed; use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := struct {
+		Generation uint64               `json:"generation"`
+		ConfigFile string               `json:"config_file,omitempty"`
+		Settings   []config.KV          `json:"settings"`
+		LastReload *config.ReloadStatus `json:"last_reload,omitempty"`
+	}{
+		Generation: s.store.Generation(),
+		ConfigFile: s.cfgPath,
+		Settings:   config.Describe(*s.store.Get()),
+	}
+	if st := s.store.LastReload(); !st.At.IsZero() {
+		resp.LastReload = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// mainMux builds the serving mux: the admission-controlled protocol
+// endpoints plus always-admitted health, metrics, and config.
+func (s *server) mainMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/rumor/", s.rumorLim.Wrap(replic.MasterHandler("/rumor", s.master)))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/debug/config", s.handleDebugConfig)
+	return mux
+}
+
+// debugMux builds the pprof/debug mux.
+func (s *server) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/debug/config", s.handleDebugConfig)
+	return mux
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/config"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServerAdmissionReloadAndDebugConfig drives the rumord core end to
+// end: /rumor/ sheds past the in-flight limit with 429 + Retry-After,
+// /healthz flips to degraded while shedding is recent and recovers, a
+// hot reload raises the limit without a restart, a structural reload is
+// rejected, and /debug/config serves (GET-only) the active settings
+// plus the last reload outcome.
+func TestServerAdmissionReloadAndDebugConfig(t *testing.T) {
+	oldPoll, oldWindow := confPollEvery, admitShedWindow
+	confPollEvery, admitShedWindow = 2*time.Millisecond, 300*time.Millisecond
+	defer func() { confPollEvery, admitShedWindow = oldPoll, oldWindow }()
+
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "rumord.conf")
+
+	rt := config.DefaultRuntime()
+	rt.Daemon.Listen = ":0"
+	rt.Admit.RumorMaxInFlight = 1
+	rt.Admit.RetryAfterSec = 2
+	base := rt
+	store := config.NewStore(rt)
+	s := newServer(store, base, cfgPath, nil)
+
+	ctx := t.Context()
+	go s.watch(ctx)
+
+	ts := httptest.NewServer(s.mainMux())
+	defer ts.Close()
+	client := ts.Client()
+
+	// --- /debug/config: GET works, other methods get 405 + Allow. ---
+	resp, err := client.Get(ts.URL + "/debug/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dc struct {
+		Generation uint64      `json:"generation"`
+		Settings   []config.KV `json:"settings"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dc.Generation != 1 {
+		t.Fatalf("startup generation = %d, want 1", dc.Generation)
+	}
+	found := false
+	for _, kv := range dc.Settings {
+		if kv.Key == "admit-rumor-inflight" {
+			found = true
+			if kv.Value != "1" {
+				t.Fatalf("admit-rumor-inflight = %q, want 1", kv.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("admit-rumor-inflight missing from /debug/config")
+	}
+	resp, err = client.Post(ts.URL+"/debug/config", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+		t.Fatalf("POST /debug/config: code=%d allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	// --- Saturate the single admission slot with a slow request (its
+	// body never arrives, so the handler blocks in the read). ---
+	pr, pw := io.Pipe()
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/rumor/version", pr)
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, "slow request admitted", func() bool { return s.rumorLim.InFlight() == 1 })
+
+	// A second request is shed with 429 + the configured Retry-After.
+	resp, err = client.Post(ts.URL+"/rumor/version", "application/x-seer-rumor", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit /rumor/version: code=%d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2", ra)
+	}
+
+	// /healthz reports degraded while the shed is recent.
+	health := func() string {
+		resp, err := client.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(resp.Body).Decode(&h)
+		return h.Status
+	}
+	if got := health(); got != "degraded" {
+		t.Fatalf("health after shed = %q, want degraded", got)
+	}
+
+	// --- Hot reload: raise the limit; the blocked slot no longer starves
+	// new requests, with zero restarts. ---
+	if err := os.WriteFile(cfgPath, []byte("admit-rumor-inflight 8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reload applied", func() bool { return store.Generation() == 2 })
+	resp, err = client.Post(ts.URL+"/rumor/version", "application/x-seer-rumor", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("still shedding after the limit was raised")
+	}
+
+	// --- A structural change (listen address) is rejected: generation
+	// stays, error is recorded for /debug/config. ---
+	if err := os.WriteFile(cfgPath, []byte("admit-rumor-inflight 8\nlisten :9999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rejected reload recorded", func() bool {
+		st := store.LastReload()
+		return !st.OK && st.Err != ""
+	})
+	if store.Generation() != 2 {
+		t.Fatalf("generation = %d after rejected reload, want 2", store.Generation())
+	}
+	if st := store.LastReload(); !strings.Contains(st.Err, "listen") {
+		t.Fatalf("rejection error %q does not name the structural knob", st.Err)
+	}
+
+	// --- Recovery: once the shed window passes, health returns. ---
+	waitFor(t, "health recovery", func() bool { return health() == "healthy" })
+
+	pw.Close()
+	<-slowDone
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/config"
+)
+
+// printConfig fetches /debug/config from a running seerd or rumord and
+// renders the active settings plus the last reload outcome as a
+// one-screen table.
+func printConfig(w io.Writer, base string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/debug/config")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s/debug/config: %s", base, resp.Status)
+	}
+	var dc struct {
+		Generation uint64               `json:"generation"`
+		ConfigFile string               `json:"config_file"`
+		Settings   []config.KV          `json:"settings"`
+		LastReload *config.ReloadStatus `json:"last_reload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dc); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "generation  %d\n", dc.Generation)
+	if dc.ConfigFile != "" {
+		fmt.Fprintf(w, "config file %s\n", dc.ConfigFile)
+	}
+	if lr := dc.LastReload; lr != nil {
+		outcome := "applied"
+		if !lr.OK {
+			outcome = "REJECTED: " + lr.Err
+		}
+		fmt.Fprintf(w, "last reload %s (%s)\n", outcome, lr.At.Format(time.RFC3339))
+	} else {
+		fmt.Fprintln(w, "last reload never")
+	}
+	fmt.Fprintln(w)
+	for _, kv := range dc.Settings {
+		fmt.Fprintf(w, "%-28s %s\n", kv.Key, kv.Value)
+	}
+	return nil
+}

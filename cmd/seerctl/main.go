@@ -15,6 +15,11 @@
 // miss-free hoard size, dirty replicas) as a one-screen table:
 //
 //	seerctl -addr http://127.0.0.1:7077 metrics
+//
+// The config subcommand fetches /debug/config from a running daemon and
+// prints the active runtime settings plus the last hot-reload outcome;
+// -config FILE replays a trace under the same runtime file a seerd
+// watches, so offline answers use the daemon's exact knobs.
 package main
 
 import (
@@ -34,8 +39,11 @@ func main() {
 	tracePath := flag.String("trace", "", "trace file (text or binary, auto-detected)")
 	controlPath := flag.String("control", "", "optional control file")
 	budgetMB := flag.Int64("budget", 50, "hoard budget in MB (hoard subcommand)")
+	configPath := flag.String("config", "",
+		"optional runtime config file (the same format seerd watches): "+
+			"`param Name Value` lines set Params, `budget` sets the hoard budget")
 	addr := flag.String("addr", "http://127.0.0.1:7077",
-		"base URL of a running seerd or rumord (metrics subcommand)")
+		"base URL of a running seerd or rumord (metrics and config subcommands)")
 	flag.Parse()
 	if flag.NArg() >= 1 && flag.Arg(0) == "metrics" {
 		if err := printMetrics(os.Stdout, *addr); err != nil {
@@ -43,14 +51,41 @@ func main() {
 		}
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "config" {
+		if err := printConfig(os.Stdout, *addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *tracePath == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr,
-			"usage: seerctl -trace FILE [-control FILE] [-budget MB] clusters|plan|hoard|neighbors PATH|investigate DIR|advise|check|stats\n"+
-				"       seerctl [-addr URL] metrics")
+			"usage: seerctl -trace FILE [-control FILE] [-config FILE] [-budget MB] clusters|plan|hoard|neighbors PATH|investigate DIR|advise|check|stats\n"+
+				"       seerctl [-addr URL] metrics|config")
 		os.Exit(2)
 	}
 
 	params := config.Defaults()
+	if *configPath != "" {
+		// Replay against the same runtime file the daemon uses, so an
+		// offline `seerctl hoard` answers with the daemon's exact knobs.
+		rt := config.DefaultRuntime()
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = config.ApplyFile(&rt, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := rt.Validate(); err != nil {
+			fatal(err)
+		}
+		params = rt.Params
+		if rt.Daemon.HoardBudgetMB > 0 && !flagSet("budget") {
+			*budgetMB = rt.Daemon.HoardBudgetMB
+		}
+	}
 	var ctl *config.Control
 	if *controlPath != "" {
 		f, err := os.Open(*controlPath)
@@ -214,6 +249,18 @@ func investigateDir(dir string) ([]investigate.Relation, error) {
 	}
 	rels = append(rels, investigate.CRelations(sources, nil, 3, exists)...)
 	return rels, nil
+}
+
+// flagSet reports whether the named flag was given on the command line
+// (so an explicit -budget beats the config file's value).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatal(err error) {

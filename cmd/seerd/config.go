@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/admit"
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/obs"
+)
+
+// admitShedWindow is how long after the last shed the admission probe
+// reports degraded (a variable so tests can shorten it).
+var admitShedWindow = 15 * time.Second
+
+// confPollEvery is the config-file poll interval (a variable so tests
+// can tighten it).
+var confPollEvery = time.Second
+
+// applyConfig is the hot-reload path: parse data over the flag-derived
+// base runtime (so removing a file line reverts that setting to its
+// flag value), validate the result as a whole, refuse structural
+// changes, then swap the store and push every hot setting into the
+// live components. A rejected reload leaves the active config serving
+// untouched; both outcomes are counted and recorded for /debug/config.
+func (p *pipeline) applyConfig(data []byte) error {
+	next := p.cfg.base
+	err := func() error {
+		if err := config.ApplyFile(&next, bytes.NewReader(data)); err != nil {
+			return err
+		}
+		if err := next.Validate(); err != nil {
+			return err
+		}
+		if diffs := config.StructuralDiff(*p.store().Get(), next); len(diffs) > 0 {
+			return fmt.Errorf("structural settings cannot change on a live reload: %s",
+				strings.Join(diffs, ", "))
+		}
+		return nil
+	}()
+	if err != nil {
+		p.store().RecordReload(err)
+		p.mReloadRejected.Inc()
+		logger.Warn("config reload rejected; active config unchanged",
+			"component", "confwatch", "err", err)
+		return err
+	}
+	old := *p.store().Get()
+	changed := config.Changed(old, next)
+	gen := p.store().Swap(next)
+	p.propagate(old, next)
+	p.store().RecordReload(nil)
+	p.mReloadApplied.Inc()
+	logger.Info("config reloaded", "component", "confwatch",
+		"generation", gen, "changed", strings.Join(changed, " "))
+	return nil
+}
+
+// propagate pushes the hot settings of next into the running daemon.
+// Structural differences were already rejected, so everything here is
+// safe to apply live.
+func (p *pipeline) propagate(old, next config.Runtime) {
+	dm := next.Daemon
+	p.queue.SetCap(dm.QueueCap)
+	p.queue.SetBlock(time.Duration(dm.QueueBlockMS) * time.Millisecond)
+	p.d.budget.Store(dm.HoardBudgetMB << 20)
+	if lv, err := obs.ParseLevel(dm.LogLevel); err == nil {
+		logger.SetLevel(lv)
+	}
+	logger.SetJSON(dm.LogFormat == "json")
+	p.applyLimits(next)
+	if paramsChanged(old, next) {
+		// Correlator params need the same exclusion Feed holds; taken only
+		// when a param actually changed so an admission-limit reload never
+		// waits behind a long clustering.
+		p.d.lock()
+		p.d.corr.SetParams(next.Params)
+		p.d.unlock()
+	}
+}
+
+// paramsChanged reports whether any paper Param differs between old and
+// next.
+func paramsChanged(old, next config.Runtime) bool {
+	for _, n := range config.ParamNames() {
+		if config.ParamValue(old.Params, n) != config.ParamValue(next.Params, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyLimits pushes rt's admission section into the endpoint limiters.
+func (p *pipeline) applyLimits(rt config.Runtime) {
+	a := rt.Admit
+	lat := time.Duration(a.MaxLatencyMS) * time.Millisecond
+	ra := time.Duration(a.RetryAfterSec) * time.Second
+	p.planLim.SetLimits(admit.Limits{
+		MaxInFlight: a.PlanMaxInFlight,
+		MaxQueuePct: a.MaxQueuePct,
+		MaxLatency:  lat,
+		RetryAfter:  ra,
+	})
+	p.missLim.SetLimits(admit.Limits{
+		MaxInFlight: a.MissMaxInFlight,
+		MaxLatency:  lat,
+		RetryAfter:  ra,
+	})
+	if p.rumorLim != nil {
+		p.rumorLim.SetLimits(admit.Limits{
+			MaxInFlight: a.RumorMaxInFlight,
+			MaxLatency:  lat,
+			RetryAfter:  ra,
+		})
+	}
+}
+
+// kickReload forces an immediate config-file check (SIGHUP); a no-op
+// without a watched file.
+func (p *pipeline) kickReload() {
+	if p.watcher != nil {
+		p.watcher.Kick()
+	}
+}
+
+// debugConfigResponse is the /debug/config body.
+type debugConfigResponse struct {
+	Generation uint64               `json:"generation"`
+	ConfigFile string               `json:"config_file,omitempty"`
+	Settings   []config.KV          `json:"settings"`
+	LastReload *config.ReloadStatus `json:"last_reload,omitempty"`
+}
+
+// handleDebugConfig serves the active (redacted) configuration and the
+// outcome of the last reload attempt. GET only; other methods get 405
+// with Allow, matching the other endpoints.
+func (p *pipeline) handleDebugConfig(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed; use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := debugConfigResponse{
+		Generation: p.store().Generation(),
+		ConfigFile: p.cfg.cfgPath,
+		Settings:   config.Describe(*p.store().Get()),
+	}
+	if st := p.store().LastReload(); !st.At.IsZero() {
+		resp.LastReload = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}

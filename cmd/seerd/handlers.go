@@ -42,9 +42,11 @@ type daemon struct {
 	// can be acquired with a deadline (lockCtx), which is what lets a
 	// plan request give up on a wedged clustering and serve the cached
 	// plan instead of queueing behind it forever.
-	sem    chan struct{}
-	corr   *core.Correlator
-	budget int64
+	sem  chan struct{}
+	corr *core.Correlator
+	// budget is the live hoard budget in bytes; atomic so a config
+	// reload can retune it while /hoard requests are in flight.
+	budget atomic.Int64
 
 	// sup is set by newPipeline in serving mode; nil in one-shot mode.
 	sup *supervise.Supervisor
@@ -83,10 +85,10 @@ func newDaemon(corr *core.Correlator, budget int64) *daemon {
 	d := &daemon{
 		sem:    make(chan struct{}, 1),
 		corr:   corr,
-		budget: budget,
 		reg:    corr.Metrics(),
 		tracer: obs.NewTracer(256),
 	}
+	d.budget.Store(budget)
 	d.mPlansBuilt = d.reg.Counter("seer_plans_built_total",
 		"Hoard-plan constructions (the /plan and /hoard endpoints plus one-shot mode).")
 	d.mStaleServed = d.reg.Counter("seer_stale_plans_served_total",
@@ -295,7 +297,7 @@ func (d *daemon) renderHoard(ctx context.Context, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	contents := plan.Fill(d.budget, d.corr.Params().SkipUnfittingClusters)
+	contents := plan.Fill(d.budget.Load(), d.corr.Params().SkipUnfittingClusters)
 	refs := d.corr.Observer().LastRefs()
 	ids := make([]simfs.FileID, 0, len(refs))
 	for id := range refs {

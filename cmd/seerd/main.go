@@ -42,6 +42,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -52,56 +53,69 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/core"
 	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/strace"
 )
 
 func main() {
-	stracePath := flag.String("strace", "-", "strace output file (- = stdin)")
-	listen := flag.String("listen", "", "HTTP listen address (empty = print and exit)")
-	budgetMB := flag.Int64("budget", 512, "hoard budget in MB")
-	dbPath := flag.String("db", "", "database file: restored at start, saved after input")
-	follow := flag.Bool("follow", false,
-		"keep tailing the strace file for appended lines (requires -listen)")
-	debugAddr := flag.String("debug-addr", "",
-		"optional listen address for pprof and expvar debug endpoints (requires -listen)")
-	queueCap := flag.Int("queue", 8192,
-		"bounded ingestion queue capacity between the tailer and the correlator")
-	rumor := flag.Bool("rumor", false,
-		"serve the CheapRumor replication-master endpoints under /rumor/ (requires -listen)")
-	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
-	logFormat := flag.String("log-format", "text", "log format: text (key=value) or json")
+	// Every tunable is one knob in internal/config's declarative table;
+	// RegisterFlags turns the seerd subset into the historical flags, and
+	// the same names work as `key value` lines in the -config file.
+	rt := config.DefaultRuntime()
+	config.RegisterFlags(flag.CommandLine, &rt, config.ForSeerd)
+	cfgPath := flag.String("config", "",
+		"runtime config file: flag-style `key value` lines plus `param Name Value`; "+
+			"watched for live reloads while serving")
 	flag.Parse()
 
-	lv, err := obs.ParseLevel(*logLevel)
-	if err != nil {
+	// base is what the flags alone produced: reloads re-parse the file
+	// over it, so removing a file line reverts that setting to its flag
+	// (or default) value.
+	base := rt
+	var cfgData []byte
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			logger.Warn("config file missing; starting from flags",
+				"path", *cfgPath)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
+			os.Exit(2)
+		default:
+			if err := config.ApplyFile(&rt, bytes.NewReader(data)); err != nil {
+				fmt.Fprintf(os.Stderr, "seerd: %s: %v\n", *cfgPath, err)
+				os.Exit(2)
+			}
+			cfgData = data
+		}
+	}
+	if err := rt.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "seerd: %v\n", err)
 		os.Exit(2)
 	}
+
+	lv, _ := obs.ParseLevel(rt.Daemon.LogLevel) // Validate vetted it
 	logger.SetLevel(lv)
-	switch *logFormat {
-	case "", "text":
-	case "json":
-		logger.SetJSON(true)
-	default:
-		fmt.Fprintf(os.Stderr, "seerd: unknown -log-format %q (want text or json)\n", *logFormat)
-		os.Exit(2)
-	}
+	logger.SetJSON(rt.Daemon.LogFormat == "json")
 
 	var in io.Reader = os.Stdin
-	if *stracePath != "-" {
-		f, err := os.Open(*stracePath)
+	if rt.Daemon.Strace != "-" {
+		f, err := os.Open(rt.Daemon.Strace)
 		if err != nil {
-			logger.Error("cannot open strace file", "path", *stracePath, "err", err)
+			logger.Error("cannot open strace file", "path", rt.Daemon.Strace, "err", err)
 			os.Exit(1)
 		}
 		defer f.Close()
 		in = f
 	}
 
-	opts := core.Options{Seed: 1}
-	d := newDaemon(restoreDB(*dbPath, opts), *budgetMB<<20)
+	opts := core.Options{Seed: 1, Params: &rt.Params}
+	dbPath := rt.Daemon.DB
+	listen := rt.Daemon.Listen
+	d := newDaemon(restoreDB(dbPath, opts), rt.Daemon.HoardBudgetMB<<20)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -116,7 +130,7 @@ func main() {
 	tid := d.tracer.NewTrace()
 	sp := d.tracer.StartSpan(tid, "ingest").Attr("source", "bootstrap")
 	var bootN int64
-	err = feedLines(ctx, in, maxLineLen, func(line string) {
+	err := feedLines(ctx, in, maxLineLen, func(line string) {
 		if ev, ok := parser.ParseLine(line); ok {
 			bootN++
 			d.corr.Feed(ev)
@@ -137,10 +151,10 @@ func main() {
 		}
 	}
 
-	if *dbPath != "" {
-		if err := saveDB(d, *dbPath); err != nil {
-			logger.Error("checkpoint failed", "path", *dbPath, "err", err)
-			if *listen == "" {
+	if dbPath != "" {
+		if err := saveDB(d, dbPath); err != nil {
+			logger.Error("checkpoint failed", "path", dbPath, "err", err)
+			if listen == "" {
 				os.Exit(1)
 			}
 		}
@@ -149,20 +163,35 @@ func main() {
 		return
 	}
 
-	if *listen == "" {
+	if listen == "" {
 		d.printHoard(os.Stdout)
 		return
 	}
 
 	p := newPipeline(d, pipelineConfig{
-		stracePath: *stracePath,
-		follow:     *follow,
-		dbPath:     *dbPath,
-		listen:     *listen,
-		debugAddr:  *debugAddr,
-		queueCap:   *queueCap,
-		rumor:      *rumor,
+		store:   config.NewStore(rt),
+		base:    base,
+		cfgPath: *cfgPath,
+		cfgData: cfgData,
+
+		stracePath: rt.Daemon.Strace,
+		follow:     rt.Daemon.Follow,
+		dbPath:     dbPath,
+		listen:     listen,
+		debugAddr:  rt.Daemon.DebugAddr,
+		queueCap:   rt.Daemon.QueueCap,
+		queueBlock: time.Duration(rt.Daemon.QueueBlockMS) * time.Millisecond,
+		rumor:      rt.Daemon.Rumor,
 	})
+	// SIGHUP forces an immediate config-file check, the conventional
+	// "reload now" signal alongside the steady poll.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			p.kickReload()
+		}
+	}()
 	p.start(ctx)
 	// Wait for the listener to bind so the startup line reports the
 	// resolved address (":0" becomes a concrete port).
@@ -171,7 +200,7 @@ func main() {
 	}
 	logger.Info("serving", "events", d.corr.Events(), "addr", p.addr(),
 		"trace", tid.String())
-	if *debugAddr != "" {
+	if rt.Daemon.DebugAddr != "" {
 		logger.Info("debug endpoints up", "addr", p.debugAddr())
 	}
 
@@ -181,11 +210,11 @@ func main() {
 	p.drain()
 	// Graceful exit: one final checkpoint so nothing learned since the
 	// last periodic save is lost.
-	if *dbPath != "" {
-		if err := saveDB(d, *dbPath); err != nil {
-			logger.Error("final checkpoint failed", "path", *dbPath, "err", err)
+	if dbPath != "" {
+		if err := saveDB(d, dbPath); err != nil {
+			logger.Error("final checkpoint failed", "path", dbPath, "err", err)
 			os.Exit(1)
 		}
-		logger.Info("final checkpoint saved", "path", *dbPath)
+		logger.Info("final checkpoint saved", "path", dbPath)
 	}
 }

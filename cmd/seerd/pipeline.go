@@ -8,10 +8,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/fmg/seer/internal/admit"
+	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/replic"
 	"github.com/fmg/seer/internal/supervise"
@@ -32,6 +35,16 @@ type pipelineConfig struct {
 	dbPath     string
 	listen     string
 	debugAddr  string
+
+	// store holds the active Runtime (nil = synthesize one from the
+	// legacy fields above, which tests still use); base is the
+	// flag-derived runtime a reload re-parses the config file over, and
+	// cfgPath/cfgData are the watched file and its startup contents
+	// (cfgPath "" = no watcher stage).
+	store   *config.Store
+	base    config.Runtime
+	cfgPath string
+	cfgData []byte
 
 	// queueCap bounds the tailer→feeder event queue; queueBlock is how
 	// long an overflowing Put blocks before shedding the oldest event.
@@ -77,6 +90,18 @@ type pipeline struct {
 	sup   *supervise.Supervisor
 	queue *supervise.Queue[queuedEvent]
 
+	// watcher polls the config file for hot reloads (nil without
+	// -config); limits/planLim/missLim/rumorLim admission-control the
+	// decision endpoints, and the reload counters drive
+	// seer_config_reloads_total.
+	watcher         *supervise.Watcher
+	limits          *admit.Set
+	planLim         *admit.Limiter
+	missLim         *admit.Limiter
+	rumorLim        *admit.Limiter
+	mReloadApplied  *obs.Counter
+	mReloadRejected *obs.Counter
+
 	// master is the replication master served under /rumor/ when
 	// cfg.rumor is set; nil otherwise.
 	master *replic.Master
@@ -104,11 +129,36 @@ type pipeline struct {
 // launch it.
 func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 	cfg = cfg.withDefaults()
+	if cfg.store == nil {
+		// Legacy construction (tests): synthesize the Runtime the
+		// explicit fields describe so /debug/config and reloads see the
+		// same picture either way.
+		rt := config.DefaultRuntime()
+		rt.Params = d.corr.Params()
+		rt.Daemon.Strace = cfg.stracePath
+		rt.Daemon.Listen = cfg.listen
+		rt.Daemon.DebugAddr = cfg.debugAddr
+		rt.Daemon.DB = cfg.dbPath
+		rt.Daemon.Follow = cfg.follow
+		rt.Daemon.Rumor = cfg.rumor
+		rt.Daemon.QueueCap = cfg.queueCap
+		rt.Daemon.QueueBlockMS = int(cfg.queueBlock / time.Millisecond)
+		rt.Daemon.HoardBudgetMB = d.budget.Load() >> 20
+		cfg.base = rt
+		cfg.store = config.NewStore(rt)
+	}
 	p := &pipeline{
 		d:     d,
 		cfg:   cfg,
 		queue: supervise.NewQueue[queuedEvent](cfg.queueCap, cfg.queueBlock),
 	}
+	p.limits = admit.NewSet()
+	p.planLim = p.limits.Add("plan", d.reg, p.queue.FillPct)
+	p.missLim = p.limits.Add("miss", d.reg, nil)
+	if cfg.rumor {
+		p.rumorLim = p.limits.Add("rumor", d.reg, nil)
+	}
+	p.applyLimits(*cfg.store.Get())
 	p.feed = func(ev trace.Event) {
 		d.lock()
 		d.corr.Feed(ev)
@@ -148,6 +198,11 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 	if cfg.debugAddr != "" {
 		addStage("debug", p.serverStage(cfg.debugAddr, p.debugMux(), &p.debugHTTPAddr))
 	}
+	if cfg.cfgPath != "" {
+		p.watcher = supervise.NewWatcher(cfg.cfgPath, confPollEvery, p.applyConfig)
+		p.watcher.MarkApplied(cfg.cfgData)
+		addStage("confwatch", p.watcher.Stage())
+	}
 	p.registerMetrics(stages)
 
 	p.sup.AddProbe("queue", func() supervise.Probe {
@@ -175,6 +230,14 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 			return supervise.Probe{State: st, Detail: detail}
 		})
 	}
+	p.sup.AddProbe("admission", func() supervise.Probe {
+		hit, names := p.limits.ShedRecently(admitShedWindow)
+		if hit {
+			return supervise.Probe{State: supervise.Degraded,
+				Detail: "shedding on " + strings.Join(names, ",")}
+		}
+		return supervise.Probe{State: supervise.Healthy, Detail: "no recent shedding"}
+	})
 	p.sup.AddProbe("plan", func() supervise.Probe {
 		fails := d.planFails.Load()
 		st := supervise.Healthy
@@ -189,6 +252,9 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 	})
 	return p
 }
+
+// store returns the active-config store (always set after newPipeline).
+func (p *pipeline) store() *config.Store { return p.cfg.store }
 
 // start launches the stage tree; stages stop when ctx ends.
 func (p *pipeline) start(ctx context.Context) {
@@ -341,18 +407,22 @@ func (p *pipeline) debugAddr() string {
 func (p *pipeline) mainMux() *http.ServeMux {
 	d := p.d
 	mux := http.NewServeMux()
-	mux.HandleFunc("/plan", d.handlePlan)
-	mux.HandleFunc("/hoard", d.handleHoard)
-	mux.HandleFunc("/clusters", d.handleClusters)
-	mux.HandleFunc("/stats", d.handleStats)
-	mux.HandleFunc("/miss", d.handleMiss)
+	// The decision endpoints sit behind admission control; the health,
+	// metrics, and config endpoints deliberately do not — an overloaded
+	// daemon must stay observable.
+	mux.HandleFunc("/plan", p.planLim.WrapFunc(d.handlePlan))
+	mux.HandleFunc("/hoard", p.planLim.WrapFunc(d.handleHoard))
+	mux.HandleFunc("/clusters", p.planLim.WrapFunc(d.handleClusters))
+	mux.HandleFunc("/stats", p.missLim.WrapFunc(d.handleStats))
+	mux.HandleFunc("/miss", p.missLim.WrapFunc(d.handleMiss))
 	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
 	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
 	mux.Handle("/metrics", d.reg.Handler())
 	mux.Handle("/debug/traces", d.tracer.Handler())
+	mux.HandleFunc("/debug/config", p.handleDebugConfig)
 	if p.cfg.rumor {
 		p.master = replic.NewMasterOn(d.reg)
-		mux.Handle("/rumor/", replic.MasterHandler("/rumor", p.master))
+		mux.Handle("/rumor/", p.rumorLim.Wrap(replic.MasterHandler("/rumor", p.master)))
 	}
 	return mux
 }
@@ -370,6 +440,7 @@ func (p *pipeline) debugMux() *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/metrics", p.d.reg.Handler())
 	mux.Handle("/debug/traces", p.d.tracer.Handler())
+	mux.HandleFunc("/debug/config", p.handleDebugConfig)
 	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
 	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
 	return mux
@@ -401,6 +472,13 @@ func (p *pipeline) registerMetrics(stages []string) {
 			return float64(p.sup.StageRestarts()[name])
 		}, name)
 	}
+	reloads := reg.CounterVec("seer_config_reloads_total",
+		"Config hot-reload attempts by result.", "result")
+	p.mReloadApplied = reloads.With("applied")
+	p.mReloadRejected = reloads.With("rejected")
+	reg.GaugeFunc("seer_config_generation",
+		"Active config generation (1 = the startup configuration).",
+		func() float64 { return float64(p.store().Generation()) })
 }
 
 // activePipeline is the pipeline whose counters the process-global

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/core"
+)
+
+// TestReloadRaceUnderLoad hammers /plan and /hoard while a writer loop
+// rewrites the watched config file — alternating valid configs (queue
+// bounds, admission limits, cluster knobs) with invalid and structural
+// ones — all under -race. Invariants: the active config is always
+// valid and untorn (queue cap is always one of the written values),
+// invalid reloads are rejected without disturbing serving, applied and
+// rejected reloads are both counted, ingestion drops nothing, and no
+// stage restarts.
+func TestReloadRaceUnderLoad(t *testing.T) {
+	oldPoll, oldDeadline, oldFollow := confPollEvery, planDeadline, followPoll
+	confPollEvery, planDeadline, followPoll = time.Millisecond, 5*time.Second, 5*time.Millisecond
+	// Cleanup, not defer: registered before startTestPipeline's cleanup,
+	// so the globals are restored only after the pipeline has stopped.
+	t.Cleanup(func() { confPollEvery, planDeadline, followPoll = oldPoll, oldDeadline, oldFollow })
+
+	dir := t.TempDir()
+	strace := filepath.Join(dir, "seer.strace")
+	cfgFile := filepath.Join(dir, "seerd.conf")
+	appendLine(t, strace, "bootstrap noise\n")
+
+	d := newDaemon(seededCorrelator(core.Options{Seed: 1}), 1<<20)
+	p, _ := startTestPipeline(t, d, pipelineConfig{
+		stracePath: strace,
+		follow:     true,
+		queueCap:   64,
+		queueBlock: 5 * time.Millisecond,
+		cfgPath:    cfgFile,
+	})
+	base := "http://" + p.addr()
+	client := &http.Client{Timeout: 10 * time.Second}
+	defer client.CloseIdleConnections()
+
+	// Prime the plan cache so stale fallbacks are 200s, then let the
+	// tailer reach EOF before appending.
+	if code, _, _ := httpGet(t, client, base+"/plan"); code != 200 {
+		t.Fatalf("baseline /plan: %d", code)
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Request hammer: /plan and /hoard concurrently. Every response must
+	// be 200 (fresh or stale) or 429 (admission limit from a just-applied
+	// config) — never a 5xx, never a torn config artifact.
+	var hammered atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"/plan", "/hoard"}
+			for !stop.Load() {
+				code, _, body := httpGet(t, client, base+paths[i%2])
+				if code != 200 && code != 429 {
+					t.Errorf("%s: code=%d body=%q", paths[i%2], code, body)
+					return
+				}
+				hammered.Add(1)
+			}
+		}(i)
+	}
+
+	// Config verifier: the active config must always validate, and hot
+	// values must always be one of the exact written states — a torn read
+	// would surface as a mix.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			rt := p.store().Get()
+			if err := rt.Validate(); err != nil {
+				t.Errorf("active config invalid: %v", err)
+				return
+			}
+			if c := rt.Daemon.QueueCap; c != 64 && c != 256 {
+				t.Errorf("torn queue cap %d", c)
+				return
+			}
+			if k := rt.Params.KNear; k != 4 && k != 5 && k != 6 {
+				t.Errorf("torn KNear %d", k)
+				return
+			}
+			if c := p.queue.Cap(); c != 64 && c != 256 {
+				t.Errorf("live queue cap %d not a written value", c)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Event producer: ingestion runs throughout, across queue resizes.
+	const eventLines = 150
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < eventLines; i++ {
+			appendLine(t, strace, chaosLine(i))
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Writer loop: valid / invalid / valid / structural, repeatedly.
+	states := []string{
+		"queue 256\nadmit-plan-inflight 32\nparam KNear 5\n",
+		"garbage nonsense\n",
+		"queue 64\nadmit-plan-inflight 16\nparam KNear 6\n",
+		"queue 256\nlisten 127.0.0.1:9\n", // structural: must be rejected
+	}
+	for round := 0; round < 20; round++ {
+		for _, s := range states {
+			if err := os.WriteFile(cfgFile, []byte(s), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}
+	// Land on a final valid state and let it apply.
+	final := "queue 256\nadmit-plan-inflight 32\nparam KNear 5\n"
+	if err := os.WriteFile(cfgFile, []byte(final), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "final config applied", func() bool {
+		rt := p.store().Get()
+		return rt.Daemon.QueueCap == 256 && rt.Params.KNear == 5 &&
+			p.store().LastReload().OK
+	})
+
+	stop.Store(true)
+	wg.Wait()
+
+	if applied := p.mReloadApplied.Value(); applied < 10 {
+		t.Errorf("only %d reloads applied; the loop should apply dozens", applied)
+	}
+	if rejected := p.mReloadRejected.Value(); rejected < 10 {
+		t.Errorf("only %d reloads rejected; the loop should reject dozens", rejected)
+	}
+	if hammered.Load() == 0 {
+		t.Error("request hammer never completed a request")
+	}
+
+	// The live components converged on the final config.
+	if got := p.queue.Cap(); got != 256 {
+		t.Errorf("queue cap = %d, want 256", got)
+	}
+	d.lock()
+	knear := d.corr.Params().KNear
+	d.unlock()
+	if knear != 5 {
+		t.Errorf("correlator KNear = %d, want 5", knear)
+	}
+
+	// No dropped events: everything appended was fed (12 seeded + all
+	// appended lines), and the queue never shed.
+	waitEvents(t, d, 12+eventLines)
+	if drops := p.queue.Drops(); drops != 0 {
+		t.Errorf("queue dropped %d events during resizes", drops)
+	}
+	// Rejected reloads are handled data, not failures: nothing restarted.
+	if got := p.sup.Restarts(); got != 0 {
+		t.Errorf("stage restarts = %d, want 0", got)
+	}
+}

@@ -362,6 +362,13 @@ func setParam(p *Params, name, value string) error {
 		return asInt(&p.DistanceMode)
 	case "AutoTempRatio":
 		return asFloat(&p.AutoTempRatio)
+	case "SkipUnfittingClusters":
+		v, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("param SkipUnfittingClusters: %w", err)
+		}
+		p.SkipUnfittingClusters = v
+		return nil
 	case "HoardSize":
 		v, err := strconv.ParseInt(value, 10, 64)
 		if err != nil {

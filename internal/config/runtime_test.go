@@ -1,0 +1,251 @@
+package config
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDefaultRuntimeValidates(t *testing.T) {
+	if err := DefaultRuntime().Validate(); err != nil {
+		t.Fatalf("DefaultRuntime does not validate: %v", err)
+	}
+}
+
+func TestRuntimeValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Runtime)
+	}{
+		{"queue<1", func(r *Runtime) { r.Daemon.QueueCap = 0 }},
+		{"negative block", func(r *Runtime) { r.Daemon.QueueBlockMS = -1 }},
+		{"negative budget", func(r *Runtime) { r.Daemon.HoardBudgetMB = -5 }},
+		{"bad log level", func(r *Runtime) { r.Daemon.LogLevel = "loud" }},
+		{"bad log format", func(r *Runtime) { r.Daemon.LogFormat = "xml" }},
+		{"negative inflight", func(r *Runtime) { r.Admit.PlanMaxInFlight = -1 }},
+		{"queue pct > 100", func(r *Runtime) { r.Admit.MaxQueuePct = 101 }},
+		{"negative retry", func(r *Runtime) { r.Admit.RetryAfterSec = -1 }},
+		{"bad params", func(r *Runtime) { r.Params.KNear = 1; r.Params.KFar = 2 }},
+	}
+	for _, tc := range cases {
+		r := DefaultRuntime()
+		tc.mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestApplyFileOverridesAndParams(t *testing.T) {
+	r := DefaultRuntime()
+	src := `
+# comment, then a blank line
+
+queue 4096
+queue-block-ms 50
+budget 128
+log-level debug
+admit-plan-inflight 7
+admit-queue-pct 80
+param KNear 5
+param SkipUnfittingClusters false
+`
+	if err := ApplyFile(&r, strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Daemon.QueueCap != 4096 || r.Daemon.QueueBlockMS != 50 ||
+		r.Daemon.HoardBudgetMB != 128 || r.Daemon.LogLevel != "debug" {
+		t.Errorf("daemon fields not applied: %+v", r.Daemon)
+	}
+	if r.Admit.PlanMaxInFlight != 7 || r.Admit.MaxQueuePct != 80 {
+		t.Errorf("admit fields not applied: %+v", r.Admit)
+	}
+	if r.Params.KNear != 5 || r.Params.SkipUnfittingClusters {
+		t.Errorf("params not applied: KNear=%d Skip=%v", r.Params.KNear, r.Params.SkipUnfittingClusters)
+	}
+	// Untouched keys keep their base values.
+	if r.Admit.MissMaxInFlight != DefaultRuntime().Admit.MissMaxInFlight {
+		t.Errorf("untouched key changed: %d", r.Admit.MissMaxInFlight)
+	}
+}
+
+func TestApplyFileRejectsUnknownAndMalformed(t *testing.T) {
+	for _, src := range []string{
+		"no-such-key 1\n",
+		"queue\n",
+		"queue 1 2\n",
+		"queue notanumber\n",
+		"param NoSuchParam 3\n",
+		"param KNear\n",
+	} {
+		r := DefaultRuntime()
+		if err := ApplyFile(&r, strings.NewReader(src)); err == nil {
+			t.Errorf("ApplyFile accepted %q", src)
+		}
+	}
+}
+
+func TestRegisterFlagsRoundTrip(t *testing.T) {
+	r := DefaultRuntime()
+	fs := flag.NewFlagSet("seerd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	RegisterFlags(fs, &r, ForSeerd)
+	err := fs.Parse([]string{
+		"-queue", "2048", "-budget", "64", "-log-level", "warn",
+		"-follow", "-rumor", "-admit-plan-inflight", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Daemon.QueueCap != 2048 || r.Daemon.HoardBudgetMB != 64 ||
+		r.Daemon.LogLevel != "warn" || !r.Daemon.Follow || !r.Daemon.Rumor ||
+		r.Admit.PlanMaxInFlight != 3 {
+		t.Errorf("flags not applied: %+v %+v", r.Daemon, r.Admit)
+	}
+}
+
+func TestRumordFlagParity(t *testing.T) {
+	// The PR-5 logging flags must exist on rumord via the shared knob
+	// table, alongside its admission knobs.
+	r := DefaultRuntime()
+	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	RegisterFlags(fs, &r, ForRumord)
+	for _, name := range []string{"listen", "debug-addr", "log-level", "log-format",
+		"admit-rumor-inflight", "admit-retry-after"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("rumord flag set lacks -%s", name)
+		}
+	}
+	if fs.Lookup("strace") != nil || fs.Lookup("db") != nil {
+		t.Error("rumord flag set has seerd-only knobs")
+	}
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Daemon.LogLevel != "debug" || r.Daemon.LogFormat != "json" {
+		t.Errorf("log flags not applied: %+v", r.Daemon)
+	}
+}
+
+func TestStructuralDiff(t *testing.T) {
+	old := DefaultRuntime()
+	next := old
+	if d := StructuralDiff(old, next); len(d) != 0 {
+		t.Fatalf("identical configs diff: %v", d)
+	}
+	// Hot changes are not structural.
+	next.Daemon.QueueCap = 1
+	next.Admit.PlanMaxInFlight = 99
+	next.Params.KNear = 6
+	if d := StructuralDiff(old, next); len(d) != 0 {
+		t.Fatalf("hot changes flagged structural: %v", d)
+	}
+	// Structural knob and ingest-frozen param changes are.
+	next.Daemon.Listen = ":9999"
+	next.Params.NeighborTableSize = 30
+	d := StructuralDiff(old, next)
+	if len(d) != 2 {
+		t.Fatalf("StructuralDiff = %v, want listen + param NeighborTableSize", d)
+	}
+}
+
+func TestChangedLists(t *testing.T) {
+	old := DefaultRuntime()
+	next := old
+	next.Daemon.QueueCap = 123
+	next.Params.KFar = 3
+	got := Changed(old, next)
+	want := map[string]bool{"queue": true, "param KFar": true}
+	if len(got) != len(want) {
+		t.Fatalf("Changed = %v", got)
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Errorf("unexpected change %q", name)
+		}
+	}
+}
+
+func TestDescribeCoversEveryKnobAndParam(t *testing.T) {
+	r := DefaultRuntime()
+	kv := Describe(r)
+	if len(kv) != len(Knobs())+len(ParamNames()) {
+		t.Fatalf("Describe entries = %d, want %d", len(kv), len(Knobs())+len(ParamNames()))
+	}
+	for _, e := range kv {
+		if e.Key == "" {
+			t.Error("empty key in Describe")
+		}
+	}
+}
+
+func TestParamValueCoversEveryName(t *testing.T) {
+	p := Defaults()
+	for _, name := range ParamNames() {
+		if ParamValue(p, name) == "" {
+			t.Errorf("ParamValue(%s) empty", name)
+		}
+		// Every listed name must round-trip through setParam.
+		if err := setParam(&p, name, ParamValue(p, name)); err != nil {
+			t.Errorf("setParam(%s) rejects its own rendering: %v", name, err)
+		}
+	}
+}
+
+func TestStoreSwapAndStatus(t *testing.T) {
+	s := NewStore(DefaultRuntime())
+	if s.Generation() != 1 {
+		t.Fatalf("initial generation = %d", s.Generation())
+	}
+	r2 := DefaultRuntime()
+	r2.Daemon.QueueCap = 999
+	if gen := s.Swap(r2); gen != 2 {
+		t.Fatalf("Swap generation = %d", gen)
+	}
+	if s.Get().Daemon.QueueCap != 999 {
+		t.Fatal("Get does not see swapped config")
+	}
+	s.RecordReload(nil)
+	if st := s.LastReload(); !st.OK || st.Generation != 2 || st.At.IsZero() {
+		t.Fatalf("LastReload = %+v", st)
+	}
+	s.RecordReload(io.ErrUnexpectedEOF)
+	if st := s.LastReload(); st.OK || st.Err == "" {
+		t.Fatalf("rejected LastReload = %+v", st)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(DefaultRuntime())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := s.Get()
+				if err := r.Validate(); err != nil {
+					t.Errorf("torn read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		r := DefaultRuntime()
+		r.Daemon.QueueCap = 1 + i
+		s.Swap(r)
+		s.RecordReload(nil)
+	}
+	close(stop)
+	wg.Wait()
+}

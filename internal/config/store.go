@@ -1,0 +1,77 @@
+package config
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReloadStatus records the outcome of the most recent config reload
+// attempt, served at /debug/config so operators can see whether their
+// last edit took effect.
+type ReloadStatus struct {
+	// At is when the reload was attempted (zero = never reloaded).
+	At time.Time `json:"at,omitempty"`
+	// OK reports whether the reload was applied.
+	OK bool `json:"ok"`
+	// Err is the rejection reason when !OK.
+	Err string `json:"error,omitempty"`
+	// Generation is the active config generation after the attempt (a
+	// rejected reload leaves it unchanged).
+	Generation uint64 `json:"generation"`
+}
+
+// Store is the atomic holder of the active Runtime. Readers call Get on
+// every use and never retain the pointer across a decision boundary;
+// writers build a complete validated Runtime and Swap it in, so a
+// reader sees either the old or the new configuration, never a torn
+// mix. The stored Runtime is treated as immutable after Swap.
+type Store struct {
+	v   atomic.Pointer[Runtime]
+	gen atomic.Uint64
+
+	mu   sync.Mutex
+	last ReloadStatus
+}
+
+// NewStore returns a Store whose active config is r (generation 1).
+func NewStore(r Runtime) *Store {
+	s := &Store{}
+	s.v.Store(&r)
+	s.gen.Store(1)
+	return s
+}
+
+// Get returns the active config. The result must be treated as
+// read-only.
+func (s *Store) Get() *Runtime { return s.v.Load() }
+
+// Swap atomically replaces the active config and returns the new
+// generation.
+func (s *Store) Swap(r Runtime) uint64 {
+	s.v.Store(&r)
+	return s.gen.Add(1)
+}
+
+// Generation returns the active config generation (1 = startup config).
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// RecordReload notes the outcome of a reload attempt; err == nil means
+// applied.
+func (s *Store) RecordReload(err error) {
+	st := ReloadStatus{At: time.Now(), OK: err == nil, Generation: s.gen.Load()}
+	if err != nil {
+		st.Err = err.Error()
+	}
+	s.mu.Lock()
+	s.last = st
+	s.mu.Unlock()
+}
+
+// LastReload returns the most recent reload outcome (zero value if no
+// reload has been attempted).
+func (s *Store) LastReload() ReloadStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}

@@ -152,6 +152,22 @@ func (c *Correlator) Table() *semdist.Table { return c.tbl }
 // Params returns the active parameter set.
 func (c *Correlator) Params() config.Params { return c.p }
 
+// SetParams replaces the parameter set on a live correlator and
+// invalidates cached clusterings so the next plan reflects it. Only the
+// params read at clustering/plan time (KNear, KFar, DirDistanceWeight,
+// InvestigatorWeight, SkipUnfittingClusters, HoardSize) change observed
+// behaviour: observer- and table-construction params are frozen into
+// those structures and a caller wanting them changed must rebuild.
+// The caller must hold the same exclusion Feed callers use.
+func (c *Correlator) SetParams(p config.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.p = p
+	c.invalidate()
+	return nil
+}
+
 // Events returns the number of trace events fed so far.
 func (c *Correlator) Events() uint64 { return c.events }
 

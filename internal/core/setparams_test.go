@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// TestSetParamsInvalidatesCache: a live param change must drop the
+// cached clustering so the next plan reflects the new knobs.
+func TestSetParamsInvalidatesCache(t *testing.T) {
+	d := newDriver(nil)
+	d.session(1, projectFiles("alpha", 5))
+	before := d.c.Clusters()
+	_, missBefore := d.c.CacheStats()
+
+	p := d.c.Params()
+	p.KNear = p.KNear + 1
+	if err := d.c.SetParams(p); err != nil {
+		t.Fatalf("SetParams: %v", err)
+	}
+	if got := d.c.Params().KNear; got != p.KNear {
+		t.Fatalf("KNear = %d after SetParams, want %d", got, p.KNear)
+	}
+	after := d.c.Clusters()
+	_, missAfter := d.c.CacheStats()
+	if missAfter <= missBefore {
+		t.Error("SetParams did not invalidate the cluster cache")
+	}
+	_ = before
+	_ = after
+}
+
+// TestSetParamsRejectsInvalid: a bad param set is refused and the old
+// one keeps serving.
+func TestSetParamsRejectsInvalid(t *testing.T) {
+	d := newDriver(nil)
+	old := d.c.Params()
+	bad := old
+	bad.KNear = -1
+	if err := d.c.SetParams(bad); err == nil {
+		t.Fatal("SetParams accepted KNear = -1")
+	}
+	if d.c.Params() != old {
+		t.Error("rejected SetParams still changed the active params")
+	}
+}

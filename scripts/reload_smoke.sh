@@ -1,0 +1,124 @@
+#!/bin/sh
+# Reload smoke test: start a real seerd with a watched config file,
+# hot-reload it (valid edit, then a structural edit that must be
+# rejected), and verify the outcomes through /debug/config and
+# /metrics. This is the black-box counterpart of TestReloadRaceUnderLoad
+# and TestAdmissionChaosShedAndRecover — it proves the built binary,
+# not just the test harness, applies and refuses reloads with zero
+# restarts. Needs curl.
+set -eu
+
+BIN=${BIN:-bin/seerd}
+ADDR=${ADDR:-127.0.0.1:7197}
+WORK=$(mktemp -d)
+trap 'kill $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+# A handful of valid strace lines so the daemon has events to learn.
+i=0
+while [ $i -lt 20 ]; do
+    printf '100  12:00:%02d.000000 openat(AT_FDCWD, "/home/u/proj/f%03d.c", O_RDONLY) = 3\n' \
+        $i $i >> "$WORK/seer.strace"
+    i=$((i + 1))
+done
+
+CONF="$WORK/seerd.conf"
+printf 'admit-plan-inflight 8\n' > "$CONF"
+
+"$BIN" -strace "$WORK/seer.strace" -listen "$ADDR" -config "$CONF" \
+    > "$WORK/seerd.log" 2>&1 &
+PID=$!
+
+# wait_debug polls /debug/config until it contains the pattern.
+wait_debug() {
+    want=$1
+    i=0
+    until curl -fsS "http://$ADDR/debug/config" 2>/dev/null | grep -q "$want"; do
+        i=$((i + 1))
+        if [ $i -gt 50 ]; then
+            echo "timed out waiting for $want in /debug/config; log:" >&2
+            cat "$WORK/seerd.log" >&2
+            curl -fsS "http://$ADDR/debug/config" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+# Wait for the listener; the startup config file is generation 1.
+i=0
+until curl -fsS "http://$ADDR/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ $i -gt 50 ]; then
+        echo "seerd never came up; log:" >&2
+        cat "$WORK/seerd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+wait_debug '"generation": 1'
+curl -fsS "http://$ADDR/debug/config" | grep -A1 '"key": "admit-plan-inflight"' \
+    | grep -q '"value": "8"' || {
+    echo "startup config did not apply admit-plan-inflight 8" >&2
+    exit 1
+}
+
+# Hot reload: tighten the admission limit and raise the log level.
+# SIGHUP forces an immediate re-check instead of waiting out the poll.
+printf 'admit-plan-inflight 2\nlog-level debug\n' > "$CONF"
+kill -HUP $PID
+wait_debug '"generation": 2'
+curl -fsS "http://$ADDR/debug/config" | grep -A1 '"key": "admit-plan-inflight"' \
+    | grep -q '"value": "2"' || {
+    echo "reload did not apply admit-plan-inflight 2" >&2
+    exit 1
+}
+
+# A structural edit (listen address) must be rejected: the error shows
+# up in last_reload, the generation does not move, and serving goes on.
+printf 'admit-plan-inflight 2\nlisten 127.0.0.1:9\n' > "$CONF"
+kill -HUP $PID
+wait_debug '"ok": false'
+curl -fsS "http://$ADDR/debug/config" > "$WORK/debug.json"
+status=0
+grep -q '"generation": 2' "$WORK/debug.json" || {
+    echo "generation moved on a rejected reload" >&2
+    status=1
+}
+grep -q 'structural' "$WORK/debug.json" || {
+    echo "rejection reason missing from last_reload" >&2
+    status=1
+}
+curl -fsS "http://$ADDR/plan" > /dev/null || {
+    echo "/plan stopped serving after a rejected reload" >&2
+    status=1
+}
+
+# Both outcomes are counted, and the daemon never restarted a stage.
+curl -fsS "http://$ADDR/metrics" > "$WORK/metrics.txt"
+grep -q 'seer_config_reloads_total{result="applied"} 1' "$WORK/metrics.txt" || {
+    echo "applied reload not counted" >&2
+    status=1
+}
+grep -q 'seer_config_reloads_total{result="rejected"} 1' "$WORK/metrics.txt" || {
+    echo "rejected reload not counted" >&2
+    status=1
+}
+grep -q '^seer_config_generation 2' "$WORK/metrics.txt" || {
+    echo "seer_config_generation != 2" >&2
+    status=1
+}
+if grep '^seer_stage_restarts_total' "$WORK/metrics.txt" | grep -qv ' 0$'; then
+    echo "stage restarted during reloads" >&2
+    status=1
+fi
+
+if [ $status -ne 0 ]; then
+    echo "--- /debug/config ---" >&2
+    cat "$WORK/debug.json" >&2
+    echo "--- /metrics ---" >&2
+    cat "$WORK/metrics.txt" >&2
+    echo "--- seerd.log ---" >&2
+    cat "$WORK/seerd.log" >&2
+    exit $status
+fi
+echo "reload smoke: hot reload applied, structural reload rejected, zero restarts"
