@@ -14,7 +14,7 @@ GO ?= go
 BENCH_TOLERANCE ?= 0.15
 BENCH_ALLOC_TOLERANCE ?= 0.15
 BENCH_TIME ?= 5x
-BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$
+BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$|BenchmarkClusterIncremental20k$$|BenchmarkClusterIncremental200k$$|BenchmarkClusterIncremental1M$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
 .PHONY: check vet build test test-race fuzz fuzz-strace chaos rumor-chaos metrics-smoke reload-smoke bench bench-check

@@ -102,6 +102,77 @@ func benchCluster(b *testing.B, n int) {
 	}
 }
 
+// BenchmarkClusterIncremental20k measures folding a 16-file churn into
+// a cached 20 000-file clustering with cluster.Patch instead of
+// rebuilding — the hoard-time cost once the daemon is warm. The paper
+// reclustered from scratch (~2 CPU minutes in 1997); the incremental
+// path makes the steady-state update proportional to the churn, not
+// the table.
+func BenchmarkClusterIncremental20k(b *testing.B) {
+	benchClusterIncremental(b, 20000)
+}
+
+// BenchmarkClusterIncremental200k is the same churn against a 10×
+// larger table: patch time should stay flat while full-rebuild time
+// grows with the table.
+func BenchmarkClusterIncremental200k(b *testing.B) {
+	benchClusterIncremental(b, 200000)
+}
+
+// BenchmarkClusterIncremental1M pushes the table to a million interned
+// files — far past anything the paper's hardware could recluster — to
+// pin the claim that patch cost depends on churn size only.
+func BenchmarkClusterIncremental1M(b *testing.B) {
+	benchClusterIncremental(b, 1000000)
+}
+
+func benchClusterIncremental(b *testing.B, n int) {
+	p := config.Defaults()
+	tbl := semdist.NewTable(p, stats.NewRand(1))
+	rng := stats.NewRand(2)
+	for f := 0; f < n; f++ {
+		proj := f / 50
+		for k := 0; k < p.NeighborTableSize; k++ {
+			nb := proj*50 + rng.Intn(50)
+			if nb == f {
+				continue
+			}
+			tbl.Observe(simfs.FileID(f+1), simfs.FileID(nb+1), float64(rng.Intn(10)), false)
+		}
+	}
+	opts := cluster.Options{Incremental: true}
+	kn, kf := float64(p.KNear), float64(p.KFar)
+	res := cluster.Build(tbl, opts, kn, kf)
+	if len(res.Clusters) == 0 {
+		b.Fatal("no clusters")
+	}
+	tbl.TakeChanged(nil) // drain the construction-time journal
+
+	// Each iteration churns 16 files spread over 4 projects: new strong
+	// observations move their neighbor lists, alternating between two
+	// targets so every round really changes list contents. The changed
+	// set comes from the table's own journal, exactly as the correlator
+	// drains it.
+	projStride := n / 50 / 4
+	var changed []simfs.FileID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 16; k++ {
+			base := (k % 4) * projStride * 50
+			f := simfs.FileID(base + k/4 + 1)
+			nb := simfs.FileID(base + 45 + (i+k)%2 + 1)
+			tbl.Observe(f, nb, 0, false)
+		}
+		changed = tbl.TakeChanged(changed[:0])
+		if !cluster.Patch(res, tbl, changed, opts, kn, kf) {
+			b.Fatal("patch refused")
+		}
+	}
+	if len(res.Clusters) == 0 {
+		b.Fatal("no clusters after patching")
+	}
+}
+
 // BenchmarkHoardPlan measures plan construction (clustering + ranking)
 // over a replayed machine state.
 func BenchmarkHoardPlan(b *testing.B) {

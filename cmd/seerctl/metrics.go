@@ -86,6 +86,17 @@ func printMetrics(w io.Writer, base string) error {
 		row("clusterings", fmt.Sprintf("%.0f (avg %.1f ms, cache %.0f/%.0f)",
 			n, sum/n*1000, hits, hits+misses))
 	}
+	if total, ok := sumFamily("seer_cluster_rebuilds_total"); ok {
+		full := vals[`seer_cluster_rebuilds_total{kind="full"}`]
+		inc := vals[`seer_cluster_rebuilds_total{kind="incremental"}`]
+		fallbacks, _ := get("seer_cluster_churn_fallbacks_total")
+		row("cluster rebuilds", fmt.Sprintf("%.0f (%.0f full, %.0f patched, %.0f fallbacks)",
+			total, full, inc, fallbacks))
+	}
+	if n, ok := get("seer_cluster_patch_size_files_count"); ok && n > 0 {
+		sum, _ := get("seer_cluster_patch_size_files_sum")
+		row("patch size", fmt.Sprintf("avg %.1f files over %.0f patches", sum/n, n))
+	}
 	if restarts, ok := sumFamily("seer_stage_restarts_total"); ok {
 		row("stage restarts", fmt.Sprintf("%.0f", restarts))
 	}

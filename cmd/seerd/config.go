@@ -83,15 +83,13 @@ func (p *pipeline) propagate(old, next config.Runtime) {
 	}
 }
 
-// paramsChanged reports whether any paper Param differs between old and
-// next.
+// paramsChanged reports whether any correlator Param differs between
+// old and next. Compared structurally rather than via ParamNames() so
+// knobs outside the paper's named table (the cluster churn threshold)
+// propagate too; SetParams itself decides which differences actually
+// invalidate the cluster cache.
 func paramsChanged(old, next config.Runtime) bool {
-	for _, n := range config.ParamNames() {
-		if config.ParamValue(old.Params, n) != config.ParamValue(next.Params, n) {
-			return true
-		}
-	}
-	return false
+	return old.Params != next.Params
 }
 
 // applyLimits pushes rt's admission section into the endpoint limiters.

@@ -489,7 +489,8 @@ var activePipeline atomic.Pointer[pipeline]
 var publishOnce sync.Once
 
 // publishVarsOnce registers the daemon's expvar counters: events fed,
-// plans built, cluster-cache hits/misses, last clustering duration,
+// plans built, cluster-cache hits/misses, rebuild kinds (full vs
+// incremental patch, plus churn fallbacks), last clustering duration,
 // queue depth/drops, stage restarts, and health state.
 func publishVarsOnce() {
 	publishOnce.Do(func() {
@@ -519,6 +520,20 @@ func publishVarsOnce() {
 			defer p.d.unlock()
 			hits, misses := p.d.corr.CacheStats()
 			return map[string]uint64{"hits": hits, "misses": misses}
+		}))
+		expvar.Publish("seer.cluster_rebuilds", expvar.Func(func() any {
+			p := pget()
+			if p == nil {
+				return nil
+			}
+			p.d.lock()
+			defer p.d.unlock()
+			full, inc, fallbacks := p.d.corr.RebuildStats()
+			return map[string]uint64{
+				"full":            full,
+				"incremental":     inc,
+				"churn_fallbacks": fallbacks,
+			}
 		}))
 		expvar.Publish("seer.last_cluster_ms", expvar.Func(func() any {
 			p := pget()

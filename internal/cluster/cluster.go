@@ -85,10 +85,20 @@ type Options struct {
 	Ctx context.Context
 	// OnPhase, when non-nil, receives the wall time of each completed
 	// Build phase ("pairs" for pair generation, "assign" for the
-	// two-phase assignment) — the hook telemetry hangs latency
-	// histograms on without the cluster package knowing about metrics.
-	// It is called from the goroutine running Build, never concurrently.
+	// two-phase assignment, "patch" for an incremental Patch) — the hook
+	// telemetry hangs latency histograms on without the cluster package
+	// knowing about metrics. It is called from the goroutine running
+	// Build or Patch, never concurrently.
 	OnPhase func(phase string, d time.Duration)
+	// Incremental makes Build retain the edge/union-find state that
+	// Patch needs to update the Result in place later. It costs extra
+	// memory proportional to the neighbor-list volume; plain one-shot
+	// builds should leave it off.
+	Incremental bool
+	// MaxPatch bounds the number of files a single Patch may re-read
+	// after reverse-edge expansion; past it Patch refuses (returns
+	// false) so the caller falls back to a full Build. 0 means no bound.
+	MaxPatch int
 }
 
 // doneOf extracts the cancellation channel (nil when no context is
@@ -135,6 +145,13 @@ type Result struct {
 	// in maps member FileIDs to dense indices into byIdx.
 	in    *simfs.Interner
 	byIdx [][]int
+	// byIdxStale marks the inverted index as outdated after a Patch
+	// rewrote the cluster list; ClustersOf rebuilds it on demand so a
+	// run of pure patches never pays for inversions nobody reads.
+	byIdxStale bool
+	// inc is the retained incremental state (nil unless the Result was
+	// built with Options.Incremental).
+	inc *incState
 }
 
 // ClustersOf returns the IDs of the clusters containing f (indexes into
@@ -143,11 +160,48 @@ func (r *Result) ClustersOf(f simfs.FileID) []int {
 	if r.in == nil {
 		return nil
 	}
+	if r.byIdxStale {
+		r.buildByIdx()
+	}
 	i, ok := r.in.Lookup(f)
 	if !ok {
 		return nil
 	}
+	if int(i) >= len(r.byIdx) {
+		return nil
+	}
 	return r.byIdx[i]
+}
+
+// buildByIdx inverts membership into one backing array: count, carve
+// spans, fill. Appends stay within each span's capacity, so the whole
+// index costs two allocations.
+func (r *Result) buildByIdx() {
+	n := r.in.Len()
+	memberCounts := make([]int32, n)
+	totalMembers := 0
+	for i := range r.Clusters {
+		totalMembers += len(r.Clusters[i].Members)
+		for _, m := range r.Clusters[i].Members {
+			mi, _ := r.in.Lookup(m)
+			memberCounts[mi]++
+		}
+	}
+	backing := make([]int, totalMembers)
+	r.byIdx = make([][]int, n)
+	pos := 0
+	for v := 0; v < n; v++ {
+		c := int(memberCounts[v])
+		r.byIdx[v] = backing[pos : pos : pos+c]
+		pos += c
+	}
+	for i := range r.Clusters {
+		for _, m := range r.Clusters[i].Members {
+			mi, _ := r.in.Lookup(m)
+			r.byIdx[mi] = append(r.byIdx[mi], i)
+		}
+	}
+	r.byIdxStale = false
 }
 
 // densePair is a scored pair over dense indices.
@@ -404,7 +458,7 @@ func Run(files []simfs.FileID, pairs []Pair, kn, kf float64) *Result {
 	for i, p := range pairs {
 		dense[i] = densePair{from: in.Intern(p.From), to: in.Intern(p.To), shared: p.Shared}
 	}
-	return runDense(in, dense, kn, kf, nil)
+	return runDense(in, dense, kn, kf, nil, nil)
 }
 
 // Build is the full pipeline: generate pairs from the neighbor source
@@ -426,8 +480,13 @@ func Build(src NeighborSource, opts Options, kn, kf float64) *Result {
 	if canceled(done) {
 		return nil
 	}
+	var inc *incState
+	if opts.Incremental {
+		// Built after buildDense so ExtraPairs endpoints are interned.
+		inc = newIncState(d, opts.ExtraPairs, kn, kf)
+	}
 	start = time.Now()
-	res := runDense(d.in, pairs, kn, kf, done)
+	res := runDense(d.in, pairs, kn, kf, done, inc)
 	if opts.OnPhase != nil && res != nil {
 		opts.OnPhase("assign", time.Since(start))
 	}
@@ -436,8 +495,10 @@ func Build(src NeighborSource, opts Options, kn, kf float64) *Result {
 
 // runDense is the two-phase algorithm over interned pairs. Every id in
 // the interner becomes a cluster member (singletons included). A close
-// of done aborts between phases with a nil result.
-func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64, done <-chan struct{}) *Result {
+// of done aborts between phases with a nil result. A non-nil inc
+// additionally captures the union-find, per-root member buckets, and
+// per-root materialized contents that Patch later edits in place.
+func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64, done <-chan struct{}, inc *incState) *Result {
 	n := in.Len()
 	uf := newUnionFind(n)
 	// Phase 1: combine clusters for strongly related pairs.
@@ -490,11 +551,20 @@ func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64, done <-chan
 		fillPos[r]++
 	}
 	res := &Result{in: in}
-	// Mutual overlap can make two clusters' member sets identical; keep
-	// only one of each distinct set. The dedup key is a cheap (length,
-	// first, last, xor-hash) pre-filter; only colliding sets are compared
-	// element-wise, so no per-cluster byte signature is ever built.
-	seen := make(map[sigKey][]int)
+	// Materialize one member list per root, then sort lexicographically
+	// and drop adjacent duplicates: mutual overlap can make two roots'
+	// member sets identical, and only one of each distinct set survives.
+	// (The full member lists are the sort key — overlap can give two
+	// clusters the same first member, and sorting on it alone would let
+	// iteration order leak into cluster IDs and from there into hoard
+	// plans.) When inc is set, the duplicates are refcounted instead of
+	// forgotten so Patch can tell "one of two twin roots dissolved" from
+	// "the cluster is gone".
+	type mat struct {
+		root    int32
+		members []simfs.FileID
+	}
+	mats := make([]mat, 0, 64)
 	for r := int32(0); r < int32(n); r++ {
 		if done != nil && r%canceledEvery == 0 && canceled(done) {
 			return nil
@@ -512,53 +582,43 @@ func runDense(in *simfs.Interner, pairs []densePair, kn, kf float64, done <-chan
 		}
 		slices.Sort(members)
 		members = slices.Compact(members)
-		key := sigOf(members)
-		dup := false
-		for _, ci := range seen[key] {
-			if slices.Equal(res.Clusters[ci].Members, members) {
-				dup = true
-				break
+		mats = append(mats, mat{root: r, members: members})
+	}
+	sort.Slice(mats, func(i, j int) bool {
+		return lessMembers(mats[i].members, mats[j].members)
+	})
+	res.Clusters = make([]Cluster, 0, len(mats))
+	var refs []int32
+	for i := range mats {
+		if i > 0 && slices.Equal(mats[i].members, mats[i-1].members) {
+			if inc != nil {
+				refs[len(refs)-1]++
+				// Twin roots share one backing so removal capture always
+				// hands Patch the canonical slice.
+				inc.content[mats[i].root] = res.Clusters[len(res.Clusters)-1].Members
 			}
-		}
-		if dup {
 			continue
 		}
-		seen[key] = append(seen[key], len(res.Clusters))
-		res.Clusters = append(res.Clusters, Cluster{Members: members})
-	}
-	// Deterministic order: lexicographic over the full member lists.
-	// Overlap can give two clusters the same first member, and sorting
-	// on it alone would let iteration order leak into cluster IDs (and
-	// from there into hoard plans).
-	sort.Slice(res.Clusters, func(i, j int) bool {
-		return lessMembers(res.Clusters[i].Members, res.Clusters[j].Members)
-	})
-	// Invert membership into one backing array: count, carve spans,
-	// fill. Appends stay within each span's capacity, so the whole index
-	// costs two allocations.
-	memberCounts := make([]int32, n)
-	totalMembers := 0
-	for i := range res.Clusters {
-		totalMembers += len(res.Clusters[i].Members)
-		for _, m := range res.Clusters[i].Members {
-			mi, _ := in.Lookup(m)
-			memberCounts[mi]++
+		res.Clusters = append(res.Clusters, Cluster{ID: len(res.Clusters), Members: mats[i].members})
+		if inc != nil {
+			refs = append(refs, 1)
+			inc.content[mats[i].root] = mats[i].members
 		}
 	}
-	backing := make([]int, totalMembers)
-	res.byIdx = make([][]int, n)
-	pos := 0
-	for v := 0; v < n; v++ {
-		c := int(memberCounts[v])
-		res.byIdx[v] = backing[pos : pos : pos+c]
-		pos += c
-	}
-	for i := range res.Clusters {
-		res.Clusters[i].ID = i
-		for _, m := range res.Clusters[i].Members {
-			mi, _ := in.Lookup(m)
-			res.byIdx[mi] = append(res.byIdx[mi], i)
+	res.buildByIdx()
+	if inc != nil {
+		inc.uf = uf
+		inc.refs = refs
+		// Capped sub-slices of the shared core backing: a root's member
+		// bucket can be handed around without aliasing its neighbors'.
+		inc.members = make([][]int32, n)
+		for r := int32(0); r < int32(n); r++ {
+			if c := counts[r]; c > 0 {
+				lo := starts[r]
+				inc.members[r] = core[lo : lo+c : lo+c]
+			}
 		}
+		res.inc = inc
 	}
 	return res
 }
@@ -571,30 +631,6 @@ func lessMembers(a, b []simfs.FileID) bool {
 		}
 	}
 	return len(a) < len(b)
-}
-
-// sigKey is the cheap pre-filter key identifying a member set; distinct
-// sets can collide (rarely), so collisions fall back to element-wise
-// comparison.
-type sigKey struct {
-	n           int
-	first, last simfs.FileID
-	xor         uint32
-}
-
-func sigOf(members []simfs.FileID) sigKey {
-	k := sigKey{n: len(members)}
-	if len(members) == 0 {
-		return k
-	}
-	k.first = members[0]
-	k.last = members[len(members)-1]
-	for _, m := range members {
-		// Multiply-mix before xor so shared prefixes/suffixes of
-		// different sets do not cancel to equal hashes too easily.
-		k.xor ^= uint32(m) * 0x9e3779b1
-	}
-	return k
 }
 
 // unionFind is a standard disjoint-set forest over dense indices with
@@ -634,4 +670,12 @@ func (u *unionFind) union(a, b int32) {
 	}
 	u.parent[rb] = ra
 	u.size[ra] += u.size[rb]
+}
+
+// grow extends the forest to n elements, each new one its own root.
+func (u *unionFind) grow(n int) {
+	for i := len(u.parent); i < n; i++ {
+		u.parent = append(u.parent, int32(i))
+		u.size = append(u.size, 1)
+	}
 }

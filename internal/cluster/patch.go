@@ -1,0 +1,718 @@
+// Incremental maintenance of a cluster Result (ISSUE 7). A full Build
+// over n files pays O(n·k²) even when a single neighbor list moved;
+// Patch instead re-scores only the directed pairs incident to the
+// changed files, replays phase 1 locally where a strong edge vanished,
+// and splices the re-materialized clusters into the sorted cluster
+// array. Steady-state plan updates become O(changed edges), with the
+// full rebuild kept as the fallback for large churn.
+package cluster
+
+import (
+	"slices"
+	"sort"
+	"time"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// MembershipSource extends NeighborSource with a presence test. The
+// incremental path needs it to distinguish "the file left Files()"
+// (its pairs die) from "the file's list emptied" (the file remains a
+// singleton); a full build sees the difference implicitly by walking
+// Files(), which a patch never does.
+type MembershipSource interface {
+	NeighborSource
+	Has(id simfs.FileID) bool
+}
+
+// incExtra is one investigator-reported pair over dense indices with
+// its base (relation-strength) share.
+type incExtra struct {
+	from, to int32
+	base     float64
+}
+
+// incState is the machinery Build retains behind a Result when
+// Options.Incremental is set: enough of the edge structure to re-score
+// any pair, plus the live union-find and per-root bookkeeping, so Patch
+// can edit the Result without touching unchanged components.
+//
+// Invariants between patches, for every dense id v:
+//   - sorted[v] is v's current neighbor list, ascending, multiplicity
+//     kept (sharedSorted over two of these matches the counter used by
+//     the full build exactly);
+//   - rev[v] holds the distinct ids whose neighbor list names v;
+//   - v is "alive" iff present[v] (v ∈ src.Files()), rev[v] is
+//     non-empty, or an investigator relation pins it — exactly the ids
+//     a fresh build would intern. Dead ids are singleton roots with nil
+//     content and materialize nothing;
+//   - every union-find root r has a non-nil members[r] bucket, and
+//     content[r] is its materialized cluster (nil while invalidated or
+//     when r is a dead singleton);
+//   - refs[i] counts the roots whose member set equals
+//     Result.Clusters[i].Members (mutual overlap makes twins).
+type incState struct {
+	kn, kf  float64
+	present []bool
+	sorted  [][]int32
+	rev     [][]int32
+	isExtra []bool
+	extras  []incExtra
+	// extraByV indexes extras by endpoint (dense id → extras indices).
+	extraByV map[int32][]int32
+	uf       *unionFind
+	members  [][]int32
+	content  [][]simfs.FileID
+	refs     []int32
+	// vmark/vgen implement O(1)-reset membership marks over dense ids.
+	vmark []uint32
+	vgen  uint32
+}
+
+// newIncState snapshots the interned edge structure. It runs after
+// buildDense so ExtraPairs endpoints are already interned; runDense
+// fills uf, members, content, and refs.
+func newIncState(d *denseLists, extraPairs []Pair, kn, kf float64) *incState {
+	n := d.in.Len()
+	inc := &incState{
+		kn:       kn,
+		kf:       kf,
+		present:  make([]bool, n),
+		sorted:   make([][]int32, n),
+		rev:      make([][]int32, n),
+		isExtra:  make([]bool, n),
+		extraByV: make(map[int32][]int32),
+		content:  make([][]simfs.FileID, n),
+		vmark:    make([]uint32, n),
+	}
+	for i := range d.files {
+		inc.present[i] = true
+		inc.sorted[i] = d.sorted[i]
+	}
+	// Reverse index over distinct neighbors: count, carve spans of one
+	// backing array, fill.
+	cnt := make([]int32, n)
+	for i := range d.files {
+		var last int32 = -1
+		for _, b := range d.sorted[i] {
+			if b == last {
+				continue
+			}
+			last = b
+			cnt[b]++
+		}
+	}
+	total := 0
+	for _, c := range cnt {
+		total += int(c)
+	}
+	backing := make([]int32, total)
+	pos := 0
+	for v := 0; v < n; v++ {
+		c := int(cnt[v])
+		inc.rev[v] = backing[pos : pos : pos+c]
+		pos += c
+	}
+	for i := range d.files {
+		var last int32 = -1
+		for _, b := range d.sorted[i] {
+			if b == last {
+				continue
+			}
+			last = b
+			inc.rev[b] = append(inc.rev[b], int32(i))
+		}
+	}
+	for _, ep := range extraPairs {
+		fi := d.in.Intern(ep.From)
+		ti := d.in.Intern(ep.To)
+		ei := int32(len(inc.extras))
+		inc.extras = append(inc.extras, incExtra{from: fi, to: ti, base: ep.Shared})
+		inc.isExtra[fi] = true
+		inc.isExtra[ti] = true
+		inc.extraByV[fi] = append(inc.extraByV[fi], ei)
+		if ti != fi {
+			inc.extraByV[ti] = append(inc.extraByV[ti], ei)
+		}
+	}
+	return inc
+}
+
+// grow extends every per-id array to n ids. New ids start absent, with
+// empty lists, as their own singleton roots.
+func (inc *incState) grow(n int) {
+	if inc.uf != nil {
+		inc.uf.grow(n)
+	}
+	for v := len(inc.present); v < n; v++ {
+		inc.present = append(inc.present, false)
+		inc.sorted = append(inc.sorted, nil)
+		inc.rev = append(inc.rev, nil)
+		inc.isExtra = append(inc.isExtra, false)
+		inc.content = append(inc.content, nil)
+		inc.vmark = append(inc.vmark, 0)
+		inc.members = append(inc.members, []int32{int32(v)})
+	}
+}
+
+// Patch applies the neighbor-list changes of the given files to prev in
+// place and reports whether it succeeded; on false the caller must
+// discard prev and run a full Build (prev may have been partially
+// mutated). prev must come from Build with Options.Incremental, src
+// must implement MembershipSource, and kn/kf and the Adjust/ExtraPairs
+// configuration must be unchanged since that build — callers invalidate
+// wholesale (full rebuild) when relations or adjustment inputs move, so
+// Patch only ever sees neighbor-list and presence churn.
+//
+// The patched Result is byte-identical to what a full Build over the
+// same source would produce, member lists, cluster order, and IDs
+// included. Cancellation via opts.Ctx is honored only on entry: a
+// patch is microseconds of straight-line work, so once it starts it
+// runs to completion rather than risking a half-mutated Result.
+func Patch(prev *Result, src NeighborSource, changed []simfs.FileID, opts Options, kn, kf float64) bool {
+	if prev == nil || prev.inc == nil || prev.in == nil {
+		return false
+	}
+	inc := prev.inc
+	if inc.kn != kn || inc.kf != kf {
+		return false
+	}
+	ms, ok := src.(MembershipSource)
+	if !ok {
+		return false
+	}
+	if canceled(doneOf(opts.Ctx)) {
+		return false
+	}
+	if len(changed) == 0 {
+		return true
+	}
+	start := time.Now()
+	in := prev.in
+	adj := opts.Adjust
+	// score mirrors the full build's arithmetic exactly, float operation
+	// order included, so classification cannot drift between the paths.
+	score := func(a, b int32) float64 {
+		s := sharedSorted(inc.sorted[a], inc.sorted[b])
+		if adj != nil {
+			s += adj(in.ID(a), in.ID(b))
+		}
+		return s
+	}
+	exScore := func(e incExtra) float64 {
+		s := e.base
+		s += sharedSorted(inc.sorted[e.from], inc.sorted[e.to])
+		if adj != nil {
+			s += adj(in.ID(e.from), in.ID(e.to))
+		}
+		return s
+	}
+	alive := func(v int32) bool {
+		return inc.present[v] || len(inc.rev[v]) > 0 || inc.isExtra[v]
+	}
+
+	// R: the distinct changed ids, interned.
+	rlist := make([]int32, 0, len(changed))
+	inR := make(map[int32]bool, len(changed))
+	addR := func(v int32) {
+		if !inR[v] {
+			inR[v] = true
+			rlist = append(rlist, v)
+		}
+	}
+	for _, f := range changed {
+		addR(in.Intern(f))
+	}
+	inc.grow(in.Len())
+	// A forgotten file is scrubbed from every list that names it — even
+	// a neighbor-only id that never had a list of its own — which shifts
+	// the shared counts of pairs AMONG those listing files: second-order
+	// damage the journal does not record. Pull the reverse neighborhood
+	// of every absent changed id into R so those lists are re-read and
+	// their pairs re-scored. (Listing files have lists, hence presence,
+	// so the expansion never cascades; at worst a spuriously journaled
+	// absent id re-reads lists that turn out unchanged.)
+	for i := 0; i < len(rlist); i++ {
+		v := rlist[i]
+		if !ms.Has(in.ID(v)) && len(inc.rev[v]) > 0 {
+			for _, x := range inc.rev[v] {
+				addR(x)
+			}
+		}
+	}
+	if opts.MaxPatch > 0 && len(rlist) > opts.MaxPatch {
+		return false
+	}
+
+	// Old-side scores, all taken before any list swap: the out-pairs of
+	// R (keyed for matching against the new side), the in-pairs (x, v)
+	// from unchanged files x whose lists name a changed id (their pair
+	// set cannot change, only its scores), and investigator extras
+	// incident to R.
+	oldOut := make(map[[2]int32]float64)
+	for _, v := range rlist {
+		var last int32 = -1
+		for _, b := range inc.sorted[v] {
+			if b == last {
+				continue
+			}
+			last = b
+			oldOut[[2]int32{v, b}] = score(v, b)
+		}
+	}
+	type inPair struct {
+		x, v int32
+		sOld float64
+	}
+	var inPairs []inPair
+	for _, v := range rlist {
+		for _, x := range inc.rev[v] {
+			if inR[x] {
+				continue
+			}
+			inPairs = append(inPairs, inPair{x: x, v: v, sOld: score(x, v)})
+		}
+	}
+	type exPair struct {
+		ei   int32
+		sOld float64
+	}
+	var exPairs []exPair
+	seenEx := make(map[int32]bool)
+	for _, v := range rlist {
+		for _, ei := range inc.extraByV[v] {
+			if seenEx[ei] {
+				continue
+			}
+			seenEx[ei] = true
+			exPairs = append(exPairs, exPair{ei: ei, sOld: exScore(inc.extras[ei])})
+		}
+	}
+
+	// Swap in the new lists, maintaining the reverse index. Alive status
+	// is snapshotted lazily the first time an id is touched and
+	// re-checked after the swap; a flip either way re-seeds the id's
+	// component (a fresh build would intern a newly alive id and skip a
+	// dead one entirely).
+	oldAlive := make(map[int32]bool)
+	snap := func(v int32) {
+		if _, ok := oldAlive[v]; !ok {
+			oldAlive[v] = alive(v)
+		}
+	}
+	revRemove := func(b, v int32) {
+		rv := inc.rev[b]
+		for i, x := range rv {
+			if x == v {
+				rv[i] = rv[len(rv)-1]
+				inc.rev[b] = rv[:len(rv)-1]
+				return
+			}
+		}
+	}
+	var buf []simfs.FileID
+	as, isAppend := src.(AppendSource)
+	for _, v := range rlist {
+		snap(v)
+		id := in.ID(v)
+		has := ms.Has(id)
+		var nl []int32
+		if has {
+			buf = buf[:0]
+			if isAppend {
+				buf = as.AppendNeighbors(id, buf)
+			} else {
+				buf = append(buf, src.Neighbors(id)...)
+			}
+			if len(buf) > 0 {
+				nl = make([]int32, len(buf))
+				for i, nb := range buf {
+					nl[i] = in.Intern(nb)
+				}
+				inc.grow(in.Len())
+				slices.Sort(nl)
+			}
+		}
+		// Linear diff of the distinct ids in old vs new list.
+		old := inc.sorted[v]
+		i, j := 0, 0
+		for i < len(old) || j < len(nl) {
+			switch {
+			case j >= len(nl) || (i < len(old) && old[i] < nl[j]):
+				b := old[i]
+				for i < len(old) && old[i] == b {
+					i++
+				}
+				snap(b)
+				revRemove(b, v)
+			case i >= len(old) || nl[j] < old[i]:
+				b := nl[j]
+				for j < len(nl) && nl[j] == b {
+					j++
+				}
+				snap(b)
+				inc.rev[b] = append(inc.rev[b], v)
+			default:
+				b := old[i]
+				for i < len(old) && old[i] == b {
+					i++
+				}
+				for j < len(nl) && nl[j] == b {
+					j++
+				}
+			}
+		}
+		inc.sorted[v] = nl
+		inc.present[v] = has
+	}
+
+	// New-side scores and classification. Union-find queries here run
+	// against the pre-patch forest: old roots identify the components to
+	// re-run and the contents to retire.
+	const (
+		clsNone = iota
+		clsWeak
+		clsStrong
+	)
+	classify := func(s float64) int {
+		switch {
+		case s >= kn:
+			return clsStrong
+		case s >= kf:
+			return clsWeak
+		default:
+			return clsNone
+		}
+	}
+	var dirtyRoots []int32
+	dirtySet := make(map[int32]bool)
+	addDirty := func(v int32) {
+		r := inc.uf.find(v)
+		if !dirtySet[r] {
+			dirtySet[r] = true
+			dirtyRoots = append(dirtyRoots, r)
+		}
+	}
+	// removed accumulates every cluster content retired this patch;
+	// additions are collected during re-materialization. The two edit
+	// lists meet in the refcounted splice at the end.
+	var removed [][]simfs.FileID
+	oSet := make(map[int32]bool)
+	invalidate := func(v int32) {
+		r := inc.uf.find(v)
+		if oSet[r] {
+			return
+		}
+		oSet[r] = true
+		if inc.content[r] != nil {
+			removed = append(removed, inc.content[r])
+			inc.content[r] = nil
+		}
+	}
+	var eplus [][2]int32
+	var seeds []int32
+	handle := func(from, to int32, oldP, newP bool, sOld, sNew float64) {
+		co, cn := clsNone, clsNone
+		if oldP {
+			co = classify(sOld)
+		}
+		if newP {
+			cn = classify(sNew)
+		}
+		if co == cn {
+			return
+		}
+		if co == clsStrong {
+			// A strong edge vanished: the old component may split, so it
+			// is re-run from scratch (both endpoints share the old root).
+			addDirty(from)
+		}
+		if cn == clsStrong {
+			eplus = append(eplus, [2]int32{from, to})
+			seeds = append(seeds, from, to)
+		}
+		if co == clsWeak || cn == clsWeak {
+			// A cross-inserted (overlap) membership appeared or vanished:
+			// both endpoints' clusters change content with no union-find
+			// motion.
+			invalidate(from)
+			invalidate(to)
+			seeds = append(seeds, from, to)
+		}
+	}
+	for _, v := range rlist {
+		var last int32 = -1
+		for _, b := range inc.sorted[v] {
+			if b == last {
+				continue
+			}
+			last = b
+			key := [2]int32{v, b}
+			sOld, oldP := oldOut[key]
+			delete(oldOut, key)
+			handle(v, b, oldP, true, sOld, score(v, b))
+		}
+	}
+	for key, sOld := range oldOut {
+		// Old out-pairs with no new counterpart: the pair is gone.
+		handle(key[0], key[1], true, false, sOld, 0)
+	}
+	for _, p := range inPairs {
+		handle(p.x, p.v, true, true, p.sOld, score(p.x, p.v))
+	}
+	for _, p := range exPairs {
+		e := inc.extras[p.ei]
+		handle(e.from, e.to, true, true, p.sOld, exScore(e))
+	}
+	for v, was := range oldAlive {
+		if alive(v) == was {
+			continue
+		}
+		invalidate(v)
+		addDirty(v)
+		seeds = append(seeds, v)
+	}
+
+	// Localized re-run: dissolve the dirty components into singletons
+	// and replay their current strong edges — a full build's phase 1
+	// restricted to these vertices. Edges leaving a dirty component are
+	// either newly strong (they sit in eplus) or not strong at all, so
+	// the replay never needs to look outside V.
+	var V []int32
+	for _, r := range dirtyRoots {
+		invalidate(r)
+		V = append(V, inc.members[r]...)
+		inc.members[r] = nil
+	}
+	seeds = append(seeds, V...)
+	inc.vgen++
+	vg := inc.vgen
+	for _, v := range V {
+		inc.vmark[v] = vg
+	}
+	singles := make([]int32, len(V))
+	for i, v := range V {
+		inc.uf.parent[v] = v
+		inc.uf.size[v] = 1
+		singles[i] = v
+		inc.members[v] = singles[i : i+1 : i+1]
+	}
+	punion := func(a, b int32) {
+		ra, rb := inc.uf.find(a), inc.uf.find(b)
+		if ra == rb {
+			return
+		}
+		if inc.uf.size[ra] < inc.uf.size[rb] {
+			ra, rb = rb, ra
+		}
+		// Merging retires both sides' contents; the survivor
+		// re-materializes under the winning root.
+		for _, r := range [2]int32{ra, rb} {
+			if inc.content[r] != nil {
+				removed = append(removed, inc.content[r])
+				inc.content[r] = nil
+			}
+		}
+		inc.uf.parent[rb] = ra
+		inc.uf.size[ra] += inc.uf.size[rb]
+		inc.members[ra] = append(inc.members[ra], inc.members[rb]...)
+		inc.members[rb] = nil
+	}
+	for _, v := range V {
+		var last int32 = -1
+		for _, b := range inc.sorted[v] {
+			if b == last {
+				continue
+			}
+			last = b
+			if inc.vmark[b] != vg {
+				continue
+			}
+			if score(v, b) >= kn {
+				punion(v, b)
+			}
+		}
+		for _, ei := range inc.extraByV[v] {
+			e := inc.extras[ei]
+			o := e.from
+			if o == v {
+				o = e.to
+			}
+			if inc.vmark[o] != vg {
+				continue
+			}
+			if exScore(e) >= kn {
+				punion(e.from, e.to)
+			}
+		}
+	}
+	for _, e := range eplus {
+		punion(e[0], e[1])
+	}
+
+	// Re-materialize every component a seed landed in. A component whose
+	// content survived all invalidations is untouched; the rest rebuild
+	// their member list (core members plus weak overlaps from out-pairs,
+	// in-pairs, and extras) exactly as the full build's phase 2 would.
+	inc.vgen++
+	ag := inc.vgen
+	var ar []int32
+	for _, s := range seeds {
+		r := inc.uf.find(s)
+		if inc.vmark[r] != ag {
+			inc.vmark[r] = ag
+			ar = append(ar, r)
+		}
+	}
+	var added [][]simfs.FileID
+	for _, r := range ar {
+		if inc.content[r] != nil {
+			continue
+		}
+		mem := inc.members[r]
+		if len(mem) == 0 {
+			continue
+		}
+		if len(mem) == 1 && !alive(mem[0]) {
+			// Dead ids are not interned by a fresh build; no cluster.
+			continue
+		}
+		out := make([]simfs.FileID, 0, len(mem)+4)
+		for _, v := range mem {
+			out = append(out, in.ID(v))
+		}
+		for _, v := range mem {
+			var last int32 = -1
+			for _, b := range inc.sorted[v] {
+				if b == last {
+					continue
+				}
+				last = b
+				if inc.uf.find(b) == r {
+					continue
+				}
+				if s := score(v, b); s >= kf && s < kn {
+					out = append(out, in.ID(b))
+				}
+			}
+			for _, x := range inc.rev[v] {
+				if inc.uf.find(x) == r {
+					continue
+				}
+				if s := score(x, v); s >= kf && s < kn {
+					out = append(out, in.ID(x))
+				}
+			}
+			for _, ei := range inc.extraByV[v] {
+				e := inc.extras[ei]
+				if inc.uf.find(e.from) == inc.uf.find(e.to) {
+					continue
+				}
+				if s := exScore(e); s >= kf && s < kn {
+					if e.from == v {
+						out = append(out, in.ID(e.to))
+					} else {
+						out = append(out, in.ID(e.from))
+					}
+				}
+			}
+		}
+		slices.Sort(out)
+		out = slices.Compact(out)
+		inc.content[r] = out
+		added = append(added, out)
+	}
+
+	// Splice the edits into the sorted cluster array. Refcounts absorb
+	// twin-root churn; only a net structural change (a cluster appearing
+	// or disappearing) pays the O(clusters) rebuild and ID renumbering.
+	finish := func() bool {
+		if opts.OnPhase != nil {
+			opts.OnPhase("patch", time.Since(start))
+		}
+		return true
+	}
+	if len(removed) == 0 && len(added) == 0 {
+		return finish()
+	}
+	search := func(members []simfs.FileID) int {
+		lo, hi := 0, len(prev.Clusters)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if lessMembers(prev.Clusters[mid].Members, members) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(prev.Clusters) && slices.Equal(prev.Clusters[lo].Members, members) {
+			return lo
+		}
+		return -1
+	}
+	dels := 0
+	for _, m := range removed {
+		i := search(m)
+		if i < 0 || inc.refs[i] <= 0 {
+			return false
+		}
+		inc.refs[i]--
+		if inc.refs[i] == 0 {
+			dels++
+		}
+	}
+	var inserts [][]simfs.FileID
+	for _, m := range added {
+		if i := search(m); i >= 0 {
+			inc.refs[i]++
+			if inc.refs[i] == 1 {
+				dels--
+			}
+		} else {
+			inserts = append(inserts, m)
+		}
+	}
+	if dels == 0 && len(inserts) == 0 {
+		return finish()
+	}
+	sort.Slice(inserts, func(i, j int) bool {
+		return lessMembers(inserts[i], inserts[j])
+	})
+	newClusters := make([]Cluster, 0, len(prev.Clusters)+len(inserts)-dels)
+	newRefs := make([]int32, 0, len(prev.Clusters)+len(inserts)-dels)
+	oi, ii := 0, 0
+	for oi < len(prev.Clusters) || ii < len(inserts) {
+		takeIns := false
+		switch {
+		case oi >= len(prev.Clusters):
+			takeIns = true
+		case ii >= len(inserts):
+		default:
+			takeIns = lessMembers(inserts[ii], prev.Clusters[oi].Members)
+		}
+		if takeIns {
+			m := inserts[ii]
+			var rc int32
+			for ii < len(inserts) && slices.Equal(inserts[ii], m) {
+				rc++
+				ii++
+			}
+			newClusters = append(newClusters, Cluster{ID: len(newClusters), Members: m})
+			newRefs = append(newRefs, rc)
+		} else {
+			if inc.refs[oi] == 0 {
+				oi++
+				continue
+			}
+			c := prev.Clusters[oi]
+			c.ID = len(newClusters)
+			newClusters = append(newClusters, c)
+			newRefs = append(newRefs, inc.refs[oi])
+			oi++
+		}
+	}
+	prev.Clusters = newClusters
+	inc.refs = newRefs
+	prev.byIdxStale = true
+	return finish()
+}

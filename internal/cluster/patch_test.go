@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+
+	"github.com/fmg/seer/internal/simfs"
+)
+
+// mutSource is a mutable NeighborSource+MembershipSource for patch
+// tests, modeled on semdist.Table's semantics: per-file neighbor lists
+// with multiplicity, and permanently-forgotten files that are filtered
+// out of every list they still appear on (the lazy cleanForgotten
+// behaviour whose second-order effects the patch's reverse-index
+// expansion must cover).
+type mutSource struct {
+	lists map[simfs.FileID][]simfs.FileID
+	dead  map[simfs.FileID]bool
+}
+
+func newMutSource() *mutSource {
+	return &mutSource{
+		lists: make(map[simfs.FileID][]simfs.FileID),
+		dead:  make(map[simfs.FileID]bool),
+	}
+}
+
+func (s *mutSource) forget(id simfs.FileID) {
+	delete(s.lists, id)
+	s.dead[id] = true
+}
+
+func (s *mutSource) Files() []simfs.FileID {
+	out := make([]simfs.FileID, 0, len(s.lists))
+	for f := range s.lists {
+		out = append(out, f)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (s *mutSource) Neighbors(id simfs.FileID) []simfs.FileID {
+	var out []simfs.FileID
+	for _, nb := range s.lists[id] {
+		if !s.dead[nb] {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+func (s *mutSource) Has(id simfs.FileID) bool {
+	_, ok := s.lists[id]
+	return ok
+}
+
+// requireEqualResults fails unless the two results are byte-identical:
+// same clusters in the same order with the same IDs, and the same
+// membership index answers.
+func requireEqualResults(t *testing.T, got, want *Result, ids []simfs.FileID, ctx string) {
+	t.Helper()
+	if len(got.Clusters) != len(want.Clusters) {
+		t.Fatalf("%s: %d clusters, want %d\ngot:  %v\nwant: %v",
+			ctx, len(got.Clusters), len(want.Clusters), got.Clusters, want.Clusters)
+	}
+	for i := range want.Clusters {
+		if got.Clusters[i].ID != want.Clusters[i].ID ||
+			!slices.Equal(got.Clusters[i].Members, want.Clusters[i].Members) {
+			t.Fatalf("%s: cluster %d = %v, want %v", ctx, i, got.Clusters[i], want.Clusters[i])
+		}
+	}
+	for _, f := range ids {
+		g, w := got.ClustersOf(f), want.ClustersOf(f)
+		if len(g) == 0 && len(w) == 0 {
+			continue
+		}
+		if !slices.Equal(g, w) {
+			t.Fatalf("%s: ClustersOf(%d) = %v, want %v", ctx, f, g, w)
+		}
+	}
+}
+
+// runPatchSchedule drives one randomized mutation schedule: build once
+// incrementally, then patch through rounds of random add/remove/
+// re-weight/presence churn, comparing against a fresh full build after
+// every round.
+func runPatchSchedule(t *testing.T, seed int64, opts Options) {
+	rng := rand.New(rand.NewSource(seed))
+	const pool = 80
+	src := newMutSource()
+	randList := func() []simfs.FileID {
+		n := rng.Intn(7)
+		var l []simfs.FileID
+		for i := 0; i < n; i++ {
+			nb := simfs.FileID(1 + rng.Intn(pool))
+			if src.dead[nb] {
+				// Like semdist, a forgotten file never re-enters a list.
+				continue
+			}
+			// Duplicates model edge weight: multiplicity raises the
+			// shared count, so re-weighting is list mutation too.
+			reps := 1 + rng.Intn(2)
+			for r := 0; r < reps; r++ {
+				l = append(l, nb)
+			}
+		}
+		return l
+	}
+	for f := simfs.FileID(1); f <= 60; f++ {
+		src.lists[f] = randList()
+	}
+	const kn, kf = 4, 2
+
+	full := func() *Result {
+		o := opts
+		o.Incremental = false
+		return Build(src, o, kn, kf)
+	}
+	incOpts := opts
+	incOpts.Incremental = true
+	res := Build(src, incOpts, kn, kf)
+	allIDs := make([]simfs.FileID, pool+20)
+	for i := range allIDs {
+		allIDs[i] = simfs.FileID(i + 1)
+	}
+	requireEqualResults(t, res, full(), allIDs, "initial build")
+
+	for round := 0; round < 40; round++ {
+		churn := 1 + rng.Intn(5)
+		var changed []simfs.FileID
+		for c := 0; c < churn; c++ {
+			f := simfs.FileID(1 + rng.Intn(pool+10))
+			if src.dead[f] {
+				// Forgetting is permanent (FileIDs are never reused by a
+				// recreated path's table state); churn a live id instead.
+				continue
+			}
+			switch op := rng.Intn(10); {
+			case op < 5: // rewrite the list (add/remove/re-weight edges)
+				src.lists[f] = randList()
+			case op < 7: // forget the file outright
+				src.forget(f)
+			case op < 9: // (re)create with a fresh list
+				src.lists[f] = randList()
+			default: // empty the list but keep the file
+				src.lists[f] = nil
+			}
+			changed = append(changed, f)
+		}
+		if len(changed) == 0 {
+			continue
+		}
+		// Report some ids twice and some unchanged ones: the journal the
+		// correlator drains can over-report, and Patch must not care.
+		if rng.Intn(2) == 0 {
+			changed = append(changed, changed[0], simfs.FileID(1+rng.Intn(pool)))
+		}
+		ctx := fmt.Sprintf("seed %d round %d changed %v", seed, round, changed)
+		if !Patch(res, src, changed, incOpts, kn, kf) {
+			t.Fatalf("%s: Patch refused", ctx)
+		}
+		requireEqualResults(t, res, full(), allIDs, ctx)
+	}
+}
+
+func TestPatchMatchesFullBuild(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runPatchSchedule(t, seed, Options{Workers: 1})
+		})
+	}
+}
+
+func TestPatchMatchesFullBuildAdjusted(t *testing.T) {
+	// Directory-distance-like adjustment plus investigator extras: the
+	// adjusted score paths and the extra-pair bookkeeping must stay
+	// identical under patching too.
+	adjust := func(a, b simfs.FileID) float64 {
+		return float64((uint32(a)*31+uint32(b)*17)%5) - 2
+	}
+	extras := []Pair{
+		{From: 3, To: 91, Shared: 5},
+		{From: 12, To: 40, Shared: 2.5},
+		{From: 92, To: 93, Shared: 6},
+	}
+	for seed := int64(5); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runPatchSchedule(t, seed, Options{Workers: 1, Adjust: adjust, ExtraPairs: extras})
+		})
+	}
+}
+
+func TestPatchRefusals(t *testing.T) {
+	src := newMutSource()
+	for f := simfs.FileID(1); f <= 10; f++ {
+		src.lists[f] = []simfs.FileID{f%10 + 1, f%10 + 2}
+	}
+	const kn, kf = 4, 2
+	opts := Options{Workers: 1, Incremental: true}
+	res := Build(src, opts, kn, kf)
+
+	if Patch(res, src, nil, opts, kn, kf) != true {
+		t.Fatal("empty change set should be a trivial success")
+	}
+	if Patch(res, src, []simfs.FileID{1}, opts, kn+1, kf) {
+		t.Fatal("threshold mismatch must refuse")
+	}
+	// A source without a presence test cannot be patched against.
+	plain := struct{ NeighborSource }{src}
+	if Patch(res, plain, []simfs.FileID{1}, opts, kn, kf) {
+		t.Fatal("non-MembershipSource must refuse")
+	}
+	limited := opts
+	limited.MaxPatch = 2
+	if Patch(res, src, []simfs.FileID{1, 2, 3}, limited, kn, kf) {
+		t.Fatal("churn above MaxPatch must refuse")
+	}
+	// A result built without Incremental has nothing to patch.
+	bare := Build(src, Options{Workers: 1}, kn, kf)
+	if Patch(bare, src, []simfs.FileID{1}, opts, kn, kf) {
+		t.Fatal("non-incremental result must refuse")
+	}
+}
+
+func TestPatchSplitsAndMerges(t *testing.T) {
+	// Deterministic split/merge exercise: two chains share enough
+	// neighbors to fuse, then the bridge file's list is cut and the
+	// component must fall apart exactly as a full rebuild says.
+	src := newMutSource()
+	shared := []simfs.FileID{100, 101, 102, 103}
+	for f := simfs.FileID(1); f <= 8; f++ {
+		src.lists[f] = append([]simfs.FileID{}, shared...)
+	}
+	const kn, kf = 4, 2
+	opts := Options{Workers: 1, Incremental: true}
+	res := Build(src, opts, kn, kf)
+	if len(res.Clusters) == 0 {
+		t.Fatal("expected clusters")
+	}
+
+	// Split: file 4 loses the shared vocabulary.
+	src.lists[4] = []simfs.FileID{200, 201}
+	if !Patch(res, src, []simfs.FileID{4}, opts, kn, kf) {
+		t.Fatal("patch refused")
+	}
+	requireEqualResults(t, res, Build(src, Options{Workers: 1}, kn, kf),
+		src.Files(), "after split")
+
+	// Merge it back.
+	src.lists[4] = append([]simfs.FileID{}, shared...)
+	if !Patch(res, src, []simfs.FileID{4}, opts, kn, kf) {
+		t.Fatal("patch refused")
+	}
+	requireEqualResults(t, res, Build(src, Options{Workers: 1}, kn, kf),
+		src.Files(), "after merge")
+
+	sort.Slice(res.Clusters, func(i, j int) bool {
+		return res.Clusters[i].ID < res.Clusters[j].ID
+	})
+}

@@ -83,6 +83,14 @@ type Params struct {
 	// (Definition 2), 2 = temporal (Definition 1, seconds). The
 	// alternatives exist for the ablation that motivates Definition 3.
 	DistanceMode int
+	// ClusterChurnPct is the incremental-clustering churn threshold: when
+	// the files whose neighbor lists changed since the last clustering
+	// number at most this percentage of all tracked files, the correlator
+	// patches the previous cluster result in place instead of rebuilding
+	// it from scratch. 0 disables incremental clustering entirely (every
+	// change pays a full rebuild). Exposed as the hot-reloadable
+	// `cluster-churn-threshold` knob.
+	ClusterChurnPct int
 }
 
 // Defaults returns the parameter values from the paper where it states
@@ -106,6 +114,7 @@ func Defaults() Params {
 		HoardSize:             50 << 20,
 		AutoTempMinCreates:    25,
 		AutoTempRatio:         0.8,
+		ClusterChurnPct:       20,
 	}
 }
 
@@ -137,6 +146,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("config: AutoTempRatio %g outside (0,1]", p.AutoTempRatio)
 	case p.DistanceMode < 0 || p.DistanceMode > 2:
 		return fmt.Errorf("config: DistanceMode %d outside [0,2]", p.DistanceMode)
+	case p.ClusterChurnPct < 0 || p.ClusterChurnPct > 100:
+		return fmt.Errorf("config: ClusterChurnPct %d outside [0,100]", p.ClusterChurnPct)
 	}
 	return nil
 }

@@ -285,6 +285,9 @@ func buildKnobs() []Knob {
 	set, get = strKnob(func(r *Runtime) *string { return &r.Daemon.LogFormat })
 	add(spec{name: "log-format", usage: "log format: text (key=value) or json",
 		daemons: ForSeerd | ForRumord, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Params.ClusterChurnPct })
+	add(spec{name: "cluster-churn-threshold", usage: "incremental clustering churn threshold as a percent of tracked files; above it the correlator falls back to a full rebuild (0 = always rebuild)",
+		daemons: ForSeerd, set: set, get: get})
 
 	set, get = intKnob(func(r *Runtime) *int { return &r.Admit.PlanMaxInFlight })
 	add(spec{name: "admit-plan-inflight", usage: "max concurrent /plan,/hoard,/clusters requests (0 = unlimited)",

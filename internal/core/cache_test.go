@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"github.com/fmg/seer/internal/investigate"
 	"github.com/fmg/seer/internal/trace"
@@ -31,22 +32,30 @@ func TestClusterCacheReuse(t *testing.T) {
 	}
 }
 
-// TestClusterCacheInvalidation: every mutating correlator entry point
-// must drop the cached clustering.
+// TestClusterCacheInvalidation: every entry point that changes
+// clustering input must drop (or patch) the cached clustering.
 func TestClusterCacheInvalidation(t *testing.T) {
 	cases := []struct {
 		name   string
 		mutate func(d *driver)
 	}{
-		{"Feed", func(d *driver) { d.ev(trace.OpOpen, 9, "/home/u/new/file") }},
+		// Feeding events that change neighbor lists dirties the cache
+		// through the table's change journal.
+		{"Feed", func(d *driver) { d.session(3, projectFiles("gamma", 3)) }},
+		// A rename moves the directory-distance adjustment; only a full
+		// rebuild can re-score that.
+		{"Rename", func(d *driver) {
+			d.seq++
+			d.now = d.now.Add(100 * time.Millisecond)
+			d.c.Feed(trace.Event{Seq: d.seq, Time: d.now, PID: 1, Op: trace.OpRename,
+				Path: "/home/u/alpha/f00", Path2: "/home/u/alpha/moved", Uid: 1000})
+		}},
 		{"AddRelations", func(d *driver) {
 			d.c.AddRelations([]investigate.Relation{
 				{Files: []string{"/home/u/alpha/f00", "/home/u/alpha/f01"}, Strength: 1},
 			})
 		}},
 		{"ClearRelations", func(d *driver) { d.c.ClearRelations() }},
-		{"ForceHoard", func(d *driver) { d.c.ForceHoard("/home/u/missed") }},
-		{"ClearForced", func(d *driver) { d.c.ClearForced() }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -62,6 +71,38 @@ func TestClusterCacheInvalidation(t *testing.T) {
 			}
 			_ = before
 			_ = after
+		})
+	}
+}
+
+// TestClusterCachePlanOnlyMutations: entry points that change plan
+// output but not clustering input (forced-hoard bookkeeping, events
+// that touch no neighbor list) must keep the cached clustering.
+func TestClusterCachePlanOnlyMutations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(d *driver)
+	}{
+		{"ForceHoard", func(d *driver) { d.c.ForceHoard("/home/u/missed") }},
+		{"ClearForced", func(d *driver) { d.c.ClearForced() }},
+		{"ListPreservingFeed", func(d *driver) { d.ev(trace.OpOpen, 9, "/home/u/alpha/f00") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDriver(nil)
+			d.session(1, projectFiles("alpha", 5))
+			before := d.c.Clusters()
+			_, missBefore := d.c.CacheStats()
+			tc.mutate(d)
+			after := d.c.Clusters()
+			_, missAfter := d.c.CacheStats()
+			if missAfter != missBefore {
+				t.Errorf("%s re-clustered (%d -> %d misses); plan-only mutations should reuse the cache",
+					tc.name, missBefore, missAfter)
+			}
+			if after != before {
+				t.Errorf("%s replaced the cached result object", tc.name)
+			}
 		})
 	}
 }

@@ -80,9 +80,17 @@ func TestCanceledClusteringDoesNotPoisonCache(t *testing.T) {
 	if hits2 != hits1+1 {
 		t.Fatalf("cache hits %d -> %d, want +1", hits1, hits2)
 	}
-	// After a mutation the dead context aborts, and the stale cache is
-	// not overwritten with a nil result.
-	c.Feed(trace.Event{PID: 9, Op: trace.OpOpen, Path: "/home/u/new", Uid: 1000, Seq: 1 << 30})
+	// After a list-changing mutation the dead context aborts, and the
+	// stale cache is not overwritten with a nil result. Two interleaved
+	// opens make a new pair, so the table's journal really is non-empty.
+	clk := trace.NewClock(time.Unix(1_800_000_000, 0))
+	c.Feed(clk.Stamp(trace.Event{PID: 9, Op: trace.OpOpen, Path: "/home/u/proj/newa", Uid: 1000}))
+	c.Feed(clk.Stamp(trace.Event{PID: 9, Op: trace.OpOpen, Path: "/home/u/proj/newb", Uid: 1000}))
+	c.Feed(clk.Stamp(trace.Event{PID: 9, Op: trace.OpClose, Path: "/home/u/proj/newb", Uid: 1000}))
+	c.Feed(clk.Stamp(trace.Event{PID: 9, Op: trace.OpClose, Path: "/home/u/proj/newa", Uid: 1000}))
+	if c.PendingChanges() == 0 {
+		t.Fatal("mutation produced no pending changes; test premise broken")
+	}
 	if _, err := c.ClustersContext(ctx); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}

@@ -46,16 +46,27 @@ type Correlator struct {
 
 	events uint64
 
-	// dirty counts mutations; every entry point that can influence a
-	// clustering (or the state hanging off one) bumps it. The cached
-	// cluster result is valid while cacheAt == dirty, so back-to-back
-	// Plan()/Clusters() calls over an unchanged table — the seerd HTTP
-	// pattern — reuse one clustering.
-	dirty     uint64
+	// The cluster cache and its dirty state. fullDirty marks changes an
+	// incremental patch cannot localize (renames moving the directory-
+	// distance adjustment, relation edits, clustering-parameter changes,
+	// exclusion reversals); per-file neighbor-list churn instead arrives
+	// through the semdist/observer journals and accumulates in pending —
+	// the dirty *set* — until a clustering consumes it. The cache is
+	// valid while fullDirty is unset and pending is empty, so
+	// back-to-back Plan()/Clusters() calls over an unchanged table — the
+	// seerd HTTP pattern — reuse one clustering; a small pending set is
+	// patched into the cached result in place, and only large churn or a
+	// fullDirty signal pays a rebuild.
+	fullDirty bool
+	pending   []simfs.FileID
 	cache     *cluster.Result
-	cacheAt   uint64
 	cacheHits uint64
 	cacheMiss uint64
+	// fullRebuilds/incRebuilds/churnFallbacks mirror the rebuild
+	// metrics for the daemon's expvar debug view.
+	fullRebuilds   uint64
+	incRebuilds    uint64
+	churnFallbacks uint64
 	// lastClusterTime is how long the most recent (uncached) clustering
 	// took; surfaced by the daemon's debug endpoint.
 	lastClusterTime time.Duration
@@ -71,6 +82,11 @@ type Correlator struct {
 	mClusterDur  *obs.Histogram
 	mPhasePairs  *obs.Histogram
 	mPhaseAssign *obs.Histogram
+	mPhasePatch  *obs.Histogram
+	mRebuildFull *obs.Counter
+	mRebuildInc  *obs.Counter
+	mPatchSize   *obs.Histogram
+	mFallbacks   *obs.Counter
 }
 
 // Options configures a Correlator.
@@ -132,6 +148,18 @@ func New(opts Options) *Correlator {
 		"Wall time of the pair-generation phase (BuildPairs).", nil)
 	c.mPhaseAssign = reg.Histogram("seer_cluster_assign_duration_seconds",
 		"Wall time of the two-phase cluster-assignment pass.", nil)
+	c.mPhasePatch = reg.Histogram("seer_cluster_patch_duration_seconds",
+		"Wall time of an incremental cluster patch.", nil)
+	rebuilds := reg.CounterVec("seer_cluster_rebuilds_total",
+		"Clusterings that re-ran the algorithm, by kind (full rebuild vs incremental patch).",
+		"kind")
+	c.mRebuildFull = rebuilds.With("full")
+	c.mRebuildInc = rebuilds.With("incremental")
+	c.mPatchSize = reg.Histogram("seer_cluster_patch_size_files",
+		"Changed files consumed by one incremental cluster patch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096})
+	c.mFallbacks = reg.Counter("seer_cluster_churn_fallbacks_total",
+		"Incremental clusterings abandoned for a full rebuild (churn over the threshold, or an unpatchable change).")
 	return c
 }
 
@@ -152,33 +180,50 @@ func (c *Correlator) Table() *semdist.Table { return c.tbl }
 // Params returns the active parameter set.
 func (c *Correlator) Params() config.Params { return c.p }
 
-// SetParams replaces the parameter set on a live correlator and
-// invalidates cached clusterings so the next plan reflects it. Only the
-// params read at clustering/plan time (KNear, KFar, DirDistanceWeight,
-// InvestigatorWeight, SkipUnfittingClusters, HoardSize) change observed
-// behaviour: observer- and table-construction params are frozen into
-// those structures and a caller wanting them changed must rebuild.
-// The caller must hold the same exclusion Feed callers use.
+// SetParams replaces the parameter set on a live correlator. Cached
+// clusterings are invalidated only when a parameter the clustering
+// actually reads (KNear, KFar, DirDistanceWeight) changed: a reload
+// touching only non-clustering knobs — hoard budget, admission limits,
+// the churn threshold itself — keeps the cache and its incremental
+// state warm. Params read at plan/fill time (SkipUnfittingClusters,
+// HoardSize) never feed the cluster cache, and observer- and
+// table-construction params are frozen into those structures — a
+// caller wanting them changed must rebuild. The caller must hold the
+// same exclusion Feed callers use.
 func (c *Correlator) SetParams(p config.Params) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if p.KNear != c.p.KNear || p.KFar != c.p.KFar ||
+		p.DirDistanceWeight != c.p.DirDistanceWeight {
+		c.fullDirty = true
+	}
 	c.p = p
-	c.invalidate()
 	return nil
 }
 
 // Events returns the number of trace events fed so far.
 func (c *Correlator) Events() uint64 { return c.events }
 
-// invalidate marks every cached derivation of the relationship state
-// stale. Each mutating entry point calls it.
-func (c *Correlator) invalidate() { c.dirty++ }
-
 // CacheStats returns how many Clusters() calls were served from the
 // cached result and how many had to re-cluster.
 func (c *Correlator) CacheStats() (hits, misses uint64) {
 	return c.cacheHits, c.cacheMiss
+}
+
+// RebuildStats reports how the uncached clusterings were satisfied:
+// full algorithm runs, incremental patches of the cached result, and
+// incremental attempts abandoned for a full rebuild (churn over the
+// threshold or an unpatchable change).
+func (c *Correlator) RebuildStats() (full, incremental, fallbacks uint64) {
+	return c.fullRebuilds, c.incRebuilds, c.churnFallbacks
+}
+
+// PendingChanges returns how many journaled per-file changes are
+// waiting to be folded into the next clustering (inspection tooling;
+// the count can over-report a file changed through both journals).
+func (c *Correlator) PendingChanges() int {
+	return len(c.pending) + c.tbl.PendingChanges()
 }
 
 // LastClusterDuration returns how long the most recent re-clustering
@@ -187,7 +232,13 @@ func (c *Correlator) LastClusterDuration() time.Duration { return c.lastClusterT
 
 // Feed processes one trace event.
 func (c *Correlator) Feed(ev trace.Event) {
-	c.invalidate()
+	if ev.Op == trace.OpRename {
+		// A rename moves the file's pathname, and with it the
+		// directory-distance adjustment applied to every pair the file
+		// participates in. The old adjusted scores cannot be recovered
+		// from the neighbor journals, so patching is off the table.
+		c.fullDirty = true
+	}
 	c.events++
 	c.mEvents.Inc()
 	for _, ref := range c.obs.Observe(ev) {
@@ -215,7 +266,7 @@ func (c *Correlator) apply(ev trace.Event, ref observer.Reference) {
 // known to the file table are interned so the relation can still force
 // the files into a project.
 func (c *Correlator) AddRelations(rels []investigate.Relation) {
-	c.invalidate()
+	c.fullDirty = true
 	resolve := func(path string) simfs.FileID {
 		f := c.fs.Lookup(path)
 		if f == nil {
@@ -229,7 +280,7 @@ func (c *Correlator) AddRelations(rels []investigate.Relation) {
 
 // ClearRelations drops all registered investigator relations.
 func (c *Correlator) ClearRelations() {
-	c.invalidate()
+	c.fullDirty = true
 	c.extraPairs = nil
 }
 
@@ -242,7 +293,8 @@ func (c *Correlator) ClearRelations() {
 // consider hoarding ("add the file (and all other members of its
 // project) to the hoard for future use").
 func (c *Correlator) ForceHoard(path string) []string {
-	c.invalidate()
+	// Forcing changes plan output, not clustering input: plans are
+	// rebuilt from the cluster result every call, so the cache stays.
 	f := c.fs.Lookup(path)
 	if f == nil {
 		f = c.fs.Intern(path, simfs.Regular, 0)
@@ -280,7 +332,6 @@ func (c *Correlator) ForcedFiles() []simfs.FileID {
 // ClearForced empties the forced hoard set (typically after the next
 // successful hoard fill has serviced the recorded misses).
 func (c *Correlator) ClearForced() {
-	c.invalidate()
 	c.forced = make(map[simfs.FileID]bool)
 }
 
@@ -336,6 +387,13 @@ func (s filteredSource) AppendNeighbors(id simfs.FileID, dst []simfs.FileID) []s
 	return kept
 }
 
+// Has implements cluster.MembershipSource: a file is present when the
+// table lists it and the exclusion filter does not hide it — exactly
+// the membership Files() would report.
+func (s filteredSource) Has(id simfs.FileID) bool {
+	return s.tbl.Has(id) && !s.obs.IsExcluded(id)
+}
+
 // ErrCanceled is returned by the *Context planning entry points when
 // the clustering was aborted by context cancellation before finishing.
 var ErrCanceled = errors.New("core: clustering canceled")
@@ -356,7 +414,16 @@ func (c *Correlator) Clusters() *cluster.Result {
 // wrapped with the context cause. The cache is left untouched on
 // cancellation, so a later call still benefits from it.
 func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, error) {
-	if c.cache != nil && c.cacheAt == c.dirty {
+	// Drain the per-file change journals into the pending dirty set.
+	// This happens on every call so a cache hit really means "nothing
+	// changed", not "nobody looked".
+	c.pending = c.tbl.TakeChanged(c.pending)
+	var exclFull bool
+	c.pending, exclFull = c.obs.TakeExclusionChanges(c.pending)
+	if exclFull {
+		c.fullDirty = true
+	}
+	if c.cache != nil && !c.fullDirty && len(c.pending) == 0 {
 		c.cacheHits++
 		c.mCacheHits.Inc()
 		return c.cache, nil
@@ -364,6 +431,16 @@ func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, erro
 	c.cacheMiss++
 	c.mCacheMiss.Inc()
 	src := filteredSource{tbl: c.tbl, obs: c.obs}
+	pct := c.p.ClusterChurnPct
+	var thr int
+	if pct > 0 {
+		thr = c.tbl.Len() * pct / 100
+		if thr < 1 {
+			// A tiny table still deserves the incremental path: one
+			// changed file is always within a nonzero churn budget.
+			thr = 1
+		}
+	}
 	opts := cluster.Options{
 		Adjust: investigate.DirDistanceAdjust(c.p.DirDistanceWeight, func(id simfs.FileID) string {
 			if f := c.fs.Get(id); f != nil {
@@ -379,11 +456,41 @@ func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, erro
 				c.mPhasePairs.Observe(d.Seconds())
 			case "assign":
 				c.mPhaseAssign.Observe(d.Seconds())
+			case "patch":
+				c.mPhasePatch.Observe(d.Seconds())
 			}
 		},
+		Incremental: pct > 0,
+		MaxPatch:    thr,
+	}
+	kn, kf := float64(c.p.KNear), float64(c.p.KFar)
+	overChurn := false
+	if c.cache != nil && !c.fullDirty && thr > 0 {
+		if len(c.pending) <= thr {
+			// Patch refusal discards the cache (the result may be half
+			// mutated), so check cancellation first: an aborted call must
+			// leave the warm cache for the next one, like the full path.
+			if err := ctx.Err(); err != nil {
+				return nil, errors.Join(ErrCanceled, err)
+			}
+			start := time.Now()
+			if cluster.Patch(c.cache, src, c.pending, opts, kn, kf) {
+				c.lastClusterTime = time.Since(start)
+				c.incRebuilds++
+				c.mRebuildInc.Inc()
+				c.mPatchSize.Observe(float64(len(c.pending)))
+				c.pending = c.pending[:0]
+				return c.cache, nil
+			}
+			c.cache = nil
+			c.churnFallbacks++
+			c.mFallbacks.Inc()
+		} else {
+			overChurn = true
+		}
 	}
 	start := time.Now()
-	res := cluster.Build(src, opts, float64(c.p.KNear), float64(c.p.KFar))
+	res := cluster.Build(src, opts, kn, kf)
 	if res == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, errors.Join(ErrCanceled, err)
@@ -392,8 +499,15 @@ func (c *Correlator) ClustersContext(ctx context.Context) (*cluster.Result, erro
 	}
 	c.lastClusterTime = time.Since(start)
 	c.mClusterDur.Observe(c.lastClusterTime.Seconds())
+	if overChurn {
+		c.churnFallbacks++
+		c.mFallbacks.Inc()
+	}
+	c.fullRebuilds++
+	c.mRebuildFull.Inc()
 	c.cache = res
-	c.cacheAt = c.dirty
+	c.fullDirty = false
+	c.pending = c.pending[:0]
 	return res, nil
 }
 

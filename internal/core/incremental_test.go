@@ -1,0 +1,57 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/trace"
+)
+
+// TestIncrementalPatchMatchesFullRebuild drives two identical
+// correlators through the same trace — one with the churn threshold
+// wide open so small changes are patched into the cached clustering,
+// one with incremental clustering disabled — and requires every
+// clustering along the way to be identical. This pins the correlator's
+// journal-drain + patch plumbing end to end, on top of the pure
+// algorithm equivalence pinned in internal/cluster.
+func TestIncrementalPatchMatchesFullRebuild(t *testing.T) {
+	di := newDriver(func(p *config.Params) { p.ClusterChurnPct = 100 })
+	df := newDriver(func(p *config.Params) { p.ClusterChurnPct = 0 })
+
+	step := func(name string, f func(d *driver)) {
+		t.Helper()
+		f(di)
+		f(df)
+		ri, rf := di.c.Clusters(), df.c.Clusters()
+		if len(ri.Clusters) != len(rf.Clusters) {
+			t.Fatalf("%s: %d clusters incrementally, %d with full rebuilds",
+				name, len(ri.Clusters), len(rf.Clusters))
+		}
+		for i := range rf.Clusters {
+			if ri.Clusters[i].ID != rf.Clusters[i].ID ||
+				!slices.Equal(ri.Clusters[i].Members, rf.Clusters[i].Members) {
+				t.Fatalf("%s: cluster %d = %v incrementally, %v with full rebuilds",
+					name, i, ri.Clusters[i], rf.Clusters[i])
+			}
+		}
+	}
+
+	step("warmup", func(d *driver) {
+		for i := 0; i < 3; i++ {
+			d.session(1, projectFiles("alpha", 5))
+			d.session(2, projectFiles("beta", 4))
+		}
+	})
+	step("alpha refresh", func(d *driver) { d.session(1, projectFiles("alpha", 5)) })
+	step("new project", func(d *driver) { d.session(3, projectFiles("gamma", 3)) })
+	step("delete", func(d *driver) { d.ev(trace.OpDelete, 1, "/home/u/alpha/f04") })
+	step("beta refresh", func(d *driver) { d.session(2, projectFiles("beta", 4)) })
+
+	if _, inc, _ := di.c.RebuildStats(); inc == 0 {
+		t.Error("incremental correlator never took the patch path")
+	}
+	if full, inc, _ := df.c.RebuildStats(); inc != 0 || full == 0 {
+		t.Errorf("disabled-churn correlator: %d full, %d incremental rebuilds", full, inc)
+	}
+}

@@ -27,6 +27,47 @@ func TestSetParamsInvalidatesCache(t *testing.T) {
 	_ = after
 }
 
+// TestSetParamsNonClusteringKnobsKeepCache: a reload that touches only
+// knobs the clustering never reads (hoard budget, unfitting-cluster
+// policy, the churn threshold itself) must NOT drop the cached
+// clustering or its incremental state — otherwise every config
+// hot-reload pays a full recluster for nothing.
+func TestSetParamsNonClusteringKnobsKeepCache(t *testing.T) {
+	d := newDriver(nil)
+	d.session(1, projectFiles("alpha", 5))
+	before := d.c.Clusters()
+	_, missBefore := d.c.CacheStats()
+
+	p := d.c.Params()
+	p.HoardSize = p.HoardSize + 4096
+	p.SkipUnfittingClusters = !p.SkipUnfittingClusters
+	p.ClusterChurnPct = p.ClusterChurnPct/2 + 1
+	if err := d.c.SetParams(p); err != nil {
+		t.Fatalf("SetParams: %v", err)
+	}
+	after := d.c.Clusters()
+	_, missAfter := d.c.CacheStats()
+	if missAfter != missBefore {
+		t.Errorf("non-clustering reload re-clustered (%d -> %d misses)", missBefore, missAfter)
+	}
+	if after != before {
+		t.Error("non-clustering reload replaced the cached result object")
+	}
+
+	// And the cache is still properly live: a clustering knob change on
+	// the very same correlator does invalidate.
+	p.DirDistanceWeight = p.DirDistanceWeight + 0.25
+	if err := d.c.SetParams(p); err != nil {
+		t.Fatalf("SetParams: %v", err)
+	}
+	_, missAfterWeight := d.c.CacheStats()
+	d.c.Clusters()
+	_, missFinal := d.c.CacheStats()
+	if missFinal <= missAfterWeight {
+		t.Error("DirDistanceWeight change did not invalidate the cluster cache")
+	}
+}
+
 // TestSetParamsRejectsInvalid: a bad param set is refused and the old
 // one keeps serving.
 func TestSetParamsRejectsInvalid(t *testing.T) {

@@ -125,6 +125,17 @@ type Observer struct {
 	// temporary-directory detection (§4.5 future work).
 	churn map[string]*dirChurn
 
+	// exclChanged journals files newly added to the exclusion set
+	// (frequent promotions, critical/non-file discoveries) since the last
+	// TakeExclusionChanges drain; exclSeen dedups it. exclDirty is set
+	// when a file LEAVES the exclusion set (a frequent demotion): the
+	// file's old relationships reappear everywhere at once, which an
+	// incremental clustering cannot localize, so the drain reports it as
+	// a full-rebuild signal.
+	exclChanged []simfs.FileID
+	exclSeen    map[simfs.FileID]bool
+	exclDirty   bool
+
 	stats Stats
 }
 
@@ -158,7 +169,30 @@ func New(p config.Params, ctl *config.Control, fs *simfs.FS, dirSize func(path s
 		hist:      make(map[string]*progHistory),
 		state:     make(map[trace.PID]*pidState),
 		churn:     make(map[string]*dirChurn),
+		exclSeen:  make(map[simfs.FileID]bool),
 	}
+}
+
+// noteExcluded journals a file that just joined the exclusion set.
+func (o *Observer) noteExcluded(id simfs.FileID) {
+	if !o.exclSeen[id] {
+		o.exclSeen[id] = true
+		o.exclChanged = append(o.exclChanged, id)
+	}
+}
+
+// TakeExclusionChanges appends the files that joined the exclusion set
+// since the previous call to dst and reports (via full) whether any file
+// LEFT it — an un-exclusion resurfaces relationships an incremental
+// clustering never saw, so the caller must fall back to a full rebuild.
+// Both journals reset.
+func (o *Observer) TakeExclusionChanges(dst []simfs.FileID) (_ []simfs.FileID, full bool) {
+	dst = append(dst, o.exclChanged...)
+	o.exclChanged = o.exclChanged[:0]
+	clear(o.exclSeen)
+	full = o.exclDirty
+	o.exclDirty = false
+	return dst, full
 }
 
 // Stats returns the event accounting so far.
@@ -213,8 +247,12 @@ func (o *Observer) updateFrequent(id simfs.FileID) {
 	switch {
 	case !o.frequent[id] && ratio > o.p.FrequentFileFraction:
 		o.frequent[id] = true
+		o.noteExcluded(id)
 	case o.frequent[id] && ratio < o.p.FrequentFileFraction/2:
 		delete(o.frequent, id)
+		// Demotion un-excludes: its stored relationships come back into
+		// view everywhere at once, which only a full rebuild can honour.
+		o.exclDirty = true
 	}
 }
 
@@ -361,7 +399,10 @@ func (o *Observer) Observe(ev trace.Event) []Reference {
 		// (§4.6).
 		f := o.fs.Intern(path, simfs.Symlink, ev.Seq)
 		o.always[f.ID] = true
-		o.excluded[f.ID] = true
+		if !o.excluded[f.ID] {
+			o.excluded[f.ID] = true
+			o.noteExcluded(f.ID)
+		}
 	}
 	return out
 }
@@ -412,17 +453,14 @@ func (o *Observer) filterPairs(pairs []proc.RefPair) []proc.RefPair {
 // effect, and reports whether the file is excluded.
 func (o *Observer) filteredPath(f *simfs.File) bool {
 	path := f.Path
-	if o.ctl.IsIgnored(path) {
+	if o.ctl.IsIgnored(path) || o.ctl.IsCritical(path) {
 		// Non-file objects: always hoarded, never related (§4.6).
-		o.always[f.ID] = true
-		o.excluded[f.ID] = true
-		o.stats.DroppedExcluded++
-		return true
-	}
-	if o.ctl.IsCritical(path) {
 		// Critical files: outside SEER's control, always hoarded (§4.3).
 		o.always[f.ID] = true
-		o.excluded[f.ID] = true
+		if !o.excluded[f.ID] {
+			o.excluded[f.ID] = true
+			o.noteExcluded(f.ID)
+		}
 		o.stats.DroppedExcluded++
 		return true
 	}

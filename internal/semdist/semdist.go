@@ -56,6 +56,11 @@ func (nb *Neighbor) Count() int64 { return nb.count }
 type entry struct {
 	id        simfs.FileID
 	neighbors []Neighbor
+	// listEpoch is the table's change epoch at the last membership change
+	// of this list (an id added, replaced, or removed). Sample updates to
+	// an existing neighbor (sumLog/count/lastUpdate) do not advance it:
+	// clustering only reads list membership.
+	listEpoch uint64
 }
 
 // findNeighbor returns the position of id on the list, or -1.
@@ -92,6 +97,15 @@ type Table struct {
 	forgotten map[simfs.FileID]bool
 	// deleteQueue orders marked files for eventual forgetting.
 	deleteQueue []simfs.FileID
+
+	// epoch is the global change epoch: it advances on every neighbor-list
+	// membership change and stamps the affected entry's listEpoch.
+	epoch uint64
+	// pending journals the files whose list membership (or existence)
+	// changed since the last TakeChanged drain — exactly the set an
+	// incremental clustering must re-score. pendingSeen dedups it.
+	pending     []simfs.FileID
+	pendingSeen map[simfs.FileID]bool
 }
 
 // NewTable returns an empty table using the given parameters. The rng
@@ -102,13 +116,64 @@ func NewTable(p config.Params, rng *stats.Rand) *Table {
 		rng = stats.NewRand(0)
 	}
 	return &Table{
-		p:         p,
-		rng:       rng,
-		idx:       make(map[simfs.FileID]int32),
-		marked:    make(map[simfs.FileID]bool),
-		forgotten: make(map[simfs.FileID]bool),
+		p:           p,
+		rng:         rng,
+		idx:         make(map[simfs.FileID]int32),
+		marked:      make(map[simfs.FileID]bool),
+		forgotten:   make(map[simfs.FileID]bool),
+		pendingSeen: make(map[simfs.FileID]bool),
 	}
 }
+
+// touch advances the change epoch, stamps e (when non-nil), and journals
+// id for the next TakeChanged drain.
+func (t *Table) touch(id simfs.FileID, e *entry) {
+	t.epoch++
+	if e != nil {
+		e.listEpoch = t.epoch
+	}
+	if !t.pendingSeen[id] {
+		t.pendingSeen[id] = true
+		t.pending = append(t.pending, id)
+	}
+}
+
+// Epoch returns the global change epoch: it advances once per
+// neighbor-list membership change.
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// ListEpoch returns the change epoch stamped on id's neighbor list at
+// its last membership change (0 for unknown files and lists that never
+// changed).
+func (t *Table) ListEpoch(id simfs.FileID) uint64 {
+	e := t.entryOf(id)
+	if e == nil {
+		return 0
+	}
+	return e.listEpoch
+}
+
+// Has reports whether the table holds relationship state for id (i.e.
+// id appears in Files()).
+func (t *Table) Has(id simfs.FileID) bool {
+	_, ok := t.idx[id]
+	return ok
+}
+
+// TakeChanged appends the files whose neighbor-list membership changed
+// since the previous call to dst, returns the extended slice, and resets
+// the journal. The order is the order the changes were first observed.
+// An incremental clustering drains this to learn which files to
+// re-score; a full rebuild drains and discards it.
+func (t *Table) TakeChanged(dst []simfs.FileID) []simfs.FileID {
+	dst = append(dst, t.pending...)
+	t.pending = t.pending[:0]
+	clear(t.pendingSeen)
+	return dst
+}
+
+// PendingChanges returns how many files are currently journaled.
+func (t *Table) PendingChanges() int { return len(t.pending) }
 
 // Len returns the number of files with relationship state.
 func (t *Table) Len() int { return len(t.idx) }
@@ -130,12 +195,15 @@ func (t *Table) entryOf(id simfs.FileID) *entry {
 	return &t.entries[i]
 }
 
-// addEntry creates the entry for id and returns its slot.
+// addEntry creates the entry for id and returns its slot. The new file
+// is journaled: it now appears in Files() and deserves (at least) a
+// singleton cluster.
 func (t *Table) addEntry(id simfs.FileID) int32 {
 	i := int32(len(t.entries))
 	t.entries = append(t.entries, entry{id: id})
 	t.idx[id] = i
 	t.filesCache = nil
+	t.touch(id, &t.entries[i])
 	return i
 }
 
@@ -179,6 +247,7 @@ func (t *Table) insert(e *entry, to simfs.FileID, d float64) {
 			e.neighbors = make([]Neighbor, 0, t.p.NeighborTableSize)
 		}
 		e.neighbors = append(e.neighbors, nb)
+		t.touch(e.id, e)
 		return
 	}
 	victim := t.chooseVictim(e, d)
@@ -186,6 +255,7 @@ func (t *Table) insert(e *entry, to simfs.FileID, d float64) {
 		return // no candidate: drop the new observation
 	}
 	e.neighbors[victim] = nb
+	t.touch(e.id, e)
 }
 
 // chooseVictim implements the replacement priority of §3.1.3:
@@ -345,7 +415,9 @@ func (t *Table) Revive(id simfs.FileID) {
 	}
 }
 
-// forget removes a file's state entirely.
+// forget removes a file's state entirely. Only the forgotten id itself
+// is journaled: other lists still naming it are cleaned lazily, and the
+// incremental path discovers them through its reverse index.
 func (t *Table) forget(id simfs.FileID) {
 	if !t.marked[id] {
 		return // revived in the meantime
@@ -357,6 +429,7 @@ func (t *Table) forget(id simfs.FileID) {
 		t.filesCache = nil
 	}
 	t.forgotten[id] = true
+	t.touch(id, nil)
 }
 
 // Forgotten reports whether the file has been fully removed.
