@@ -17,7 +17,7 @@ BENCH_TIME ?= 5x
 BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$|BenchmarkClusterIncremental20k$$|BenchmarkClusterIncremental200k$$|BenchmarkClusterIncremental1M$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
-.PHONY: check vet build test test-race fuzz fuzz-strace chaos rumor-chaos metrics-smoke reload-smoke bench bench-check
+.PHONY: check vet build test test-race fuzz fuzz-strace chaos shard-chaos rumor-chaos metrics-smoke reload-smoke bench bench-check
 
 check: vet build test-race
 
@@ -71,6 +71,17 @@ metrics-smoke:
 reload-smoke:
 	$(GO) build -o bin/seerd ./cmd/seerd
 	sh scripts/reload_smoke.sh
+
+# Shard-isolation chaos gate: 8 shards behind the gateway under
+# concurrent /plan + /events load while one shard at a time takes a
+# panic, a wedged correlator, or a corrupt SEERDB — every other shard
+# must keep answering 200 with zero cross-shard stage restarts, and a
+# mid-traffic drain/migrate must replay a byte-identical plan with zero
+# event loss (DESIGN.md §15). Race detector on; CHAOS_COUNT repeats.
+shard-chaos: vet
+	$(GO) test -race -count=$(CHAOS_COUNT) \
+		-run 'TestChaosShardIsolation|TestGatewayRetryAcrossDrain|TestGatewayHonorsAdmission|TestDrainReplayByteIdentical|TestApplyRuntimeOnlyWhileServing|TestQueueResizeRacesShedOldest' \
+		./internal/shard/ ./internal/supervise/
 
 # Replication chaos gate: the networked CheapRumor substrate under 30%
 # injected request loss and repeated partitions must converge to the

@@ -57,10 +57,25 @@ func main() {
 		}
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "shards" {
+		if err := printShards(os.Stdout, *addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "drain" {
+		if flag.NArg() < 2 {
+			fatal(fmt.Errorf("drain needs a shard index: seerctl -addr URL drain N"))
+		}
+		if err := drainShard(os.Stdout, *addr, flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *tracePath == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr,
 			"usage: seerctl -trace FILE [-control FILE] [-config FILE] [-budget MB] clusters|plan|hoard|neighbors PATH|investigate DIR|advise|check|stats\n"+
-				"       seerctl [-addr URL] metrics|config")
+				"       seerctl [-addr URL] metrics|config|shards|drain N")
 		os.Exit(2)
 	}
 

@@ -49,11 +49,14 @@ func TestPrintMetrics(t *testing.T) {
 		"health                 healthy",
 		"clusterings            4 (avg 50.0 ms, cache 6/10)",
 		"dirty replicas         5",
-		"plans built            -", // absent series render as "-"
+		"plans built            —", // absent series render as "—"
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+	if strings.Contains(got, "shard 0") {
+		t.Errorf("single-tenant scrape grew a shard rollup:\n%s", got)
 	}
 
 	// A daemon that answers non-200 is an error, not an empty table.
@@ -63,5 +66,77 @@ func TestPrintMetrics(t *testing.T) {
 	defer bad.Close()
 	if err := printMetrics(&out, bad.URL); err == nil {
 		t.Error("printMetrics succeeded against a 503 endpoint")
+	}
+}
+
+// A partial registry — an older daemon, rumord, or a freshly started
+// seerd that has not registered every family yet — must render what is
+// present and mark the rest "—", never error (regression: the satellite
+// fix for seerctl metrics against missing metric families).
+func TestPrintMetricsPartialRegistry(t *testing.T) {
+	for name, exposition := range map[string]string{
+		"empty":      "",
+		"oneCounter": "seer_hoard_misses_total 1\n",
+		"zeroCounts": "seer_cluster_duration_seconds_count 0\n" +
+			"seer_cluster_patch_size_files_count 0\n" +
+			"seer_replication_rtt_seconds_count 0\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				w.Write([]byte(exposition))
+			}))
+			defer ts.Close()
+			var out strings.Builder
+			if err := printMetrics(&out, ts.URL); err != nil {
+				t.Fatalf("printMetrics on partial registry: %v", err)
+			}
+			for _, want := range []string{"ingest queue", "clusterings", "stage restarts"} {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("row %q missing from partial-registry output:\n%s", want, out.String())
+				}
+			}
+			if !strings.Contains(out.String(), "—") {
+				t.Errorf("absent families not marked:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// A multi-tenant seerd's scrape grows the per-shard rollup: one row per
+// shard with its lifecycle state and restart count, plus the gateway
+// retry counters.
+func TestPrintMetricsShardRollup(t *testing.T) {
+	exposition := strings.Join([]string{
+		`seer_shard_state{shard="0"} 1`,
+		`seer_shard_state{shard="1"} 2`,
+		`seer_shard_state{shard="2"} 1`,
+		`seer_shard_restarts_total{shard="0"} 4`,
+		`seer_shard_restarts_total{shard="1"} 0`,
+		`seer_admit_admitted_total{endpoint="shard0"} 17`,
+		`seer_admit_shed_total{endpoint="shard0"} 2`,
+		`seer_gateway_retries_total{endpoint="plan"} 5`,
+		`seer_gateway_retries_total{endpoint="events"} 3`,
+		`seer_gateway_route_errors_total{endpoint="plan"} 1`,
+		``,
+	}, "\n")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte(exposition))
+	}))
+	defer ts.Close()
+	var out strings.Builder
+	if err := printMetrics(&out, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"shards                 3 (2 serving)",
+		"shard 0",
+		"serving  restarts 4  admitted 17  shed 2",
+		"draining",
+		"retries 8, route errors 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("shard rollup missing %q:\n%s", want, got)
+		}
 	}
 }

@@ -101,6 +101,14 @@ func main() {
 	logger.SetLevel(lv)
 	logger.SetJSON(rt.Daemon.LogFormat == "json")
 
+	// Multi-tenant mode: N fault-isolated user shards behind the
+	// gateway. Events arrive per user via POST /events, not a local
+	// strace tail, so the single-tenant bootstrap below is skipped.
+	if rt.Daemon.Shards > 0 {
+		runSharded(rt, base, *cfgPath, cfgData)
+		return
+	}
+
 	var in io.Reader = os.Stdin
 	if rt.Daemon.Strace != "-" {
 		f, err := os.Open(rt.Daemon.Strace)

@@ -1,0 +1,328 @@
+package main
+
+// Multi-tenant mode: -shards N turns seerd into a host of N
+// fault-isolated user shards behind the consistent-hash gateway
+// (internal/shard). Each shard owns a supervised pipeline — bounded
+// queue, correlator with its warm cluster cache, admission limiter,
+// snapshot path — so one tenant's panic, wedge, or corrupt database
+// never stalls the neighbors. The process keeps the single-tenant
+// operational surface: /metrics, /debug/config with hot reloads
+// (SIGHUP or poll), /debug/traces, /healthz + /readyz, plus the new
+// /shards view and POST /shards/drain migration endpoint.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/obs"
+	"github.com/fmg/seer/internal/shard"
+	"github.com/fmg/seer/internal/supervise"
+)
+
+// shardPipeline is the supervised runtime of multi-tenant seerd: the
+// shard manager and gateway, the HTTP listeners, and the config
+// watcher. The shards supervise themselves; this tree only owns the
+// process-level stages.
+type shardPipeline struct {
+	mgr *shard.Manager
+	gw  *shard.Gateway
+	sup *supervise.Supervisor
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	store   *config.Store
+	base    config.Runtime
+	cfgPath string
+	watcher *supervise.Watcher
+
+	mReloadApplied  *obs.Counter
+	mReloadRejected *obs.Counter
+
+	mu            sync.Mutex
+	httpAddr      net.Addr
+	debugHTTPAddr net.Addr
+}
+
+// newShardPipeline builds the manager, gateway, and process stage tree
+// for rt (which must have Daemon.Shards ≥ 1 and a Listen address).
+func newShardPipeline(ctx context.Context, rt config.Runtime, base config.Runtime,
+	cfgPath string, cfgData []byte) *shardPipeline {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(256)
+	sp := &shardPipeline{
+		reg:     reg,
+		tracer:  tracer,
+		store:   config.NewStore(rt),
+		base:    base,
+		cfgPath: cfgPath,
+	}
+	sp.mgr = shard.NewManager(ctx, shard.ManagerConfig{
+		Shards:          rt.Daemon.Shards,
+		Dir:             rt.Daemon.ShardDir,
+		Runtime:         rt,
+		Seed:            1,
+		Metrics:         reg,
+		Tracer:          tracer,
+		Logger:          logger,
+		CheckpointEvery: checkpointEvery,
+	})
+	sp.gw = shard.NewGateway(sp.mgr, shard.PolicyFromRuntime(rt))
+
+	slog := logger.With("component", "supervise")
+	sp.sup = supervise.New(supervise.Config{
+		OnEvent: func(e supervise.Event) {
+			if e.Err != nil {
+				slog.Error("stage failure", "stage", e.Stage, "kind", e.Kind,
+					"err", firstLine(e.Err.Error()))
+			}
+		},
+	})
+	var stages []string
+	addStage := func(name string, fn supervise.StageFunc, opts ...supervise.StageOption) {
+		sp.sup.Add(name, fn, opts...)
+		stages = append(stages, name)
+	}
+	addStage("http", sp.serverStage(rt.Daemon.Listen, sp.mainMux(), &sp.httpAddr),
+		supervise.Critical())
+	if rt.Daemon.DebugAddr != "" {
+		addStage("debug", sp.serverStage(rt.Daemon.DebugAddr, sp.debugMux(), &sp.debugHTTPAddr))
+	}
+	if cfgPath != "" {
+		sp.watcher = supervise.NewWatcher(cfgPath, confPollEvery, sp.applyConfig)
+		sp.watcher.MarkApplied(cfgData)
+		addStage("confwatch", sp.watcher.Stage())
+	}
+	sp.sup.AddProbe("shards", func() supervise.Probe {
+		worst := sp.mgr.Health()
+		detail := make([]string, 0, sp.mgr.Len())
+		for _, info := range sp.mgr.Report() {
+			detail = append(detail, fmt.Sprintf("%d:%s/%s", info.Shard, info.State, info.Health))
+		}
+		return supervise.Probe{State: worst, Detail: strings.Join(detail, " ")}
+	})
+
+	restarts := reg.CounterFuncVec("seer_stage_restarts_total",
+		"Stage restarts performed by the supervisor.", "stage")
+	for _, name := range stages {
+		name := name
+		restarts.Register(func() float64 {
+			return float64(sp.sup.StageRestarts()[name])
+		}, name)
+	}
+	reloads := reg.CounterVec("seer_config_reloads_total",
+		"Config hot-reload attempts by result.", "result")
+	sp.mReloadApplied = reloads.With("applied")
+	sp.mReloadRejected = reloads.With("rejected")
+	reg.GaugeFunc("seer_config_generation",
+		"Active config generation (1 = the startup configuration).",
+		func() float64 { return float64(sp.store.Generation()) })
+	reg.GaugeFunc("seer_health_state",
+		"Aggregate health across shards (0 healthy, 1 degraded, 2 unavailable).",
+		func() float64 { return float64(sp.mgr.Health()) })
+	return sp
+}
+
+// mainMux is the gateway surface plus the observability endpoints (the
+// latter never behind routing or admission — an overloaded host must
+// stay inspectable).
+func (sp *shardPipeline) mainMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", sp.gw.Handler())
+	mux.Handle("/metrics", sp.reg.Handler())
+	mux.Handle("/debug/traces", sp.tracer.Handler())
+	mux.HandleFunc("/debug/config", sp.handleDebugConfig)
+	return mux
+}
+
+// debugMux serves pprof plus the same observability surface.
+func (sp *shardPipeline) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", sp.reg.Handler())
+	mux.Handle("/debug/traces", sp.tracer.Handler())
+	mux.HandleFunc("/debug/config", sp.handleDebugConfig)
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Shards []shard.Info `json:"shards"`
+			Health string       `json:"health"`
+		}{sp.mgr.Report(), sp.mgr.Health().String()})
+	})
+	mux.HandleFunc("/healthz", sp.sup.HealthHandler(false))
+	mux.HandleFunc("/readyz", sp.sup.HealthHandler(true))
+	return mux
+}
+
+// serverStage mirrors the single-tenant server stage: listen, serve
+// until ctx ends, graceful shutdown; errors restart under backoff.
+func (sp *shardPipeline) serverStage(addr string, mux *http.ServeMux, out *net.Addr) supervise.StageFunc {
+	return func(ctx context.Context) error {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+		sp.mu.Lock()
+		*out = ln.Addr()
+		sp.mu.Unlock()
+		srv := &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(ln) }()
+		select {
+		case <-ctx.Done():
+			shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(shCtx)
+			<-errc
+			return nil
+		case err := <-errc:
+			return err
+		}
+	}
+}
+
+// addr returns the bound main listener address ("" before it is up).
+func (sp *shardPipeline) addr() string {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.httpAddr == nil {
+		return ""
+	}
+	return sp.httpAddr.String()
+}
+
+// applyConfig is the sharded hot-reload path: the same
+// parse-over-base / validate / refuse-structural ladder as the
+// single-tenant daemon, then per-shard propagation with the drain
+// guard — ApplyRuntime reaches only shards in the serving state, so a
+// SIGHUP landing mid-drain can neither resurrect the draining shard
+// nor retune a closed one (its replacement opens with the new runtime
+// instead).
+func (sp *shardPipeline) applyConfig(data []byte) error {
+	next := sp.base
+	err := func() error {
+		if err := config.ApplyFile(&next, bytes.NewReader(data)); err != nil {
+			return err
+		}
+		if err := next.Validate(); err != nil {
+			return err
+		}
+		if diffs := config.StructuralDiff(*sp.store.Get(), next); len(diffs) > 0 {
+			return fmt.Errorf("structural settings cannot change on a live reload: %s",
+				strings.Join(diffs, ", "))
+		}
+		return nil
+	}()
+	if err != nil {
+		sp.store.RecordReload(err)
+		sp.mReloadRejected.Inc()
+		logger.Warn("config reload rejected; active config unchanged",
+			"component", "confwatch", "err", err)
+		return err
+	}
+	old := *sp.store.Get()
+	changed := config.Changed(old, next)
+	gen := sp.store.Swap(next)
+	if lv, lerr := obs.ParseLevel(next.Daemon.LogLevel); lerr == nil {
+		logger.SetLevel(lv)
+	}
+	logger.SetJSON(next.Daemon.LogFormat == "json")
+	sp.gw.SetPolicy(shard.PolicyFromRuntime(next))
+	skipped := sp.mgr.ApplyRuntime(next)
+	sp.store.RecordReload(nil)
+	sp.mReloadApplied.Inc()
+	logger.Info("config reloaded", "component", "confwatch",
+		"generation", gen, "changed", strings.Join(changed, " "),
+		"shards_skipped", fmt.Sprint(skipped))
+	return nil
+}
+
+// kickReload forces an immediate config check (SIGHUP).
+func (sp *shardPipeline) kickReload() {
+	if sp.watcher != nil {
+		sp.watcher.Kick()
+	}
+}
+
+// handleDebugConfig mirrors the single-tenant /debug/config.
+func (sp *shardPipeline) handleDebugConfig(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed; use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := debugConfigResponse{
+		Generation: sp.store.Generation(),
+		ConfigFile: sp.cfgPath,
+		Settings:   config.Describe(*sp.store.Get()),
+	}
+	if st := sp.store.LastReload(); !st.At.IsZero() {
+		resp.LastReload = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// runSharded is the -shards entrypoint: build the manager + gateway,
+// serve until a signal, then drain every shard to its final
+// checkpoint.
+func runSharded(rt config.Runtime, base config.Runtime, cfgPath string, cfgData []byte) {
+	if rt.Daemon.Listen == "" {
+		fmt.Fprintln(os.Stderr, "seerd: -shards requires -listen")
+		os.Exit(2)
+	}
+	if rt.Daemon.ShardDir != "" {
+		if err := os.MkdirAll(rt.Daemon.ShardDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "seerd: shard-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sp := newShardPipeline(ctx, rt, base, cfgPath, cfgData)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			sp.kickReload()
+		}
+	}()
+	sp.sup.Start(ctx)
+	for i := 0; i < 100 && sp.addr() == ""; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	logger.Info("serving multi-tenant", "shards", rt.Daemon.Shards,
+		"addr", sp.addr(), "shard_dir", rt.Daemon.ShardDir)
+
+	<-ctx.Done()
+	logger.Info("signal received, shutting down")
+	sp.sup.Wait()
+	// Every shard drains to its final checkpoint concurrently.
+	sp.mgr.Close()
+	logger.Info("all shards closed")
+}

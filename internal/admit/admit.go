@@ -186,6 +186,23 @@ func (l *Limiter) retryAfterSeconds() string {
 	return strconv.FormatInt(s, 10)
 }
 
+// TryAcquire admits or sheds one request outside the HTTP middleware
+// path — the hook a routing layer (the shard gateway) uses when the
+// limiter guards a shard rather than an endpoint. On true the caller
+// owns one in-flight slot and must call Release with the observed
+// service time; on false the request was shed (counted, with the
+// recent-shed clock touched) and RetryAfterSeconds advertises the
+// backoff to propagate.
+func (l *Limiter) TryAcquire() bool { return l.acquire() }
+
+// Release finishes a TryAcquire'd request, folding its service time
+// into the latency EWMA.
+func (l *Limiter) Release(elapsed time.Duration) { l.release(elapsed) }
+
+// RetryAfterSeconds renders the configured Retry-After value in whole
+// seconds (minimum 1) for callers building their own 429 responses.
+func (l *Limiter) RetryAfterSeconds() string { return l.retryAfterSeconds() }
+
 // Wrap admission-controls next: shed requests get 429 with Retry-After
 // and never reach it.
 func (l *Limiter) Wrap(next http.Handler) http.Handler {

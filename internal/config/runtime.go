@@ -38,6 +38,23 @@ type Daemon struct {
 	Follow bool `json:"follow,omitempty"`
 	// Rumor mounts the replication master under /rumor/. Structural.
 	Rumor bool `json:"rumor,omitempty"`
+	// Shards enables multi-tenant mode with this many user shards
+	// behind the gateway (0 = classic single-tenant). Structural.
+	Shards int `json:"shards,omitempty"`
+	// ShardDir is the directory holding per-shard snapshots
+	// (shard-NNN.db); "" disables shard checkpointing. Structural.
+	ShardDir string `json:"shard_dir,omitempty"`
+	// GatewayRetries bounds gateway attempts per request across
+	// re-routes on transient shard states. Hot.
+	GatewayRetries int `json:"gateway_retries,omitempty"`
+	// GatewayRetryBaseMS is the first retry backoff; it doubles per
+	// attempt with jitter. Hot.
+	GatewayRetryBaseMS int `json:"gateway_retry_base_ms,omitempty"`
+	// GatewayTimeoutMS bounds one whole gateway request including
+	// retries. Hot.
+	GatewayTimeoutMS int `json:"gateway_timeout_ms,omitempty"`
+	// DrainTimeoutMS bounds one shard drain/migrate. Hot.
+	DrainTimeoutMS int `json:"drain_timeout_ms,omitempty"`
 	// QueueCap bounds the tailer-to-feeder ingestion queue. Hot: a
 	// reload resizes the live queue without dropping queued events.
 	QueueCap int `json:"queue_cap"`
@@ -80,12 +97,16 @@ func DefaultRuntime() Runtime {
 	return Runtime{
 		Params: Defaults(),
 		Daemon: Daemon{
-			Strace:        "-",
-			QueueCap:      8192,
-			QueueBlockMS:  100,
-			HoardBudgetMB: 512,
-			LogLevel:      "info",
-			LogFormat:     "text",
+			Strace:             "-",
+			QueueCap:           8192,
+			QueueBlockMS:       100,
+			HoardBudgetMB:      512,
+			LogLevel:           "info",
+			LogFormat:          "text",
+			GatewayRetries:     4,
+			GatewayRetryBaseMS: 25,
+			GatewayTimeoutMS:   30_000,
+			DrainTimeoutMS:     60_000,
 		},
 		Admit: Admission{
 			PlanMaxInFlight:  16,
@@ -114,6 +135,18 @@ func (r Runtime) Validate() error {
 		return fmt.Errorf("config: negative queue-block-ms %d", d.QueueBlockMS)
 	case d.HoardBudgetMB < 0:
 		return fmt.Errorf("config: negative hoard budget %d MB", d.HoardBudgetMB)
+	case d.Shards < 0:
+		return fmt.Errorf("config: negative shard count %d", d.Shards)
+	case d.Shards > 1024:
+		return fmt.Errorf("config: shard count %d > 1024", d.Shards)
+	case d.GatewayRetries < 0:
+		return fmt.Errorf("config: negative gateway retries %d", d.GatewayRetries)
+	case d.GatewayRetryBaseMS < 0:
+		return fmt.Errorf("config: negative gateway retry base %d ms", d.GatewayRetryBaseMS)
+	case d.GatewayTimeoutMS < 0:
+		return fmt.Errorf("config: negative gateway timeout %d ms", d.GatewayTimeoutMS)
+	case d.DrainTimeoutMS < 0:
+		return fmt.Errorf("config: negative drain timeout %d ms", d.DrainTimeoutMS)
 	}
 	switch d.LogLevel {
 	case "debug", "info", "warn", "error":
@@ -269,6 +302,12 @@ func buildKnobs() []Knob {
 	set, get = boolKnob(func(r *Runtime) *bool { return &r.Daemon.Rumor })
 	add(spec{name: "rumor", usage: "serve the CheapRumor replication-master endpoints under /rumor/ (requires -listen)",
 		structural: true, bool_: true, daemons: ForSeerd, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.Shards })
+	add(spec{name: "shards", usage: "host this many fault-isolated user shards behind the gateway (0 = single-tenant; requires -listen)",
+		structural: true, daemons: ForSeerd, set: set, get: get})
+	set, get = strKnob(func(r *Runtime) *string { return &r.Daemon.ShardDir })
+	add(spec{name: "shard-dir", usage: "directory for per-shard snapshot files (empty = no shard checkpoints)",
+		structural: true, daemons: ForSeerd, set: set, get: get})
 
 	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.QueueCap })
 	add(spec{name: "queue", usage: "bounded ingestion queue capacity between the tailer and the correlator",
@@ -285,6 +324,18 @@ func buildKnobs() []Knob {
 	set, get = strKnob(func(r *Runtime) *string { return &r.Daemon.LogFormat })
 	add(spec{name: "log-format", usage: "log format: text (key=value) or json",
 		daemons: ForSeerd | ForRumord, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.GatewayRetries })
+	add(spec{name: "gateway-retries", usage: "max gateway attempts per request across shard re-routes on transient errors",
+		daemons: ForSeerd, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.GatewayRetryBaseMS })
+	add(spec{name: "gateway-retry-base-ms", usage: "first gateway retry backoff in ms (doubles per attempt, jittered)",
+		daemons: ForSeerd, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.GatewayTimeoutMS })
+	add(spec{name: "gateway-timeout-ms", usage: "whole-request gateway timeout in ms including retries",
+		daemons: ForSeerd, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.DrainTimeoutMS })
+	add(spec{name: "drain-timeout-ms", usage: "shard drain/migrate timeout in ms",
+		daemons: ForSeerd, set: set, get: get})
 	set, get = intKnob(func(r *Runtime) *int { return &r.Params.ClusterChurnPct })
 	add(spec{name: "cluster-churn-threshold", usage: "incremental clustering churn threshold as a percent of tracked files; above it the correlator falls back to a full rebuild (0 = always rebuild)",
 		daemons: ForSeerd, set: set, get: get})

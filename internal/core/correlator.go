@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/fmg/seer/internal/cluster"
@@ -44,7 +45,9 @@ type Correlator struct {
 	// forced holds files the user demanded hoarded after a miss (§4.4).
 	forced map[simfs.FileID]bool
 
-	events uint64
+	// events counts trace events fed; atomic so operator views (the
+	// shard /shards report) can read it without the correlator lock.
+	events atomic.Uint64
 
 	// The cluster cache and its dirty state. fullDirty marks changes an
 	// incremental patch cannot localize (renames moving the directory-
@@ -203,7 +206,7 @@ func (c *Correlator) SetParams(p config.Params) error {
 }
 
 // Events returns the number of trace events fed so far.
-func (c *Correlator) Events() uint64 { return c.events }
+func (c *Correlator) Events() uint64 { return c.events.Load() }
 
 // CacheStats returns how many Clusters() calls were served from the
 // cached result and how many had to re-cluster.
@@ -239,7 +242,7 @@ func (c *Correlator) Feed(ev trace.Event) {
 		// from the neighbor journals, so patching is off the table.
 		c.fullDirty = true
 	}
-	c.events++
+	c.events.Add(1)
 	c.mEvents.Inc()
 	for _, ref := range c.obs.Observe(ev) {
 		c.apply(ev, ref)

@@ -53,7 +53,7 @@ func (c *Correlator) Save(out io.Writer) error {
 	w.Str(dbMagic)
 	w.U64(dbVersion2)
 	w.Frame("meta", func(w *wire.Writer) {
-		w.U64(c.events)
+		w.U64(c.events.Load())
 	})
 	w.Frame("fs", func(w *wire.Writer) {
 		c.fs.Save(w)
@@ -89,7 +89,7 @@ func (c *Correlator) saveV1(out io.Writer) error {
 	w := wire.NewWriter(out)
 	w.Str(dbMagic)
 	w.U64(dbVersion1)
-	w.U64(c.events)
+	w.U64(c.events.Load())
 	c.fs.Save(w)
 	c.tbl.Save(w)
 	c.obs.Save(w)
@@ -147,7 +147,7 @@ func loadV1(r *wire.Reader, opts Options) (*Correlator, error) {
 	}
 	opts.FS = fs
 	c := New(opts)
-	c.events = events
+	c.events.Store(events)
 	tbl, err := semdist.LoadTable(r, c.p, stats.NewRand(seed+1))
 	if err != nil {
 		return nil, fmt.Errorf("core: load distance table: %w", err)
@@ -189,7 +189,7 @@ func loadV2(r *wire.Reader, opts Options) (*Correlator, error) {
 	}
 	opts.FS = fs
 	c := New(opts)
-	c.events = events
+	c.events.Store(events)
 	if err := r.Frame("tbl", func(sr *wire.Reader) error {
 		tbl, err := semdist.LoadTable(sr, c.p, stats.NewRand(seed+1))
 		if err == nil {

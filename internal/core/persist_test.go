@@ -245,7 +245,7 @@ func TestLoadRejectsNegativeCounts(t *testing.T) {
 		w := wire.NewWriter(&buf)
 		w.Str(dbMagic)
 		w.U64(dbVersion2)
-		w.Frame("meta", func(w *wire.Writer) { w.U64(c.events) })
+		w.Frame("meta", func(w *wire.Writer) { w.U64(c.events.Load()) })
 		w.Frame("fs", func(w *wire.Writer) { c.fs.Save(w) })
 		w.Frame("tbl", func(w *wire.Writer) { c.tbl.Save(w) })
 		w.Frame("obs", func(w *wire.Writer) { c.obs.Save(w) })

@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping user names onto shard slots.
+// Each slot projects vnodes virtual points onto the 64-bit hash circle;
+// a user lands on the first point at or after its own hash. Slots are
+// stable identities — a drained shard's replacement occupies the same
+// slot, so routing never moves users around a drain — but the ring
+// keeps the assignment balanced and, unlike user_hash % N, minimizes
+// reassignment if the slot count ever changes between process
+// generations (users keep their snapshot partitions).
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	slot int
+}
+
+// defaultVnodes balances well past ~8 slots without bloating lookup.
+const defaultVnodes = 64
+
+// NewRing builds a ring over slots shard slots with vnodes virtual
+// points each (0 means a sensible default).
+func NewRing(slots, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, slots*vnodes)}
+	for s := 0; s < slots; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("slot-%d-vnode-%d", s, v)),
+				slot: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].slot < r.points[j].slot
+	})
+	return r
+}
+
+// Slot returns the slot index owning user.
+func (r *Ring) Slot(user string) int {
+	if len(r.points) == 0 {
+		return 0
+	}
+	h := hash64(user)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].slot
+}
+
+// hash64 hashes a string onto the ring circle: 64-bit FNV-1a followed
+// by a murmur3-style finalizer. The finalizer matters — FNV-1a alone is
+// linear, so names differing only in a trailing digit ("user-120",
+// "user-121", …) land within ~2^44 of each other on the 2^64 circle and
+// would collapse onto the same vnode arc, starving slots. The avalanche
+// step spreads suffix changes across all 64 bits. Inline so the ring
+// stays dependency-free and stable across builds.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

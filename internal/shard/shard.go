@@ -1,0 +1,903 @@
+// Package shard turns seerd into a fault-isolated multi-tenant host:
+// N independent user shards live in one process, each one a bulkhead
+// owning its own supervised pipeline — bounded ingestion queue,
+// correlator with its warm cluster cache, admission limiter, and SEERDB
+// checkpoint path — so a panic, wedged clustering, or corrupt database
+// in one tenant's shard degrades only that tenant and never restarts or
+// stalls its neighbors.
+//
+// The paper's predictive hoarding is inherently per-user (each mobile
+// client has its own observed accesses, clusters, and hoard plan, §3
+// and §5); a shard is the failure-containment unit wrapped around one
+// partition of those users. Shards have an explicit lifecycle,
+//
+//	opening → serving → draining → closed,
+//
+// with graceful drain over the fsync'd snapshot ladder: stop the
+// stages, fold everything still queued into the correlator, write a
+// final checkpoint, and let a replacement shard replay it — zero event
+// loss, byte-identical plans on the other side. A Manager hosts the
+// shards behind a consistent-hash ring and a Gateway fronts them with
+// per-request timeouts, bounded retry with backoff and jitter on
+// transient shard states, and health-aware routing (draining shards
+// serve their stale plan cache; closed slots are rerouted to the
+// replacement).
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fmg/seer/internal/admit"
+	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/core"
+	"github.com/fmg/seer/internal/obs"
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/strace"
+	"github.com/fmg/seer/internal/supervise"
+	"github.com/fmg/seer/internal/trace"
+)
+
+// State is a shard's lifecycle position. Transitions only move forward:
+// opening → serving → draining → closed; a "restart" is a fresh Shard in
+// the same slot, never a resurrected one.
+type State int32
+
+const (
+	// Opening means the shard is restoring its snapshot and starting
+	// stages; requests are refused as transient.
+	Opening State = iota
+	// Serving is the steady state: ingesting, planning, checkpointing.
+	Serving
+	// Draining means a drain is in progress: reads fall back to the
+	// stale plan cache, writes are refused as transient (the gateway
+	// retries them against the replacement).
+	Draining
+	// Closed means the final checkpoint is on disk and the shard will
+	// never serve again; the manager routes its slot to a replacement.
+	Closed
+)
+
+// String returns the lowercase wire name used in /shards JSON.
+func (s State) String() string {
+	switch s {
+	case Opening:
+		return "opening"
+	case Serving:
+		return "serving"
+	case Draining:
+		return "draining"
+	case Closed:
+		return "closed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Transient shard errors: the gateway retries these with backoff, since
+// a draining or closed slot is moments from having a serving
+// replacement. Everything else a shard returns is terminal for the
+// request.
+var (
+	// ErrDraining refuses a mutation while the shard drains.
+	ErrDraining = errors.New("shard draining")
+	// ErrClosed refuses everything after the final checkpoint; the
+	// caller should re-route (the slot's replacement answers).
+	ErrClosed = errors.New("shard closed")
+	// ErrOpening refuses requests while the snapshot restore is still
+	// running.
+	ErrOpening = errors.New("shard opening")
+	// ErrNoPlan means a plan could not be built in time and no last-good
+	// plan exists to fall back to — a terminal 503.
+	ErrNoPlan = errors.New("no plan available yet")
+)
+
+// errDrainConflict marks a Drain refused because the shard was not in
+// the serving state (another drain owns it, or it is already closed).
+var errDrainConflict = errors.New("drain requires a serving shard")
+
+// IsTransient reports whether err names a shard state the gateway
+// should retry through rather than surface.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrDraining) || errors.Is(err, ErrClosed) || errors.Is(err, ErrOpening)
+}
+
+// Config builds one Shard.
+type Config struct {
+	// ID is the slot index (stable across drain/replace); the metric
+	// label and snapshot filename derive from it.
+	ID int
+	// Dir is the snapshot directory; "" disables checkpointing.
+	Dir string
+	// Params are the correlator tunables for this shard.
+	Params config.Params
+	// Seed drives the correlator's tie-breaking.
+	Seed int64
+	// Metrics is the shared registry (shards share aggregate families
+	// and label the per-shard ones).
+	Metrics *obs.Registry
+	// Tracer records ingestion/plan spans (shared across shards; spans
+	// carry a shard attribute).
+	Tracer *obs.Tracer
+	// Logger is the parent logger; the shard derives a tagged child.
+	Logger *obs.Logger
+
+	// QueueCap / QueueBlock bound the shard's ingestion queue.
+	QueueCap   int
+	QueueBlock time.Duration
+	// BudgetBytes is the hoard budget for /hoard answers.
+	BudgetBytes int64
+	// CheckpointEvery is the periodic snapshot interval.
+	CheckpointEvery time.Duration
+	// Supervisor tunes the shard's private supervision tree.
+	Supervisor supervise.Config
+	// Limits is the shard's admission-control policy.
+	Limits admit.Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.QueueBlock <= 0 {
+		c.QueueBlock = 50 * time.Millisecond
+	}
+	if c.BudgetBytes <= 0 {
+		c.BudgetBytes = 512 << 20
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5 * time.Minute
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(64)
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NewLogger(io.Discard)
+	}
+	return c
+}
+
+// event is one parsed trace event in flight between ingestion and the
+// shard's feeder, tagged with its batch trace id.
+type event struct {
+	ev  trace.Event
+	tid obs.TraceID
+}
+
+// planCache is the shard's last-good rendered /plan and /hoard bodies.
+type planCache struct {
+	mu    sync.Mutex
+	plan  []byte
+	hoard []byte
+	at    time.Time
+}
+
+func (c *planCache) set(hoard bool, b []byte) {
+	c.mu.Lock()
+	if hoard {
+		c.hoard = b
+	} else {
+		c.plan = b
+	}
+	c.at = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *planCache) get(hoard bool) ([]byte, time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hoard {
+		return c.hoard, c.at
+	}
+	return c.plan, c.at
+}
+
+// Shard is one tenant partition's bulkhead: correlator, queue, stages,
+// limiter, plan cache, snapshot path. All exported methods are safe for
+// concurrent use.
+type Shard struct {
+	id   int
+	name string
+	cfg  Config
+	log  *obs.Logger
+
+	state  atomic.Int32
+	stateG *obs.Gauge // seer_shard_state{shard}
+
+	// sem is the correlator lock, acquirable with a context so a plan
+	// request can give up on a wedged clustering and serve stale.
+	sem  chan struct{}
+	corr *core.Correlator
+
+	queue  *supervise.Queue[event]
+	sup    *supervise.Supervisor
+	lim    *admit.Limiter
+	tracer *obs.Tracer
+
+	// parser is the shard's strace line parser (stateful: per-pid fd
+	// tables), serialized under parserMu.
+	parserMu sync.Mutex
+	parser   *strace.Parser
+
+	budget    atomic.Int64
+	plans     planCache
+	lastTrace atomic.Uint64
+	staleSrv  atomic.Int64
+
+	// Shared aggregate counters (deduped by name on the registry).
+	mPlans  *obs.Counter
+	mStale  *obs.Counter
+	mMisses *obs.Counter
+
+	// feedHook, when set, runs before each event is fed — the chaos
+	// tests' panic-injection point (atomic: injected while the feeder
+	// runs).
+	feedHook atomic.Pointer[func(trace.Event)]
+	// wrapSave, when set, decorates the checkpoint op (fault.Sink).
+	wrapSave atomic.Pointer[func(func() error) error]
+
+	cancel  context.CancelFunc
+	started atomic.Bool
+}
+
+// Open restores the shard's snapshot through the recovery ladder,
+// starts its supervised stages under ctx, and transitions it to
+// serving. A corrupt or missing snapshot is contained: the shard starts
+// from its backup or a fresh database, logged, never fatal.
+func Open(ctx context.Context, cfg Config) *Shard {
+	cfg = cfg.withDefaults()
+	s := &Shard{
+		id:     cfg.ID,
+		name:   strconv.Itoa(cfg.ID),
+		cfg:    cfg,
+		log:    cfg.Logger.With("component", "shard", "shard", strconv.Itoa(cfg.ID)),
+		sem:    make(chan struct{}, 1),
+		queue:  supervise.NewQueue[event](cfg.QueueCap, cfg.QueueBlock),
+		tracer: cfg.Tracer,
+		parser: strace.NewParser(),
+	}
+	s.state.Store(int32(Opening))
+	s.stateG = cfg.Metrics.GaugeVec("seer_shard_state",
+		"Shard lifecycle state (0 opening, 1 serving, 2 draining, 3 closed).",
+		"shard").With(s.name)
+	s.stateG.Set(int64(Opening))
+	s.budget.Store(cfg.BudgetBytes)
+	s.lim = admit.New("shard"+s.name, cfg.Metrics, s.queue.FillPct)
+	s.lim.SetLimits(cfg.Limits)
+	s.mPlans = cfg.Metrics.Counter("seer_plans_built_total",
+		"Hoard-plan constructions (the /plan and /hoard endpoints plus one-shot mode).")
+	s.mStale = cfg.Metrics.Counter("seer_stale_plans_served_total",
+		"Plan/hoard responses served from the last-good cache.")
+	s.mMisses = cfg.Metrics.Counter("seer_hoard_misses_total",
+		"Hoard misses recorded through /miss (paper §4.4).")
+
+	opts := core.Options{Params: &cfg.Params, Seed: cfg.Seed, Metrics: cfg.Metrics}
+	s.corr = RestoreSnapshot(s.dbPath(), opts, s.log)
+
+	sc := cfg.Supervisor
+	if sc.OnEvent == nil {
+		slog := s.log
+		sc.OnEvent = func(e supervise.Event) {
+			if e.Err != nil {
+				slog.Error("stage failure", "stage", e.Stage, "kind", e.Kind,
+					"err", firstLine(e.Err.Error()))
+			}
+		}
+	}
+	s.sup = supervise.New(sc)
+	s.sup.Add("feeder", s.feedStage)
+	if s.dbPath() != "" {
+		s.sup.Add("checkpointer", s.checkpointStage)
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	s.sup.Start(sctx)
+	s.started.Store(true)
+	s.setState(Serving)
+	return s
+}
+
+// dbPath is the shard's snapshot path ("" when checkpointing is off).
+func (s *Shard) dbPath() string {
+	if s.cfg.Dir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("shard-%03d.db", s.id))
+}
+
+// ID returns the slot index.
+func (s *Shard) ID() int { return s.id }
+
+// Name returns the metric label ("3").
+func (s *Shard) Name() string { return s.name }
+
+// State returns the current lifecycle state.
+func (s *Shard) State() State { return State(s.state.Load()) }
+
+func (s *Shard) setState(to State) {
+	s.state.Store(int32(to))
+	s.stateG.Set(int64(to))
+}
+
+// Limiter returns the shard's admission limiter (the gateway acquires
+// through it before touching the shard).
+func (s *Shard) Limiter() *admit.Limiter { return s.lim }
+
+// Health returns the shard's supervised health; a closed shard reports
+// healthy (its replacement carries the slot).
+func (s *Shard) Health() supervise.HealthState {
+	if s.State() == Closed {
+		return supervise.Healthy
+	}
+	return s.sup.Health()
+}
+
+// Restarts returns the shard's total stage restarts.
+func (s *Shard) Restarts() uint64 { return s.sup.Restarts() }
+
+// QueueStats returns the ingestion queue depth, capacity, and drops.
+func (s *Shard) QueueStats() (depth, capacity int, drops uint64) {
+	return s.queue.Len(), s.queue.Cap(), s.queue.Drops()
+}
+
+// Events returns the correlator's fed-event count (atomic in the
+// correlator, so no lock needed for an operator view).
+func (s *Shard) Events() uint64 { return s.corr.Events() }
+
+// StaleServed returns how many reads the shard answered from its
+// last-good cache.
+func (s *Shard) StaleServed() int64 { return s.staleSrv.Load() }
+
+// lock acquires the correlator lock unconditionally.
+func (s *Shard) lock() { s.sem <- struct{}{} }
+
+// unlock releases it.
+func (s *Shard) unlock() { <-s.sem }
+
+// lockCtx acquires the correlator lock unless ctx ends first.
+func (s *Shard) lockCtx(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// stateErr maps a non-serving state to its transient error (nil while
+// serving).
+func (s *Shard) stateErr() error {
+	switch s.State() {
+	case Opening:
+		return ErrOpening
+	case Draining:
+		return ErrDraining
+	case Closed:
+		return ErrClosed
+	}
+	return nil
+}
+
+// feedCtx applies one event under the correlator lock, giving up when
+// ctx ends first (a stage shutdown racing a wedged correlator) — the
+// caller re-queues the event so the drain fold still sees it.
+func (s *Shard) feedCtx(ctx context.Context, ev trace.Event) bool {
+	if h := s.feedHook.Load(); h != nil {
+		(*h)(ev)
+	}
+	if !s.lockCtx(ctx) {
+		return false
+	}
+	s.corr.Feed(ev)
+	s.unlock()
+	return true
+}
+
+// feedStage drains the queue into the correlator, one span per
+// contiguous same-trace run (mirrors the single-tenant feeder). On
+// shutdown an event the stage could not feed goes back into the queue
+// rather than being dropped: Drain folds whatever is left.
+func (s *Shard) feedStage(ctx context.Context) error {
+	for {
+		qe, ok := s.queue.Get(ctx)
+		if !ok {
+			return nil
+		}
+		var (
+			sp  *obs.ActiveSpan
+			cur obs.TraceID
+			n   int64
+		)
+		end := func() {
+			if sp != nil {
+				sp.AttrInt("events", n).End()
+			}
+			sp, n = nil, 0
+		}
+		for {
+			if sp == nil || qe.tid != cur {
+				end()
+				cur = qe.tid
+				sp = s.tracer.StartSpan(cur, "feed").Attr("shard", s.name)
+			}
+			if !s.feedCtx(ctx, qe.ev) {
+				s.queue.Put(context.Background(), qe)
+				end()
+				return nil
+			}
+			n++
+			next, more := s.queue.TryGet()
+			if !more {
+				break
+			}
+			qe = next
+		}
+		end()
+	}
+}
+
+// checkpointStage periodically snapshots the shard's database; failures
+// are logged and retried next interval, never fatal to the stage.
+func (s *Shard) checkpointStage(ctx context.Context) error {
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+		}
+		if err := s.save(); err != nil {
+			s.log.Warn("checkpoint failed", "err", err)
+		}
+	}
+}
+
+// save writes the fsync'd snapshot under the correlator lock.
+func (s *Shard) save() error {
+	op := func() error {
+		s.lock()
+		defer s.unlock()
+		return SaveSnapshot(s.corr, s.dbPath())
+	}
+	if wrap := s.wrapSave.Load(); wrap != nil {
+		return (*wrap)(op)
+	}
+	return op()
+}
+
+// IngestLines parses strace lines and enqueues the resulting events as
+// one traced batch. Only a serving shard ingests; any other state is a
+// transient error the gateway retries against the slot's replacement.
+func (s *Shard) IngestLines(ctx context.Context, lines []string) (int, error) {
+	if err := s.stateErr(); err != nil {
+		return 0, err
+	}
+	tid := s.tracer.NewTrace()
+	sp := s.tracer.StartSpan(tid, "ingest").Attr("shard", s.name).Attr("source", "gateway")
+	var n int
+	s.parserMu.Lock()
+	evs := make([]trace.Event, 0, len(lines))
+	for _, line := range lines {
+		if ev, ok := s.parser.ParseLine(line); ok {
+			evs = append(evs, ev)
+		}
+	}
+	s.parserMu.Unlock()
+	for _, ev := range evs {
+		if !s.queue.Put(ctx, event{ev: ev, tid: tid}) {
+			break
+		}
+		n++
+	}
+	sp.AttrInt("events", int64(n)).End()
+	s.lastTrace.Store(uint64(tid))
+	return n, nil
+}
+
+// serveStale answers from the last-good cache; ErrNoPlan without one.
+func (s *Shard) serveStale(hoard bool) ([]byte, bool, error) {
+	body, _ := s.plans.get(hoard)
+	if body == nil {
+		return nil, false, ErrNoPlan
+	}
+	s.staleSrv.Add(1)
+	s.mStale.Inc()
+	return body, true, nil
+}
+
+// Plan renders the full inclusion order. A draining shard serves its
+// stale cache (reads keep answering through a drain); a wedged or
+// deadline-bound clustering falls back to the cache too. The stale
+// return reports whether the body came from the cache.
+func (s *Shard) Plan(ctx context.Context) (body []byte, stale bool, err error) {
+	switch s.State() {
+	case Opening:
+		return nil, false, ErrOpening
+	case Closed:
+		return nil, false, ErrClosed
+	case Draining:
+		return s.serveStale(false)
+	}
+	sp := s.tracer.StartSpan(obs.TraceID(s.lastTrace.Load()), "plan").Attr("shard", s.name)
+	defer sp.End()
+	if !s.lockCtx(ctx) {
+		sp.Attr("outcome", "stale")
+		return s.serveStale(false)
+	}
+	s.mPlans.Inc()
+	plan, perr := s.corr.PlanContext(ctx)
+	if perr != nil {
+		s.unlock()
+		sp.Attr("outcome", "stale")
+		return s.serveStale(false)
+	}
+	var buf bytes.Buffer
+	for i, e := range plan.Entries {
+		fmt.Fprintf(&buf, "%5d %8s %10d %12d %s\n",
+			i, e.Reason, e.File.Size, e.Cum, e.File.Path)
+	}
+	s.unlock()
+	sp.Attr("outcome", "fresh").AttrInt("entries", int64(len(plan.Entries)))
+	s.plans.set(false, buf.Bytes())
+	return buf.Bytes(), false, nil
+}
+
+// Hoard renders the chosen files at the shard's budget with the same
+// stale-fallback discipline as Plan.
+func (s *Shard) Hoard(ctx context.Context) (body []byte, stale bool, err error) {
+	switch s.State() {
+	case Opening:
+		return nil, false, ErrOpening
+	case Closed:
+		return nil, false, ErrClosed
+	case Draining:
+		return s.serveStale(true)
+	}
+	sp := s.tracer.StartSpan(obs.TraceID(s.lastTrace.Load()), "hoard").Attr("shard", s.name)
+	defer sp.End()
+	if !s.lockCtx(ctx) {
+		sp.Attr("outcome", "stale")
+		return s.serveStale(true)
+	}
+	var buf bytes.Buffer
+	herr := s.renderHoard(ctx, &buf)
+	s.unlock()
+	if herr != nil {
+		sp.Attr("outcome", "stale")
+		return s.serveStale(true)
+	}
+	sp.Attr("outcome", "fresh")
+	s.plans.set(true, buf.Bytes())
+	return buf.Bytes(), false, nil
+}
+
+// renderHoard writes the hoard listing (caller holds the lock).
+func (s *Shard) renderHoard(ctx context.Context, w io.Writer) error {
+	s.mPlans.Inc()
+	plan, err := s.corr.PlanContext(ctx)
+	if err != nil {
+		return err
+	}
+	contents := plan.Fill(s.budget.Load(), s.corr.Params().SkipUnfittingClusters)
+	fmt.Fprintf(w, "# hoard: %d files, %d bytes of %d budget\n",
+		contents.Len(), contents.UsedBytes(), contents.Budget())
+	for _, l := range []struct {
+		name string
+		link replic.Link
+	}{
+		{"28.8k modem", replic.Modem28k},
+		{"ISDN", replic.ISDN},
+		{"10M ethernet", replic.Ethernet10},
+	} {
+		est := replic.EstimateSync(s.corr.FS(), contents.IDs(), l.link)
+		fmt.Fprintf(w, "# cold fill over %-12s %v\n", l.name+":", est.Duration.Round(time.Second))
+	}
+	for _, id := range contents.IDs() {
+		if f := s.corr.FS().Get(id); f != nil {
+			fmt.Fprintln(w, f.Path)
+		}
+	}
+	return nil
+}
+
+// Clusters renders the multi-member clusters; busy shards refuse rather
+// than block (there is no cluster cache to fall back to).
+func (s *Shard) Clusters(ctx context.Context) ([]byte, error) {
+	if err := s.stateErr(); err != nil {
+		return nil, err
+	}
+	if !s.lockCtx(ctx) {
+		return nil, ErrNoPlan
+	}
+	defer s.unlock()
+	res, err := s.corr.ClustersContext(ctx)
+	if err != nil {
+		return nil, ErrNoPlan
+	}
+	var buf bytes.Buffer
+	for _, cl := range res.Clusters {
+		if len(cl.Members) < 2 {
+			continue
+		}
+		fmt.Fprintf(&buf, "cluster %d (%d files):\n", cl.ID, len(cl.Members))
+		for _, m := range cl.Members {
+			if f := s.corr.FS().Get(m); f != nil {
+				fmt.Fprintf(&buf, "  %s\n", f.Path)
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Miss records a hoard miss (§4.4), forcing the file and its project
+// mates into future plans. Mutations need a serving shard.
+func (s *Shard) Miss(ctx context.Context, path string) ([]string, error) {
+	if err := s.stateErr(); err != nil {
+		return nil, err
+	}
+	if !s.lockCtx(ctx) {
+		return nil, context.DeadlineExceeded
+	}
+	s.mMisses.Inc()
+	mates := s.corr.ForceHoard(path)
+	s.unlock()
+	return mates, nil
+}
+
+// Stats renders the observer statistics.
+func (s *Shard) Stats(ctx context.Context) ([]byte, error) {
+	if s.State() == Closed {
+		return nil, ErrClosed
+	}
+	if !s.lockCtx(ctx) {
+		return nil, context.DeadlineExceeded
+	}
+	defer s.unlock()
+	st := s.corr.Observer().Stats()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "events %d\nreferences %d\nknown %d\ntracked %d\nfrequent %d\n",
+		st.Events, st.References, s.corr.FS().Len(), s.corr.Table().Len(),
+		len(s.corr.Observer().FrequentFiles()))
+	return buf.Bytes(), nil
+}
+
+// ApplyRuntime pushes the hot-reloadable settings into the shard — but
+// only while it is serving. A draining or closed shard must never see
+// new Params (that would resurrect a retiring pipeline or mutate a
+// state that is already checkpointed for handoff); the replacement
+// shard in the slot picks up the new runtime instead. Reports whether
+// the settings were applied.
+func (s *Shard) ApplyRuntime(rt config.Runtime) bool {
+	if s.State() != Serving {
+		return false
+	}
+	s.queue.SetCap(rt.Daemon.QueueCap)
+	s.queue.SetBlock(time.Duration(rt.Daemon.QueueBlockMS) * time.Millisecond)
+	s.budget.Store(rt.Daemon.HoardBudgetMB << 20)
+	lat := time.Duration(rt.Admit.MaxLatencyMS) * time.Millisecond
+	s.lim.SetLimits(admit.Limits{
+		MaxInFlight: rt.Admit.PlanMaxInFlight,
+		MaxQueuePct: rt.Admit.MaxQueuePct,
+		MaxLatency:  lat,
+		RetryAfter:  time.Duration(rt.Admit.RetryAfterSec) * time.Second,
+	})
+	// Params need the correlator lock. Bounded: one wedged shard may
+	// cost the reload paramApplyTimeout, never block neighbors forever
+	// (the hot non-param knobs above applied already). Re-check the
+	// state under the lock: a drain that began between the test above
+	// and here must not have new Params applied beneath it — the state
+	// flips before Drain touches the correlator, so Serving observed
+	// while holding the lock is authoritative.
+	ctx, cancel := context.WithTimeout(context.Background(), paramApplyTimeout)
+	defer cancel()
+	if s.lockCtx(ctx) {
+		if s.State() == Serving {
+			s.corr.SetParams(rt.Params)
+		}
+		s.unlock()
+	} else {
+		s.log.Warn("reload: params not applied, correlator busy past deadline")
+	}
+	return true
+}
+
+// paramApplyTimeout bounds how long a reload waits on one shard's
+// correlator lock before skipping its Params push (a variable so tests
+// can tighten it).
+var paramApplyTimeout = 5 * time.Second
+
+// Drain executes the shard's half of the drain protocol: flip to
+// draining (ingest refused, reads go stale), stop the supervised
+// stages, fold every queued event into the correlator, write the final
+// fsync'd checkpoint, and close. ctx bounds the fold — a wedged
+// correlator cannot hang a drain forever, but a timed-out drain
+// reports how many events it abandoned. After Drain returns nil, the
+// snapshot at the shard's path replays into a byte-identical plan.
+func (s *Shard) Drain(ctx context.Context) error {
+	if !s.state.CompareAndSwap(int32(Serving), int32(Draining)) {
+		return fmt.Errorf("shard %s: %w (state %s)", s.name, errDrainConflict, s.State())
+	}
+	s.stateG.Set(int64(Draining))
+	s.log.Info("drain started", "queued", s.queue.Len())
+	s.cancel()
+	s.sup.Wait()
+	// Fold the tail of the queue under the drain deadline: events it
+	// cannot fold are lost only on a wedged shard, and counted.
+	lost := 0
+	for {
+		qe, ok := s.queue.TryGet()
+		if !ok {
+			break
+		}
+		if !s.lockCtx(ctx) {
+			lost = 1 + s.queue.Len()
+			break
+		}
+		s.corr.Feed(qe.ev)
+		s.unlock()
+	}
+	var err error
+	if s.dbPath() != "" {
+		if !s.lockCtx(ctx) {
+			err = fmt.Errorf("shard %s: final checkpoint: correlator wedged past drain deadline", s.name)
+		} else {
+			err = SaveSnapshot(s.corr, s.dbPath())
+			s.unlock()
+		}
+	}
+	s.setState(Closed)
+	if lost > 0 && err == nil {
+		err = fmt.Errorf("shard %s: drain abandoned %d queued events (correlator wedged)", s.name, lost)
+	}
+	if err != nil {
+		s.log.Error("drain finished with error", "err", err)
+	} else {
+		s.log.Info("drain complete", "events", s.corr.Events())
+	}
+	return err
+}
+
+// Close runs the drain protocol for process shutdown (final checkpoint
+// included). If another goroutine's Drain already owns the shard, Close
+// just waits for it to reach closed.
+func (s *Shard) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := s.Drain(ctx)
+	if errors.Is(err, errDrainConflict) {
+		// A concurrent drain owns the shutdown (or already finished);
+		// wait for the final checkpoint rather than double-draining.
+		for s.State() != Closed && ctx.Err() == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if s.State() == Closed {
+			return nil
+		}
+	}
+	return err
+}
+
+// bakSuffix names the rotated previous snapshot kept beside the
+// primary.
+const bakSuffix = ".bak"
+
+// RestoreSnapshot climbs the startup recovery ladder: the primary
+// snapshot, then its .bak rotation, then a fresh database. Corruption
+// is downgraded and logged — a poisoned SEERDB costs one shard at most
+// one checkpoint interval of learning, never the process.
+func RestoreSnapshot(path string, opts core.Options, log *obs.Logger) *core.Correlator {
+	if path == "" {
+		return core.New(opts)
+	}
+	sawAny := false
+	for _, cand := range []string{path, path + bakSuffix} {
+		f, err := os.Open(cand)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				log.Warn("cannot open snapshot", "path", cand, "err", err)
+				sawAny = true
+			}
+			continue
+		}
+		sawAny = true
+		c, lerr := core.Load(f, opts)
+		f.Close()
+		if lerr != nil {
+			log.Warn("snapshot unusable", "path", cand, "err", lerr)
+			continue
+		}
+		if cand != path {
+			log.Warn("primary snapshot lost; recovered from backup", "path", cand)
+		}
+		log.Info("database restored", "path", cand,
+			"events", c.Events(), "files", c.FS().Len())
+		return c
+	}
+	if sawAny {
+		log.Warn("no usable snapshot; starting with a fresh database")
+	}
+	return core.New(opts)
+}
+
+// SaveSnapshot writes an fsync'd snapshot next to path and rotates it
+// into place: serialize to a temp file, fsync, move the previous
+// snapshot to .bak, rename the temp over path, fsync the directory. A
+// crash at any step leaves a loadable snapshot at path or path.bak —
+// exactly the ladder RestoreSnapshot climbs.
+func SaveSnapshot(c *core.Correlator, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+bakSuffix); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so completed renames survive power loss;
+// best effort on filesystems that refuse directory fsync.
+func syncDir(dir string) {
+	df, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	df.Sync()
+	df.Close()
+}
+
+// firstLine truncates s at its first newline (panic errors carry full
+// stack traces).
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// unused guard so simfs stays imported if renderHoard changes shape.
+var _ = simfs.FileID(0)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -261,5 +262,95 @@ func TestQueueGetHonorsContext(t *testing.T) {
 	q.Put(context.Background(), 7)
 	if v, ok := q.Get(ctx); !ok || v != 7 {
 		t.Fatalf("drain with dead context = %d,%v want 7,true", v, ok)
+	}
+}
+
+// SetCap racing concurrent shed-oldest overflow (run under -race): a
+// reload flapping the capacity while producers overflow and a consumer
+// drains must never lose an accepted item without counting it as a
+// shed. The conservation law pinned here: every Put that returned true
+// is either consumed or in Drops — resizes cannot silently discard.
+func TestQueueResizeRacesShedOldest(t *testing.T) {
+	const (
+		producers   = 4
+		perProducer = 2000
+	)
+	q := NewQueue[int](4, 0) // tiny cap + no blocking: constant shedding
+	ctx := context.Background()
+
+	var accepted, consumed atomic.Int64
+	var wg sync.WaitGroup
+	stopResize := make(chan struct{})
+	resizerDone := make(chan struct{})
+
+	// The resizer: flap the capacity through the shrink-below-depth and
+	// grow-wakes-producers paths as fast as possible.
+	go func() {
+		defer close(resizerDone)
+		caps := []int{1, 64, 2, 512, 8}
+		for i := 0; ; i++ {
+			select {
+			case <-stopResize:
+				return
+			default:
+			}
+			q.SetCap(caps[i%len(caps)])
+			q.SetBlock(time.Duration(i%2) * time.Millisecond)
+		}
+	}()
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if q.Put(ctx, p*perProducer+i) {
+					accepted.Add(1)
+				}
+			}
+		}(p)
+	}
+
+	// The consumer drains until every producer is done and the queue is
+	// empty.
+	prodDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(prodDone)
+	}()
+	defer func() {
+		close(stopResize)
+		<-resizerDone
+	}()
+	for {
+		if v, ok := q.TryGet(); ok {
+			_ = v
+			consumed.Add(1)
+			continue
+		}
+		select {
+		case <-prodDone:
+			// Producers finished; one final drain pass below.
+		default:
+			continue
+		}
+		if _, ok := q.TryGet(); ok {
+			consumed.Add(1)
+			continue
+		}
+		break
+	}
+
+	if got := accepted.Load(); got != producers*perProducer {
+		// Background-context Puts can only return false on ctx end.
+		t.Fatalf("accepted %d of %d Puts", got, producers*perProducer)
+	}
+	total := consumed.Load() + int64(q.Drops())
+	if total != accepted.Load() {
+		t.Fatalf("lost events without a shed: accepted %d, consumed %d + drops %d = %d",
+			accepted.Load(), consumed.Load(), q.Drops(), total)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
 	}
 }
