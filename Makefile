@@ -17,7 +17,7 @@ BENCH_TIME ?= 5x
 BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$|BenchmarkClusterIncremental20k$$|BenchmarkClusterIncremental200k$$|BenchmarkClusterIncremental1M$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
-.PHONY: check vet build test test-race fuzz fuzz-strace chaos shard-chaos rumor-chaos metrics-smoke reload-smoke bench bench-check
+.PHONY: check vet build test test-race fuzz fuzz-strace chaos shard-chaos rumor-chaos metrics-smoke reload-smoke bench bench-check load-smoke load-bench
 
 check: vet build test-race
 
@@ -92,6 +92,28 @@ rumor-chaos: vet
 		-run 'TestRemoteRumor' ./internal/replic/
 	$(GO) test -race -count=$(CHAOS_COUNT) \
 		-run 'TestRefillSyncOverRemote' ./internal/hoard/
+
+# Capacity smoke: the closed-loop harness (cmd/seerload) ramps mixed
+# /plan + /hoard + /miss + rumor-sync load against a real seerd (plain
+# with -rumor, then -shards 4), records BENCH_load.json through
+# benchcmp, and re-checks a second ramp against it — the whole capacity
+# pipeline, black-box, in well under a minute. DESIGN.md §16.
+load-smoke:
+	$(GO) build -o bin/seerd ./cmd/seerd
+	$(GO) build -o bin/seerload ./cmd/seerload
+	sh scripts/load_smoke.sh
+
+# Re-record the committed capacity baseline with a longer, harder ramp
+# (6 steps × 3s, offered load climbing to several thousand req/s) so
+# the daemon actually saturates and the USL fit means something — a
+# ramp that never pushes Little's-law concurrency past 1 has no
+# contention signal and produces no ceiling entry. Capacity is
+# machine-dependent: re-record on the machine that checks.
+load-bench:
+	$(GO) build -o bin/seerd ./cmd/seerd
+	$(GO) build -o bin/seerload ./cmd/seerload
+	BASELINE_OUT=BENCH_load.json STEPS=6 STEP_DUR=3s \
+		CLIENTS=64 START_RPS=500 STEP_RPS=700 sh scripts/load_smoke.sh
 
 bench:
 	$(GO) build -o bin/benchcmp ./cmd/benchcmp

@@ -77,10 +77,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(1)
 	}
-	regs := benchcmp.Compare(base, cur, *nsTol, *allocTol)
+	regs, adds := benchcmp.Diff(base, cur,
+		benchcmp.Tolerances{Ns: *nsTol, Alloc: *allocTol, RPS: *nsTol})
+	// New benchmarks with no baseline yet are additions to record (run
+	// `make bench` to fold them in), never failures.
+	for _, a := range adds {
+		fmt.Fprintf(os.Stderr, "benchcmp: NEW %s (not in baseline %s; record to adopt)\n",
+			a.Name, *check)
+	}
 	if len(regs) == 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmarks within tolerance of %s\n",
-			len(cur.Benchmarks), *check)
+			len(cur.Benchmarks)-len(adds), *check)
 		return
 	}
 	for _, r := range regs {

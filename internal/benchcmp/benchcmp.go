@@ -14,12 +14,23 @@ import (
 	"strings"
 )
 
-// Benchmark is one benchmark's measured costs.
+// Benchmark is one benchmark's measured costs. The classic entries
+// come from `go test -bench` output (ns/op, B/op, allocs/op — lower is
+// better); capacity entries come from the seerload harness and carry a
+// throughput instead (RPS — higher is better). An entry may mix kinds:
+// a load measurement records its peak RPS alongside the p99 latency in
+// NsPerOp, and each metric is compared with its own direction.
 type Benchmark struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// RPS is a sustained-throughput measurement (requests per second);
+	// zero means "not a capacity entry". Regressions are drops.
+	RPS float64 `json:"rps,omitempty"`
+	// ErrRate records the failure rate observed at that throughput —
+	// informational context for reviewers, never compared.
+	ErrRate float64 `json:"err_rate,omitempty"`
 }
 
 // Report is a set of benchmark results, ordered as emitted.
@@ -113,36 +124,73 @@ type Regression struct {
 }
 
 func (r Regression) String() string {
+	// Throughput regresses downward; cost metrics regress upward.
+	floor := 1 + r.Tolerance
+	if r.Metric == "rps" {
+		floor = 1 - r.Tolerance
+	}
 	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx, tolerance %.2fx)",
-		r.Name, r.Metric, r.Base, r.Cur, r.Ratio, 1+r.Tolerance)
+		r.Name, r.Metric, r.Base, r.Cur, r.Ratio, floor)
 }
 
-// Compare flags every benchmark of cur whose ns/op or allocs/op grew
-// beyond the respective tolerance relative to base (0.15 = 15%).
-// Benchmarks present on only one side are ignored: a new benchmark has
-// no baseline yet, and a deleted one has nothing to regress.
-func Compare(base, cur *Report, nsTol, allocTol float64) []Regression {
-	var regs []Regression
+// Tolerances are the allowed fractional movements per metric before a
+// comparison becomes a regression: Ns and Alloc bound growth of ns/op
+// and allocs/op, RPS bounds the drop of a throughput entry (0.15 =
+// losing more than 15% of baseline capacity fails).
+type Tolerances struct {
+	Ns    float64
+	Alloc float64
+	RPS   float64
+}
+
+// Diff compares cur against base. Regressions are metrics that moved
+// beyond their tolerance in the bad direction. Benchmarks present in
+// cur but absent from base are returned as additions — brand-new
+// measurements with no baseline yet (e.g. the first BENCH_load.json
+// entries on a tree whose committed baseline predates them). They are
+// recorded for the caller to surface, NEVER treated as failures: a
+// check gate that faulted on unknown names would make every new
+// benchmark a chicken-and-egg CI breakage. Benchmarks present only in
+// base (deleted ones) have nothing to regress and are ignored.
+func Diff(base, cur *Report, tol Tolerances) (regs []Regression, additions []Benchmark) {
 	for _, c := range cur.Benchmarks {
 		b := base.Find(c.Name)
 		if b == nil {
+			additions = append(additions, c)
 			continue
 		}
-		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsTol) {
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol.Ns) {
 			regs = append(regs, Regression{
 				Name: c.Name, Metric: "ns/op",
 				Base: b.NsPerOp, Cur: c.NsPerOp,
-				Ratio: c.NsPerOp / b.NsPerOp, Tolerance: nsTol,
+				Ratio: c.NsPerOp / b.NsPerOp, Tolerance: tol.Ns,
 			})
 		}
-		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+allocTol) {
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+tol.Alloc) {
 			regs = append(regs, Regression{
 				Name: c.Name, Metric: "allocs/op",
 				Base: b.AllocsPerOp, Cur: c.AllocsPerOp,
-				Ratio: c.AllocsPerOp / b.AllocsPerOp, Tolerance: allocTol,
+				Ratio: c.AllocsPerOp / b.AllocsPerOp, Tolerance: tol.Alloc,
+			})
+		}
+		if b.RPS > 0 && c.RPS < b.RPS*(1-tol.RPS) {
+			regs = append(regs, Regression{
+				Name: c.Name, Metric: "rps",
+				Base: b.RPS, Cur: c.RPS,
+				Ratio: c.RPS / b.RPS, Tolerance: tol.RPS,
 			})
 		}
 	}
+	return regs, additions
+}
+
+// Compare flags every benchmark of cur whose ns/op or allocs/op grew
+// beyond the respective tolerance relative to base (0.15 = 15%), or
+// whose RPS dropped more than nsTol. Benchmarks present on only one
+// side are ignored: a new benchmark has no baseline yet, and a deleted
+// one has nothing to regress. Diff additionally reports the additions.
+func Compare(base, cur *Report, nsTol, allocTol float64) []Regression {
+	regs, _ := Diff(base, cur, Tolerances{Ns: nsTol, Alloc: allocTol, RPS: nsTol})
 	return regs
 }
 

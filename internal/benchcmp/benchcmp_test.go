@@ -101,6 +101,58 @@ func TestCompareThresholds(t *testing.T) {
 	}
 }
 
+// The mixed old/new case: a run whose report contains both entries the
+// committed baseline knows (compared normally) and brand-new capacity
+// entries the baseline predates (e.g. the first BENCH_load.json). The
+// new entries must come back as additions to record — a regression
+// list that faulted on unknown names would break CI on every newly
+// introduced benchmark before its baseline could ever be committed.
+func TestDiffMixedOldAndNewEntries(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "Old", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "LoadPeak", RPS: 1000},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "Old", NsPerOp: 105, AllocsPerOp: 10}, // within tolerance
+		{Name: "LoadPeak", RPS: 950},                 // -5%: within tolerance
+		{Name: "LoadPeak/shards4", RPS: 800},         // new: addition, not failure
+		{Name: "LoadP99", NsPerOp: 5e6},              // new: addition, not failure
+	}}
+	regs, adds := Diff(base, cur, Tolerances{Ns: 0.15, Alloc: 0.15, RPS: 0.15})
+	if len(regs) != 0 {
+		t.Fatalf("mixed old/new flagged regressions: %v", regs)
+	}
+	if len(adds) != 2 {
+		t.Fatalf("additions = %+v, want the two new entries", adds)
+	}
+	if adds[0].Name != "LoadPeak/shards4" || adds[1].Name != "LoadP99" {
+		t.Errorf("additions misidentified: %+v", adds)
+	}
+
+	// A real capacity drop beyond tolerance still fails.
+	cur2 := &Report{Benchmarks: []Benchmark{{Name: "LoadPeak", RPS: 500}}}
+	regs2, _ := Diff(base, cur2, Tolerances{RPS: 0.15})
+	if len(regs2) != 1 || regs2[0].Metric != "rps" {
+		t.Fatalf("halved throughput not flagged: %v", regs2)
+	}
+	if regs2[0].Ratio >= 1 {
+		t.Errorf("rps regression ratio %v should be < 1 (a drop)", regs2[0].Ratio)
+	}
+
+	// RPS entries round-trip through JSON.
+	var buf bytes.Buffer
+	if err := cur.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Find("LoadPeak/shards4"); got == nil || got.RPS != 800 {
+		t.Errorf("RPS lost in round trip: %+v", got)
+	}
+}
+
 func TestParseRejectsGarbage(t *testing.T) {
 	rep, err := Parse(strings.NewReader("BenchmarkBad abc def\nnot a line\nBenchmarkNoNs 3 5 widgets/op\n"))
 	if err != nil {

@@ -1,6 +1,7 @@
 package hoard
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -27,7 +28,8 @@ type RetryPolicy struct {
 	// actual sleep is delay * (1 - Jitter*u) for uniform u, decorrelating
 	// retry storms from many clients.
 	Jitter float64
-	// Rand drives jitter; nil disables jitter.
+	// Rand drives jitter; nil uses a shared locked process-wide source.
+	// A policy that truly wants deterministic backoff sets Jitter to 0.
 	Rand *stats.Rand
 	// Sleep is the delay function; nil means time.Sleep. Tests inject a
 	// stub to run instantly.
@@ -48,6 +50,14 @@ var DefaultRetry = RetryPolicy{
 	Jitter:      0.5,
 }
 
+// jitterRand is the process-wide jitter source policies fall back on
+// when Rand is nil. It must be locked: one policy value is shared by
+// many goroutines (every gateway request, every syncing client), and it
+// must exist at all — a nil Rand used to disable jitter silently, so
+// the shipped DefaultRetry backed off in lockstep across all clients
+// and synchronized the very retry storms Jitter is there to break up.
+var jitterRand = stats.NewLockedRand(0x6a69747465720a) // "jitter"
+
 func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxAttempts < 1 {
 		p.MaxAttempts = 1
@@ -57,6 +67,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = 2 * time.Second
+	}
+	if p.Rand == nil {
+		p.Rand = jitterRand
 	}
 	if p.Sleep == nil {
 		p.Sleep = time.Sleep
@@ -99,6 +112,54 @@ func (p RetryPolicy) Do(op func() error) error {
 			p.OnRetry(attempt, err)
 		}
 		p.Sleep(p.delay(attempt))
+	}
+}
+
+// DoCtx is Do bounded by ctx: a backoff in progress is cut short the
+// moment ctx ends (client disconnect, request deadline), and no further
+// attempt is made once ctx is done. It returns the last attempt's error
+// in that case — callers that need to distinguish "gave up because the
+// context died" check ctx.Err() themselves. A custom Sleep hook is
+// still honored (tests stub it to run instantly); the default sleep is
+// an interruptible timer rather than time.Sleep, so a cancelled request
+// never sleeps through its own backoff.
+func (p RetryPolicy) DoCtx(ctx context.Context, op func() error) error {
+	customSleep := p.Sleep
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || errors.Is(err, replic.ErrNotReplicated) {
+			return err
+		}
+		if attempt >= p.MaxAttempts || ctx.Err() != nil {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		d := p.delay(attempt)
+		if customSleep != nil {
+			customSleep(d)
+		} else if !sleepCtx(ctx, d) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx ends, reporting whether the full delay
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

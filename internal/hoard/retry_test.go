@@ -1,8 +1,10 @@
 package hoard
 
 import (
+	"context"
 	"errors"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -87,6 +89,115 @@ func TestFetchWithRetryJitterShrinksDelay(t *testing.T) {
 	if !varied {
 		t.Error("jitter never changed a delay")
 	}
+}
+
+// The shipped default policy must jitter out of the box. It used to
+// carry Rand: nil, which disabled jitter entirely — every client backed
+// off on the identical schedule and re-converged on the server in
+// lockstep (a thundering herd exactly when the server was drowning).
+func TestDefaultPolicyJitters(t *testing.T) {
+	pol := DefaultRetry
+	pol.MaxAttempts = 12
+	// Pin the backoff flat: without jitter every delay would be exactly
+	// MaxDelay, so any variation observed below is jitter at work.
+	pol.BaseDelay = 100 * time.Millisecond
+	pol.MaxDelay = 100 * time.Millisecond
+	pol, slept := noSleep(pol)
+	if pol.Rand != nil {
+		t.Fatal("test wants the defaulted rand path, not an explicit Rand")
+	}
+	err := pol.Do(func() error { return errors.New("transient") })
+	if err == nil {
+		t.Fatal("op always fails; Do reported success")
+	}
+	if len(*slept) != pol.MaxAttempts-1 {
+		t.Fatalf("slept %d times, want %d", len(*slept), pol.MaxAttempts-1)
+	}
+	for i, d := range *slept {
+		if d > 100*time.Millisecond || d < 50*time.Millisecond {
+			t.Fatalf("delay %d = %v outside the jitter band [50ms, 100ms]", i, d)
+		}
+		if i > 0 && d == (*slept)[i-1] {
+			t.Fatalf("delays %d and %d identical (%v): default policy is not jittering",
+				i-1, i, d)
+		}
+	}
+}
+
+// The defaulted jitter source is shared process-wide, so concurrent
+// retriers must be able to draw from it without a data race (the race
+// detector is the assertion here).
+func TestDefaultPolicyJitterConcurrentSafe(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pol := DefaultRetry
+			pol.MaxAttempts = 50
+			pol.Sleep = func(time.Duration) {}
+			pol.Do(func() error { return errors.New("transient") })
+		}()
+	}
+	wg.Wait()
+}
+
+// A backoff in progress must end when the context does: DoCtx with the
+// default (real) sleep and a huge BaseDelay returns promptly once the
+// context is cancelled mid-backoff instead of sleeping through it.
+func TestDoCtxAbortsBackoffPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pol := RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   30 * time.Second,
+		MaxDelay:    30 * time.Second,
+	}
+	attempts := 0
+	start := time.Now()
+	go func() {
+		// Cancel while the first backoff is sleeping.
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := pol.DoCtx(ctx, func() error {
+		attempts++
+		return errors.New("transient")
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("op always fails; DoCtx reported success")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("DoCtx slept %v through a cancelled context", elapsed)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no attempt after cancellation)", attempts)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context should be cancelled")
+	}
+}
+
+// DoCtx with an already-expired context still runs the op once (the
+// caller asked for the operation, not for a guess), but never backs
+// off or retries.
+func TestDoCtxExpiredContextSingleAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts := 0
+	err := pol0().DoCtx(ctx, func() error {
+		attempts++
+		return errors.New("transient")
+	})
+	if err == nil || attempts != 1 {
+		t.Fatalf("attempts = %d (err %v), want exactly 1 failed attempt", attempts, err)
+	}
+}
+
+// pol0 is a policy whose un-stubbed sleeps would hang the test if they
+// ever ran.
+func pol0() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}
 }
 
 func TestFetchWithRetryNotReplicatedIsPermanent(t *testing.T) {

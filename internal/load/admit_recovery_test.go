@@ -1,0 +1,102 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/admit"
+	"github.com/fmg/seer/internal/obs"
+)
+
+// TestLimiterEWMARecoveryUnderLoad drives an admit.Limiter with the
+// closed-loop generator through a slow→fast service transition. Under
+// sustained overload the latency EWMA trips MaxLatency and the limiter
+// sheds; once the service is fast again the EWMA must recover — the
+// limiter always admits a lone in-flight request precisely so fresh
+// samples keep flowing while everything else is refused — and the shed
+// rate must return to ~zero. A limiter that stayed latched open-circuit
+// after the backend healed would turn every brownout permanent.
+func TestLimiterEWMARecoveryUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed integration")
+	}
+	lim := admit.New("test", obs.NewRegistry(), nil)
+	lim.SetLimits(admit.Limits{MaxLatency: 5 * time.Millisecond})
+
+	var delay atomic.Int64
+	delay.Store(int64(40 * time.Millisecond)) // 8× over MaxLatency
+	srv := httptest.NewServer(lim.WrapFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Duration(delay.Load()))
+		w.Write([]byte("ok\n"))
+	}))
+	defer srv.Close()
+
+	opts := Options{
+		Target:   srv.URL,
+		Clients:  12,
+		Seed:     3,
+		Mix:      Mix{Plan: 1}, // op type is irrelevant; one handler serves all
+		StartRPS: 150,
+		StepRPS:  0.001, // hold the offered rate flat across phases
+		MaxSteps: 2,
+		StepDur:  700 * time.Millisecond,
+		// The overload detector must not stop the run: the whole point
+		// is to keep offering load through the shedding phase.
+		FailThreshold:     1.1,
+		OverloadTolerance: 1000,
+		Timeout:           5 * time.Second,
+		Logf:              t.Logf,
+	}
+
+	// Phase 1: sustained overload. The EWMA climbs past MaxLatency and
+	// the limiter starts refusing with 429.
+	res, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := res.Steps[len(res.Steps)-1]
+	if slow.Shed == 0 {
+		t.Fatalf("no sheds under 8× latency overload: %+v", res.Steps)
+	}
+	if ewma := lim.EWMALatency(); ewma < 5*time.Millisecond {
+		t.Fatalf("EWMA %v did not climb past MaxLatency under overload", ewma)
+	}
+
+	// Phase 2: the backend heals. The lone-in-flight carve-out keeps
+	// feeding fast samples into the EWMA, which decays below the
+	// threshold; a second identical ramp must then run nearly shed-free.
+	delay.Store(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for lim.EWMALatency() >= 5*time.Millisecond {
+		if time.Now().After(deadline) {
+			t.Fatalf("EWMA stuck at %v after backend healed", lim.EWMALatency())
+		}
+		// A trickle of probes — the EWMA only moves on completed
+		// requests, and only the lone in-flight one is admitted.
+		resp, err := http.Get(srv.URL + "/plan")
+		if err == nil {
+			resp.Body.Close()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	res2, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed := res2.Steps[len(res2.Steps)-1]
+	if healed.OK == 0 {
+		t.Fatalf("no requests admitted after recovery: %+v", res2.Steps)
+	}
+	if healed.FailureRate > 0.05 {
+		t.Errorf("limiter still shedding %.0f%% after recovery: %+v",
+			healed.FailureRate*100, healed)
+	}
+	if slowRate, healedRate := slow.FailureRate, healed.FailureRate; healedRate >= slowRate {
+		t.Errorf("recovery did not reduce shed rate: %.2f → %.2f", slowRate, healedRate)
+	}
+}

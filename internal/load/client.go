@@ -1,0 +1,234 @@
+// The simulated clients: each owns its seeded RNG, its user identity,
+// and (when replication is exercised) its own RemoteRumor, and fires
+// one operation per interarrival gap drawn from the weighted mix.
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/fmg/seer/internal/replic"
+	"github.com/fmg/seer/internal/simfs"
+	"github.com/fmg/seer/internal/stats"
+)
+
+type opKind uint8
+
+const (
+	opPlan opKind = iota
+	opHoard
+	opMiss
+	opSync
+)
+
+// client is one simulated mobile host.
+type client struct {
+	id   int
+	user string
+	rng  *stats.Rand
+	hc   *http.Client
+
+	target string
+	rumor  *replic.RemoteRumor // nil when sync is out of the mix
+
+	// ops is the weighted op table: fire picks uniformly from it, so
+	// weights translate to probabilities without arithmetic per shot.
+	ops       []opKind
+	syncFiles int
+	timeoutMS string
+}
+
+type runner struct {
+	opts    Options
+	hc      *http.Client
+	clients []*client
+}
+
+func newRunner(opts Options) (*runner, error) {
+	hc := transport(opts.Clients, opts.Timeout)
+	mix := opts.Mix
+	if opts.Rumor == "" {
+		mix.Sync = 0
+	}
+	var ops []opKind
+	for k, w := range map[opKind]int{
+		opPlan: mix.Plan, opHoard: mix.Hoard, opMiss: mix.Miss, opSync: mix.Sync,
+	} {
+		for i := 0; i < w; i++ {
+			ops = append(ops, k)
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("load: empty op mix")
+	}
+	// Map iteration order is random; sort for run-to-run determinism.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j] < ops[j-1]; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+
+	r := &runner{opts: opts, hc: hc}
+	for i := 0; i < opts.Clients; i++ {
+		c := &client{
+			id:        i,
+			user:      userName(i, opts.Users),
+			rng:       stats.NewRand(opts.Seed + int64(i)*0x9e3779b9),
+			hc:        hc,
+			target:    strings.TrimRight(opts.Target, "/"),
+			ops:       ops,
+			syncFiles: opts.SyncFiles,
+			timeoutMS: strconv.FormatInt(opts.Timeout.Milliseconds(), 10),
+		}
+		if opts.Rumor != "" && mix.Sync > 0 {
+			// One protocol client per simulated host — mirrors real
+			// deployment (each mobile host syncs its own hoard) and keeps
+			// the RemoteRumor mutex from serializing the whole pool.
+			c.rumor = replic.NewRemoteRumor(opts.Rumor, hc)
+		}
+		r.clients = append(r.clients, c)
+	}
+	return r, nil
+}
+
+func (r *runner) close() {
+	if t, ok := r.hc.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// setup primes the targets before the measured ramp: seed strace
+// events per user (sharded gateways only — plain seerd watches its own
+// strace spool and answers 404/405 here, which setup tolerates), and
+// create the replicated-file id space on the rumor master.
+func (r *runner) setup(ctx context.Context) error {
+	o := r.opts
+	if o.SeedEvents > 0 {
+		body := eventBody(o.SeedEvents)
+		seeded := true
+		for u := 0; u < o.Users && seeded; u++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			status, err := r.postBody(ctx, "/events", userName(u, o.Users), body)
+			switch {
+			case err != nil:
+				return fmt.Errorf("load: seed events for user %d: %v", u, err)
+			case status == http.StatusNotFound || status == http.StatusMethodNotAllowed:
+				// Plain seerd: no ingest endpoint; it learns from its own
+				// strace tail, so there is nothing to seed.
+				o.Logf("target has no /events endpoint; skipping event seeding")
+				seeded = false
+			case status != http.StatusOK:
+				return fmt.Errorf("load: seed events for user %d: http %d", u, status)
+			}
+		}
+		if seeded {
+			o.Logf("seeded %d events for each of %d users", o.SeedEvents, o.Users)
+		}
+	}
+	if o.Rumor != "" && o.Mix.Sync > 0 {
+		// Push creates unknown ids at version 1, so WriteLocal through a
+		// throwaway client populates the id space the sync ops draw from.
+		seed := replic.NewRemoteRumor(o.Rumor, r.hc)
+		for id := 1; id <= o.SyncFiles; id++ {
+			seed.WriteLocal(simfs.FileID(id))
+		}
+		if n := seed.DirtyCount(); n > 0 {
+			return fmt.Errorf("load: rumor master at %s unreachable (%d of %d creates unpropagated)",
+				o.Rumor, n, o.SyncFiles)
+		}
+		o.Logf("created %d replicated files on %s", o.SyncFiles, o.Rumor)
+	}
+	return nil
+}
+
+// eventBody builds one POST /events payload of n synthetic strace open
+// lines — enough referenced files that plans and misses touch a real
+// working set.
+func eventBody(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "100  12:00:%02d.%06d openat(AT_FDCWD, \"/home/u/proj/f%03d.c\", O_RDONLY) = 3\n",
+			i/60%60, i%1_000_000, i%400)
+	}
+	return b.String()
+}
+
+func (r *runner) postBody(ctx context.Context, path, user, body string) (int, error) {
+	u := strings.TrimRight(r.opts.Target, "/") + path + "?user=" + url.QueryEscape(user)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// fire issues one operation drawn from the mix and classifies the
+// outcome. elapsed is wall time of the whole round trip.
+func (c *client) fire(ctx context.Context) (class, time.Duration) {
+	op := c.ops[c.rng.Intn(len(c.ops))]
+	start := time.Now()
+	var cl class
+	switch op {
+	case opSync:
+		cl = c.fireSync()
+	default:
+		cl = c.fireHTTP(ctx, op)
+	}
+	return cl, time.Since(start)
+}
+
+// fireSync is one replication round trip: sync a random file id the
+// setup phase created on the master.
+func (c *client) fireSync() class {
+	id := simfs.FileID(1 + c.rng.Intn(c.syncFiles))
+	if _, err := c.rumor.SyncBatch([]simfs.FileID{id}, nil); err != nil {
+		return classFail
+	}
+	return classOK
+}
+
+func (c *client) fireHTTP(ctx context.Context, op opKind) class {
+	var method, path string
+	q := url.Values{"user": {c.user}, "timeout_ms": {c.timeoutMS}}
+	switch op {
+	case opPlan:
+		method, path = http.MethodGet, "/plan"
+	case opHoard:
+		method, path = http.MethodGet, "/hoard"
+	default: // opMiss
+		method, path = http.MethodPost, "/miss"
+		q.Set("path", fmt.Sprintf("/home/u/proj/f%03d.c", c.rng.Intn(400)))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.target+path+"?"+q.Encode(), nil)
+	if err != nil {
+		return classFail
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return classFail
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return classOK
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return classShed
+	default:
+		return classFail
+	}
+}

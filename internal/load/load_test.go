@@ -1,0 +1,335 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fmg/seer/internal/benchcmp"
+)
+
+// fakeTarget is a controllable seerd stand-in: per-status counters, a
+// switchable artificial latency, and an optional concurrency gate that
+// sheds with 429 beyond a limit — enough to drive every harness path
+// without a real daemon.
+type fakeTarget struct {
+	delay     atomic.Int64 // artificial service time, ns
+	limit     atomic.Int64 // max in-flight before 429; 0 = unlimited
+	shedFirst atomic.Int64 // 429 the first N load requests (count-based, timing-free)
+	inflight  atomic.Int64
+	requests  atomic.Int64
+	events    atomic.Int64
+	noEvents  bool // 404 on /events like plain seerd
+}
+
+func (f *fakeTarget) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/events") {
+			if f.noEvents {
+				http.NotFound(w, r)
+				return
+			}
+			f.events.Add(1)
+			w.Write([]byte("ok\n"))
+			return
+		}
+		n := f.requests.Add(1)
+		if n <= f.shedFirst.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		if lim := f.limit.Load(); lim > 0 && f.inflight.Add(1) > lim {
+			f.inflight.Add(-1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		} else if lim > 0 {
+			defer f.inflight.Add(-1)
+		}
+		if d := f.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		w.Write([]byte("ok\n"))
+	})
+}
+
+func testOpts(target string) Options {
+	return Options{
+		Target:   target,
+		Clients:  8,
+		Seed:     42,
+		StartRPS: 200,
+		StepRPS:  200,
+		MaxSteps: 3,
+		StepDur:  300 * time.Millisecond,
+		Timeout:  2 * time.Second,
+		Logf:     func(string, ...any) {},
+	}
+}
+
+func TestRunRampCollectsSteps(t *testing.T) {
+	ft := &fakeTarget{}
+	srv := httptest.NewServer(ft.handler())
+	defer srv.Close()
+
+	res, err := Run(context.Background(), testOpts(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(res.Steps))
+	}
+	if res.Overloaded {
+		t.Error("healthy target flagged overloaded")
+	}
+	for i, s := range res.Steps {
+		if s.Sent == 0 || s.OK == 0 {
+			t.Errorf("step %d sent nothing: %+v", i, s)
+		}
+		if s.Fail != 0 || s.Shed != 0 {
+			t.Errorf("step %d failures against healthy target: %+v", i, s)
+		}
+		if s.OK > 0 && (s.P50 <= 0 || s.P99 < s.P50) {
+			t.Errorf("step %d bad quantiles: p50=%v p99=%v", i, s.P50, s.P99)
+		}
+		if s.Concurrency <= 0 {
+			t.Errorf("step %d no Little's-law estimate: %+v", i, s)
+		}
+	}
+	// Offered load must actually ramp.
+	if res.Steps[2].Sent <= res.Steps[0].Sent {
+		t.Errorf("no ramp: step0 sent %d, step2 sent %d", res.Steps[0].Sent, res.Steps[2].Sent)
+	}
+	if res.PeakRPS <= 0 {
+		t.Error("no peak recorded")
+	}
+}
+
+func TestRunStopsOnSustainedOverload(t *testing.T) {
+	ft := &fakeTarget{}
+	ft.limit.Store(1)                              // nearly everything sheds
+	ft.delay.Store(int64(20 * time.Millisecond))   // holds the one slot busy
+	srv := httptest.NewServer(ft.handler())
+	defer srv.Close()
+
+	opts := testOpts(srv.URL)
+	opts.MaxSteps = 10
+	opts.FailThreshold = 0.3
+	opts.OverloadTolerance = 2
+	res, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overloaded {
+		t.Fatalf("sustained sheds not detected as overload: %+v", res.Steps)
+	}
+	if len(res.Steps) != 2 {
+		t.Errorf("ramp ran %d steps, want stop after tolerance of 2", len(res.Steps))
+	}
+	for i, s := range res.Steps {
+		if !s.Overloaded {
+			t.Errorf("step %d not marked overloaded: failure rate %.2f", i, s.FailureRate)
+		}
+		if s.Shed == 0 {
+			t.Errorf("step %d recorded no sheds: %+v", i, s)
+		}
+	}
+}
+
+func TestRunToleratesTransientSpike(t *testing.T) {
+	// One overloaded step below tolerance must not stop the ramp. The
+	// gate is count-based: shedding every one of the first ~step-worth
+	// of requests guarantees step 0 is overloaded and later steps see a
+	// negligible tail of sheds, with no wall-clock coupling.
+	ft := &fakeTarget{}
+	ft.shedFirst.Store(55) // step 0 offers ~60 requests at 200 rps × 300ms
+	srv := httptest.NewServer(ft.handler())
+	defer srv.Close()
+
+	opts := testOpts(srv.URL)
+	opts.MaxSteps = 3
+	opts.OverloadTolerance = 2
+	res, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Steps[0].Overloaded {
+		t.Fatalf("spike step not overloaded: %+v", res.Steps[0])
+	}
+	if res.Overloaded {
+		t.Errorf("transient spike stopped the ramp: %+v", res.Steps)
+	}
+	if len(res.Steps) != 3 {
+		t.Errorf("steps = %d, want the full 3", len(res.Steps))
+	}
+}
+
+func TestRunSeedsEventsAndSkipsWhenUnsupported(t *testing.T) {
+	ft := &fakeTarget{}
+	srv := httptest.NewServer(ft.handler())
+	defer srv.Close()
+
+	opts := testOpts(srv.URL)
+	opts.MaxSteps = 1
+	opts.SeedEvents = 10
+	opts.Users = 4
+	if _, err := Run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.events.Load(); got != 4 {
+		t.Errorf("event seeding posted %d times, want one per user (4)", got)
+	}
+
+	// Plain seerd has no /events: setup logs and proceeds.
+	ft2 := &fakeTarget{noEvents: true}
+	srv2 := httptest.NewServer(ft2.handler())
+	defer srv2.Close()
+	opts2 := testOpts(srv2.URL)
+	opts2.MaxSteps = 1
+	opts2.SeedEvents = 10
+	res, err := Run(context.Background(), opts2)
+	if err != nil {
+		t.Fatalf("missing /events endpoint must not fail the run: %v", err)
+	}
+	if len(res.Steps) != 1 || res.Steps[0].OK == 0 {
+		t.Errorf("ramp did not run after skipped seeding: %+v", res.Steps)
+	}
+}
+
+func TestRunDeterministicOfferedLoad(t *testing.T) {
+	// Same seed, same target behavior → identical request counts (the
+	// interarrival schedule is fully derived from the seed). Zero-delay
+	// local responses make wall-clock jitter negligible next to the
+	// exponential gaps.
+	ft := &fakeTarget{}
+	srv := httptest.NewServer(ft.handler())
+	defer srv.Close()
+	opts := testOpts(srv.URL)
+	opts.MaxSteps = 1
+
+	r1, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := float64(r1.Steps[0].Sent), float64(r2.Steps[0].Sent)
+	if a == 0 || b/a < 0.8 || b/a > 1.25 {
+		t.Errorf("seeded runs diverged: %v vs %v requests", a, b)
+	}
+}
+
+func TestRunFitsUSLOnRamp(t *testing.T) {
+	// A slow server the ramp actually saturates: 30ms service time on
+	// 16 closed-loop clients caps throughput near 16/0.03 ≈ 530 req/s,
+	// so the steps sweep Little's-law concurrency from ~3 up to ~16 —
+	// the ≥1 regime the fitter requires.
+	ft := &fakeTarget{}
+	ft.delay.Store(int64(30 * time.Millisecond))
+	srv := httptest.NewServer(ft.handler())
+	defer srv.Close()
+
+	opts := testOpts(srv.URL)
+	opts.Clients = 16
+	opts.StartRPS = 100
+	opts.StepRPS = 150
+	opts.MaxSteps = 6
+	opts.StepDur = 300 * time.Millisecond
+	res, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit == nil {
+		t.Fatalf("no USL fit from a %d-step ramp", len(res.Steps))
+	}
+	if res.Fit.PeakX <= 0 {
+		t.Errorf("fit has no ceiling: %s", res.Fit)
+	}
+}
+
+func TestResultBenchmarks(t *testing.T) {
+	res := &Result{
+		Steps: []StepResult{
+			{Throughput: 100, P99: 5 * time.Millisecond, FailureRate: 0.01},
+			{Throughput: 250, P99: 9 * time.Millisecond, FailureRate: 0.05},
+		},
+		PeakRPS:  250,
+		PeakStep: 1,
+		Fit:      &USL{Lambda: 3, Sigma: 0.1, Kappa: 0, PeakX: 300, R2: 0.97},
+	}
+	bs := res.Benchmarks("Load")
+	if len(bs) != 4 { // peak + ceiling + one per step
+		t.Fatalf("benchmarks = %+v", bs)
+	}
+	if bs[0].Name != "Load/peak_rps" || bs[0].RPS != 250 ||
+		bs[0].NsPerOp != float64(9*time.Millisecond) || bs[0].ErrRate != 0.05 {
+		t.Errorf("peak entry = %+v", bs[0])
+	}
+	if bs[1].Name != "Load/usl_ceiling_rps" || bs[1].RPS != 300 {
+		t.Errorf("ceiling entry = %+v", bs[1])
+	}
+	if bs[2].Name != "Load/step0" || bs[2].RPS != 100 ||
+		bs[3].Name != "Load/step1" || bs[3].RPS != 250 || bs[3].ErrRate != 0.05 {
+		t.Errorf("step entries = %+v", bs[2:])
+	}
+
+	// MergeInto replaces same-named entries and appends new ones.
+	rep := &benchcmp.Report{Benchmarks: []benchcmp.Benchmark{
+		{Name: "Load/peak_rps", RPS: 1},
+		{Name: "Other", NsPerOp: 5},
+	}}
+	res.MergeInto(rep, "Load")
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("merged report = %+v", rep.Benchmarks)
+	}
+	if got := rep.Find("Load/peak_rps"); got.RPS != 250 {
+		t.Errorf("merge did not replace stale entry: %+v", got)
+	}
+
+	// A low-confidence fit must not put a ceiling in the baseline.
+	res.Fit.R2 = 0.4
+	for _, b := range res.Benchmarks("Load") {
+		if b.Name == "Load/usl_ceiling_rps" {
+			t.Errorf("R²=0.4 fit emitted a ceiling entry: %+v", b)
+		}
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("empty target accepted")
+	}
+	opts := testOpts("http://127.0.0.1:1") // nothing listens on port 1
+	opts.Mix = Mix{Sync: 1}                // sync-only mix with no Rumor → empty table
+	if _, err := Run(context.Background(), opts); err == nil {
+		t.Error("empty effective op mix accepted")
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	ft := &fakeTarget{}
+	srv := httptest.NewServer(ft.handler())
+	defer srv.Close()
+	opts := testOpts(srv.URL)
+	opts.MaxSteps = 100
+	opts.StepDur = 10 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Run(ctx, opts)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	// Either outcome is fine (a context error or a partial result), but
+	// not a hang and not a fabricated full ramp.
+	if err == nil && len(res.Steps) > 1 {
+		t.Errorf("cancelled run claims %d steps", len(res.Steps))
+	}
+}

@@ -1,0 +1,65 @@
+// Bridging harness results into benchcmp baselines: a load ramp
+// collapses to two capacity entries per target — the measured peak and
+// the USL-predicted ceiling — so capacity regressions gate CI exactly
+// the way allocation regressions already do.
+package load
+
+import (
+	"fmt"
+
+	"github.com/fmg/seer/internal/benchcmp"
+)
+
+// Benchmarks renders the run as benchcmp entries under prefix (e.g.
+// "Load" or "Load/shards4"):
+//
+//   - {prefix}/peak_rps — measured peak throughput (RPS, higher is
+//     better), with the p99 latency at peak in NsPerOp and the peak
+//     step's failure rate in ErrRate for reviewer context.
+//   - {prefix}/usl_ceiling_rps — the fitted capacity ceiling; only
+//     emitted when the ramp produced a trustworthy fit (R² ≥ 0.9 — a
+//     3-step smoke ramp fits garbage, and a garbage ceiling in the
+//     baseline would gate later runs on noise).
+//   - {prefix}/step{i} — each step's throughput, p99, and failure
+//     rate. A shorter re-run (earlier overload stop) simply omits the
+//     tail entries, which the baseline diff ignores.
+func (r *Result) Benchmarks(prefix string) []benchcmp.Benchmark {
+	if len(r.Steps) == 0 {
+		return nil
+	}
+	peak := r.Steps[r.PeakStep]
+	out := []benchcmp.Benchmark{{
+		Name:    prefix + "/peak_rps",
+		NsPerOp: float64(peak.P99),
+		RPS:     r.PeakRPS,
+		ErrRate: peak.FailureRate,
+	}}
+	if r.Fit != nil && r.Fit.R2 >= 0.9 {
+		out = append(out, benchcmp.Benchmark{
+			Name: prefix + "/usl_ceiling_rps",
+			RPS:  r.Fit.PeakX,
+		})
+	}
+	for i, s := range r.Steps {
+		out = append(out, benchcmp.Benchmark{
+			Name:    fmt.Sprintf("%s/step%d", prefix, i),
+			NsPerOp: float64(s.P99),
+			RPS:     s.Throughput,
+			ErrRate: s.FailureRate,
+		})
+	}
+	return out
+}
+
+// MergeInto adds the run's entries to rep, replacing same-named
+// entries from an earlier run (a seerload invocation measuring plain
+// and sharded targets merges both into one report).
+func (r *Result) MergeInto(rep *benchcmp.Report, prefix string) {
+	for _, b := range r.Benchmarks(prefix) {
+		if prev := rep.Find(b.Name); prev != nil {
+			*prev = b
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+}

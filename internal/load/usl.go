@@ -1,0 +1,258 @@
+// Universal Scaling Law fitting: turn the per-step (concurrency,
+// throughput) measurements of a load ramp into a capacity model.
+//
+// Gunther's USL models throughput at concurrency N as
+//
+//	X(N) = λN / (1 + σ(N−1) + κN(N−1))
+//
+// λ is the ideal per-unit throughput, σ the contention (serialization)
+// penalty, and κ the coherency (crosstalk) penalty. σ alone bends the
+// curve toward an asymptote λ/σ (Amdahl); κ > 0 makes it retrograde —
+// past N* = sqrt((1−σ)/κ) adding load *reduces* throughput, which is
+// exactly the knee a capacity gate needs to know about before
+// production finds it.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// USL is a fitted Universal Scaling Law curve.
+type USL struct {
+	Lambda float64 `json:"lambda"` // ideal throughput per unit of concurrency
+	Sigma  float64 `json:"sigma"`  // contention coefficient
+	Kappa  float64 `json:"kappa"`  // coherency coefficient
+
+	// PeakN is the concurrency where the model peaks; 0 means the fit
+	// found no retrograde point (κ ≈ 0) and the curve only saturates.
+	PeakN float64 `json:"peak_n,omitempty"`
+	// PeakX is the predicted capacity ceiling in the measured unit
+	// (req/s here): the throughput at PeakN, or the λ/σ asymptote when
+	// there is no retrograde point.
+	PeakX float64 `json:"peak_rps"`
+	// R2 is the coefficient of determination of the fit (1 = perfect).
+	R2 float64 `json:"r2"`
+}
+
+// Throughput evaluates the model at concurrency n.
+func (u USL) Throughput(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return u.Lambda * n / (1 + u.Sigma*(n-1) + u.Kappa*n*(n-1))
+}
+
+func (u USL) String() string {
+	s := fmt.Sprintf("λ=%.4g σ=%.4g κ=%.4g ceiling=%.4g rps", u.Lambda, u.Sigma, u.Kappa, u.PeakX)
+	if u.PeakN > 0 {
+		s += fmt.Sprintf(" at N≈%.1f", u.PeakN)
+	}
+	return s + fmt.Sprintf(" (R²=%.3f)", u.R2)
+}
+
+// kappaFloor is the smallest coherency coefficient treated as a real
+// retrograde term; below it the peak would land at absurd concurrency
+// from pure noise.
+const kappaFloor = 1e-9
+
+// uslShape is the model with λ divided out: X = λ · shape(N).
+func uslShape(n, sigma, kappa float64) float64 {
+	return n / (1 + sigma*(n-1) + kappa*n*(n-1))
+}
+
+// linearSeed solves Gunther's linearization exactly: the model
+// rearranges to N/X = a + b(N−1) + cN(N−1) with a=1/λ, b=σ/λ, c=κ/λ,
+// an ordinary least-squares problem in three coefficients. Points with
+// zero throughput carry no information in this form and are skipped.
+func linearSeed(ns, xs []float64) (sigma, kappa float64, ok bool) {
+	// Normal equations A·[a b c]ᵀ = v over features f = [1, N−1, N(N−1)].
+	var A [3][3]float64
+	var v [3]float64
+	pts := 0
+	for i := range ns {
+		if xs[i] <= 0 {
+			continue
+		}
+		pts++
+		f := [3]float64{1, ns[i] - 1, ns[i] * (ns[i] - 1)}
+		y := ns[i] / xs[i]
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				A[r][c] += f[r] * f[c]
+			}
+			v[r] += f[r] * y
+		}
+	}
+	if pts < 3 {
+		return 0, 0, false
+	}
+	// Gaussian elimination with partial pivoting on the 3×3 system.
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-12 {
+			return 0, 0, false
+		}
+		A[col], A[piv] = A[piv], A[col]
+		v[col], v[piv] = v[piv], v[col]
+		for r := col + 1; r < 3; r++ {
+			m := A[r][col] / A[col][col]
+			for c := col; c < 3; c++ {
+				A[r][c] -= m * A[col][c]
+			}
+			v[r] -= m * v[col]
+		}
+	}
+	var coef [3]float64
+	for r := 2; r >= 0; r-- {
+		s := v[r]
+		for c := r + 1; c < 3; c++ {
+			s -= A[r][c] * coef[c]
+		}
+		coef[r] = s / A[r][r]
+	}
+	a, b, c := coef[0], coef[1], coef[2]
+	if a <= 0 || math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+		return 0, 0, false
+	}
+	return b / a, c / a, true
+}
+
+// FitUSL fits the USL to measured (concurrency, throughput) points by
+// least squares. σ and κ are found with a deterministic
+// multi-resolution grid search (the surface is smooth and
+// low-dimensional; no random restarts, so the same measurements always
+// produce the same fit); for fixed (σ, κ) the optimal λ is closed-form
+// because X is linear in it. Needs at least three points with distinct
+// concurrency ≥ 1 and some nonzero throughput.
+//
+// Points with concurrency below 1 are discarded: the model's domain is
+// N ≥ 1 (below it the denominator dips under 1 and any σ, κ > 0 turn
+// the curve superlinear), and a mostly-idle server — less than one
+// request in flight on average — carries no contention signal anyway.
+// Feeding such points to the fitter produces high-R² curves whose
+// "ceiling" sits below the measured peak. If the whole ramp stayed
+// under concurrency 1 the system was never pushed: ramp harder.
+func FitUSL(ns, xs []float64) (USL, error) {
+	if len(ns) != len(xs) {
+		return USL{}, errors.New("usl: mismatched series lengths")
+	}
+	var pn, px []float64
+	distinct := map[float64]bool{}
+	anyX := false
+	for i := range ns {
+		if ns[i] < 1 || math.IsNaN(ns[i]) || math.IsNaN(xs[i]) || xs[i] < 0 {
+			continue
+		}
+		pn, px = append(pn, ns[i]), append(px, xs[i])
+		distinct[ns[i]] = true
+		anyX = anyX || xs[i] > 0
+	}
+	if len(distinct) < 3 || !anyX {
+		return USL{}, fmt.Errorf("usl: need ≥3 distinct concurrency points ≥1 with throughput, have %d (sub-unit concurrency means the target was never pushed — ramp harder)", len(distinct))
+	}
+
+	// sse evaluates the residual for (σ, κ) with the closed-form λ.
+	sse := func(sigma, kappa float64) (float64, float64) {
+		var num, den float64
+		for i := range pn {
+			f := uslShape(pn[i], sigma, kappa)
+			num += px[i] * f
+			den += f * f
+		}
+		if den == 0 {
+			return 0, math.Inf(1)
+		}
+		lambda := num / den
+		if lambda <= 0 {
+			return 0, math.Inf(1)
+		}
+		var s float64
+		for i := range pn {
+			d := px[i] - lambda*uslShape(pn[i], sigma, kappa)
+			s += d * d
+		}
+		return lambda, s
+	}
+
+	// Seed with Gunther's linear transform: N/X is linear in
+	// [1, N−1, N(N−1)] with coefficients [1/λ, σ/λ, κ/λ], so ordinary
+	// least squares lands at (or next to) the optimum in one shot. The
+	// grid refinement below then polishes against the true SSE — the
+	// (σ,κ) surface is a narrow diagonal valley, and a greedy
+	// multi-resolution grid alone shrinks its box off the valley floor
+	// and converges to a wall.
+	bestSigma, bestKappa := 0.0, 0.0
+	bestLambda, bestSSE := 0.0, math.Inf(1)
+	if sg, kp, ok := linearSeed(pn, px); ok {
+		sg = math.Min(math.Max(sg, 0), 0.999)
+		kp = math.Min(math.Max(kp, 0), 1)
+		if lambda, s := sse(sg, kp); s < bestSSE {
+			bestSigma, bestKappa, bestLambda, bestSSE = sg, kp, lambda, s
+		}
+	}
+	sigLo, sigHi := 0.0, 0.999
+	kapLo, kapHi := 0.0, 1.0
+	const gridN = 40
+	for round := 0; round < 6; round++ {
+		sigStep := (sigHi - sigLo) / gridN
+		kapStep := (kapHi - kapLo) / gridN
+		for i := 0; i <= gridN; i++ {
+			for j := 0; j <= gridN; j++ {
+				sigma := sigLo + float64(i)*sigStep
+				kappa := kapLo + float64(j)*kapStep
+				if lambda, s := sse(sigma, kappa); s < bestSSE {
+					bestSigma, bestKappa, bestLambda, bestSSE = sigma, kappa, lambda, s
+				}
+			}
+		}
+		// Shrink the box around the winner for the next round.
+		sigSpan := (sigHi - sigLo) / 8
+		kapSpan := (kapHi - kapLo) / 8
+		sigLo, sigHi = math.Max(0, bestSigma-sigSpan), math.Min(0.999, bestSigma+sigSpan)
+		kapLo, kapHi = math.Max(0, bestKappa-kapSpan), math.Min(1, bestKappa+kapSpan)
+	}
+
+	u := USL{Lambda: bestLambda, Sigma: bestSigma, Kappa: bestKappa}
+	if u.Kappa > kappaFloor {
+		n := math.Sqrt((1 - u.Sigma) / u.Kappa)
+		if n < 1 {
+			n = 1
+		}
+		u.PeakN = n
+		u.PeakX = u.Throughput(n)
+	} else if u.Sigma > 0 {
+		u.PeakX = u.Lambda / u.Sigma // Amdahl asymptote, no retrograde knee
+	} else {
+		// Linear within the measured range: the honest ceiling estimate
+		// is the model at the largest observed concurrency.
+		maxN := 0.0
+		for _, n := range pn {
+			maxN = math.Max(maxN, n)
+		}
+		u.PeakX = u.Throughput(maxN)
+	}
+
+	// R² against the mean.
+	var mean float64
+	for _, x := range px {
+		mean += x
+	}
+	mean /= float64(len(px))
+	var tot float64
+	for _, x := range px {
+		tot += (x - mean) * (x - mean)
+	}
+	if tot > 0 {
+		u.R2 = 1 - bestSSE/tot
+	} else {
+		u.R2 = 1
+	}
+	return u, nil
+}

@@ -1,0 +1,133 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fmg/seer/internal/stats"
+)
+
+// genUSL samples the model at the given concurrencies with
+// multiplicative noise from a seeded RNG.
+func genUSL(u USL, ns []float64, noise float64, seed int64) []float64 {
+	rng := stats.NewRand(seed)
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = u.Throughput(n) * (1 + noise*(2*rng.Float64()-1))
+	}
+	return xs
+}
+
+func TestFitUSLRecoversKnownCurve(t *testing.T) {
+	truth := USL{Lambda: 995, Sigma: 0.02, Kappa: 0.0001}
+	ns := []float64{1, 2, 4, 8, 16, 32, 64, 128, 192}
+	xs := genUSL(truth, ns, 0.02, 7)
+
+	fit, err := FitUSL(ns, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R² = %.4f, want ≥0.99 on 2%% noise", fit.R2)
+	}
+	// The surface is shallow in (σ,κ) so exact coefficient recovery is
+	// too strict; what matters operationally is the predicted peak.
+	truePeakN := math.Sqrt((1 - truth.Sigma) / truth.Kappa) // ≈ 99
+	truePeakX := truth.Throughput(truePeakN)
+	if fit.PeakN < truePeakN*0.7 || fit.PeakN > truePeakN*1.3 {
+		t.Errorf("peak N = %.1f, want within 30%% of %.1f", fit.PeakN, truePeakN)
+	}
+	if fit.PeakX < truePeakX*0.9 || fit.PeakX > truePeakX*1.1 {
+		t.Errorf("ceiling = %.0f, want within 10%% of %.0f", fit.PeakX, truePeakX)
+	}
+}
+
+func TestFitUSLRetrogradeDetected(t *testing.T) {
+	// Strong coherency penalty: throughput visibly falls past the knee.
+	truth := USL{Lambda: 100, Sigma: 0.05, Kappa: 0.01}
+	ns := []float64{1, 2, 4, 6, 8, 10, 12, 16, 24, 32}
+	xs := genUSL(truth, ns, 0.01, 11)
+	fit, err := FitUSL(ns, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PeakN == 0 {
+		t.Fatalf("retrograde curve fitted without a peak: %s", fit)
+	}
+	wantN := math.Sqrt((1 - truth.Sigma) / truth.Kappa) // ≈ 9.7
+	if fit.PeakN < wantN*0.6 || fit.PeakN > wantN*1.4 {
+		t.Errorf("peak N = %.1f, want near %.1f", fit.PeakN, wantN)
+	}
+	// Past the fitted peak the model must be retrograde.
+	if fit.Throughput(fit.PeakN*3) >= fit.PeakX {
+		t.Errorf("model not retrograde past its own peak: %s", fit)
+	}
+}
+
+func TestFitUSLContentionOnly(t *testing.T) {
+	// κ = 0: Amdahl saturation, ceiling is the λ/σ asymptote.
+	truth := USL{Lambda: 50, Sigma: 0.1, Kappa: 0}
+	ns := []float64{1, 2, 4, 8, 16, 32}
+	xs := genUSL(truth, ns, 0, 1)
+	fit, err := FitUSL(ns, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asymptote := truth.Lambda / truth.Sigma // 500
+	if fit.PeakX < asymptote*0.7 || fit.PeakX > asymptote*1.3 {
+		t.Errorf("ceiling = %.0f, want near the Amdahl asymptote %.0f", fit.PeakX, asymptote)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("noiseless fit R² = %.5f", fit.R2)
+	}
+}
+
+func TestFitUSLDeterministic(t *testing.T) {
+	ns := []float64{1, 3, 9, 27, 81}
+	xs := genUSL(USL{Lambda: 200, Sigma: 0.03, Kappa: 0.0005}, ns, 0.05, 3)
+	a, err := FitUSL(ns, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := FitUSL(ns, xs)
+	if a != b {
+		t.Errorf("same data, different fits: %+v vs %+v", a, b)
+	}
+}
+
+func TestFitUSLRejectsDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		ns, xs []float64
+	}{
+		{"too few", []float64{1, 2}, []float64{10, 18}},
+		{"mismatched", []float64{1, 2, 3}, []float64{10}},
+		{"no distinct", []float64{5, 5, 5}, []float64{10, 11, 12}},
+		{"all zero throughput", []float64{1, 2, 3}, []float64{0, 0, 0}},
+		{"all invalid", []float64{-1, 0, math.NaN()}, []float64{1, 2, 3}},
+		{"never saturated", []float64{0.1, 0.4, 0.8}, []float64{40, 160, 300}},
+	}
+	for _, c := range cases {
+		if _, err := FitUSL(c.ns, c.xs); err == nil {
+			t.Errorf("%s: fit succeeded on degenerate input", c.name)
+		}
+	}
+}
+
+func TestFitUSLSkipsInvalidPoints(t *testing.T) {
+	truth := USL{Lambda: 100, Sigma: 0.05, Kappa: 0.001}
+	ns := []float64{1, 4, 16, 64}
+	xs := genUSL(truth, ns, 0, 1)
+	// Poisoned points must be ignored, not corrupt the fit — including
+	// sub-unit concurrency, whose superlinear regime would otherwise
+	// let the fitter claim a ceiling below the measured peak.
+	ns = append(ns, 0, math.NaN(), 10, 0.3)
+	xs = append(xs, 50, 60, math.NaN(), 500)
+	fit, err := FitUSL(ns, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("fit degraded by invalid points: %s", fit)
+	}
+}

@@ -109,6 +109,15 @@ type Histogram struct {
 	count  atomic.Uint64
 }
 
+// NewHistogram returns a standalone histogram with the given bucket
+// upper bounds (sorted internally, +Inf implied). Registry.Histogram is
+// the registered variant; this one is for throwaway aggregation — the
+// load harness builds a fresh histogram per measurement step so each
+// step's quantiles are independent.
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogram(bounds)
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)

@@ -363,6 +363,89 @@ func TestGatewayRetryAcrossDrain(t *testing.T) {
 	})
 }
 
+// A request that dies mid-backoff — its deadline expires or the client
+// disconnects — must abort the retry loop right there, not sleep
+// through a multi-second backoff schedule against a shard that is
+// still in transition. The policy below would retry for minutes if the
+// context were ignored.
+func TestGatewayBackoffAbortsOnDeadRequest(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mgr := NewManager(ctx, ManagerConfig{
+		Shards:          2,
+		Dir:             dir,
+		Runtime:         chaosRuntime(),
+		Seed:            1,
+		Supervisor:      fastSupervisor(),
+		CheckpointEvery: time.Hour,
+	})
+	defer mgr.Close()
+	gw := NewGateway(mgr, Policy{
+		MaxAttempts: 1000,
+		BaseDelay:   10 * time.Second,
+		MaxDelay:    10 * time.Second,
+		Timeout:     5 * time.Minute,
+	})
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	u := userForSlot(t, mgr, 0)
+	s0 := mgr.Shard(0)
+
+	// Wedge slot 0 in Draining so writes keep failing transiently: hold
+	// the correlator lock, then start a drain that stalls on it.
+	s0.lock()
+	drainDone := make(chan error, 1)
+	go func() {
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer dcancel()
+		drainDone <- mgr.Drain(dctx, 0)
+	}()
+	waitFor(t, "shard draining", func() bool { return s0.State() == Draining })
+
+	// Server-side deadline: ?timeout_ms caps the request context; the
+	// first 10s backoff must be cut short at ~100ms and answered 504.
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/miss?user="+u+"&path=/home/u/f.c&timeout_ms=100",
+		contentText, nil)
+	if err != nil {
+		t.Fatalf("POST /miss: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline-bound request took %v; backoff ignored the context", elapsed)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("dead request answered HTTP %d, want 504", resp.StatusCode)
+	}
+
+	// Client disconnect: cancel the request context mid-backoff; the
+	// call must return promptly (the transport surfaces the cancel).
+	rctx, rcancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(rctx, http.MethodPost,
+		ts.URL+"/miss?user="+u+"&path=/home/u/f.c", nil)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		rcancel()
+	}()
+	start = time.Now()
+	if resp2, err2 := http.DefaultClient.Do(req); err2 == nil {
+		io.Copy(io.Discard, resp2.Body)
+		resp2.Body.Close()
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled request took %v; backoff ignored the disconnect", elapsed)
+	}
+
+	// Unwedge and let the drain finish so Close doesn't fight it.
+	s0.unlock()
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
 // Admission sheds surface as terminal 429s with the shard's
 // Retry-After — the gateway must not burn retries hammering an
 // overloaded shard.

@@ -99,8 +99,10 @@ type Gateway struct {
 // NewGateway wires a gateway over mgr. pol zero-values get defaults.
 func NewGateway(mgr *Manager, pol Policy) *Gateway {
 	g := &Gateway{
-		mgr:  mgr,
-		rand: stats.NewRand(mgr.cfg.Seed ^ 0x6761746577617973), // "gateways"
+		mgr: mgr,
+		// Locked: one gateway rand feeds backoff jitter for every
+		// concurrent request goroutine.
+		rand: stats.NewLockedRand(mgr.cfg.Seed ^ 0x6761746577617973), // "gateways"
 		log:  mgr.cfg.Logger.With("component", "gateway"),
 		mRetries: mgr.cfg.Metrics.CounterVec("seer_gateway_retries_total",
 			"Gateway retries of transient shard errors.", "endpoint"),
@@ -197,7 +199,11 @@ func (g *Gateway) route(ctx context.Context, endpoint, user string, op shardOp) 
 			g.mRetries.With(endpoint).Inc()
 		},
 	}
-	err := rp.Do(func() error {
+	// DoCtx, not Do: when the client disconnects or the request deadline
+	// expires mid-backoff, the retry loop must stop right there — not
+	// sleep through the rest of its schedule and burn another attempt on
+	// a dead request.
+	err := rp.DoCtx(ctx, func() error {
 		if cerr := ctx.Err(); cerr != nil {
 			out = outcome{status: http.StatusGatewayTimeout, err: "request timed out"}
 			return nil
@@ -236,9 +242,15 @@ func (g *Gateway) route(ctx context.Context, endpoint, user string, op shardOp) 
 		return nil
 	})
 	if err != nil {
-		// Retries exhausted while the slot was still in transition.
-		out = outcome{status: http.StatusServiceUnavailable,
-			err: fmt.Sprintf("shard unavailable after %d attempts: %v", pol.MaxAttempts, err)}
+		if ctx.Err() != nil {
+			// The request died mid-backoff; DoCtx aborted the sleep.
+			out = outcome{status: http.StatusGatewayTimeout,
+				err: fmt.Sprintf("request timed out retrying transient shard state: %v", err)}
+		} else {
+			// Retries exhausted while the slot was still in transition.
+			out = outcome{status: http.StatusServiceUnavailable,
+				err: fmt.Sprintf("shard unavailable after %d attempts: %v", pol.MaxAttempts, err)}
+		}
 	}
 	if out.status == http.StatusServiceUnavailable || out.status == http.StatusGatewayTimeout {
 		g.mRouteErrs.With(endpoint).Inc()

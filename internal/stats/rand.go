@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Rand wraps math/rand with the domain-specific samplers the workload
@@ -15,6 +16,43 @@ type Rand struct {
 // NewRand returns a deterministic Rand for the given seed.
 func NewRand(seed int64) *Rand {
 	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// lockedSource serializes a rand.Source64 so one Rand can be shared by
+// concurrent goroutines (plain rand.NewSource is not safe for
+// concurrent use).
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	v := s.src.Int63()
+	s.mu.Unlock()
+	return v
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	v := s.src.Uint64()
+	s.mu.Unlock()
+	return v
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	s.src.Seed(seed)
+	s.mu.Unlock()
+}
+
+// NewLockedRand returns a deterministic Rand whose source is guarded by
+// a mutex, safe for concurrent use. Retry jitter and other cross-
+// goroutine randomness must use this variant: a shared unlocked Rand is
+// a data race, and per-goroutine copies seeded identically would defeat
+// the decorrelation jitter exists for.
+func NewLockedRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)})}
 }
 
 // FileSizeP is the parameter of the geometric file-size distribution
