@@ -17,7 +17,7 @@ BENCH_TIME ?= 5x
 BENCH_CLUSTER = BenchmarkCluster2k$$|BenchmarkCluster20k$$|BenchmarkHoardPlan$$|BenchmarkFeedEvent$$|BenchmarkClusterIncremental20k$$|BenchmarkClusterIncremental200k$$|BenchmarkClusterIncremental1M$$
 BENCH_SIM = BenchmarkFigure3$$|BenchmarkTable3$$|BenchmarkWorkloadGenerate$$|BenchmarkSemanticDistance$$
 
-.PHONY: check vet build test test-race fuzz fuzz-strace chaos shard-chaos rumor-chaos metrics-smoke reload-smoke bench bench-check load-smoke load-bench
+.PHONY: check vet build test test-race fuzz fuzz-strace chaos shard-chaos rumor-chaos metrics-smoke reload-smoke trace-smoke metrics-lint bench bench-check load-smoke load-bench
 
 check: vet build test-race
 
@@ -53,7 +53,7 @@ fuzz-strace:
 CHAOS_COUNT ?= 1
 chaos: vet
 	$(GO) test -race -count=$(CHAOS_COUNT) \
-		-run 'TestChaosPipeline|TestUnavailableRefusesPlans|TestFollowFailureMatrix|TestAdmissionChaosShedAndRecover|TestReloadRaceUnderLoad' \
+		-run 'TestChaosPipeline|TestUnavailableRefusesPlans|TestFollowFailureMatrix|TestAdmissionChaosShedAndRecover|TestReloadRaceUnderLoad|TestSLOBreachDegradesHealthAndCapturesFlight' \
 		./cmd/seerd/
 	$(GO) test -race -count=$(CHAOS_COUNT) ./internal/supervise/ ./internal/fault/
 
@@ -72,6 +72,24 @@ reload-smoke:
 	$(GO) build -o bin/seerd ./cmd/seerd
 	sh scripts/reload_smoke.sh
 
+# Trace smoke: a 2-shard seerd syncing hoards to a real rumord under
+# load-harness traffic; scrape an exemplar trace id off /metrics and
+# stitch it across both daemons with `seerctl trace`, failing if any
+# hop (gateway, attempt, shard, rumor client, rumord server) is
+# missing (DESIGN.md §17). Needs curl.
+trace-smoke:
+	$(GO) build -o bin/seerd ./cmd/seerd
+	$(GO) build -o bin/rumord ./cmd/rumord
+	$(GO) build -o bin/seerctl ./cmd/seerctl
+	$(GO) build -o bin/seerload ./cmd/seerload
+	sh scripts/trace_smoke.sh
+
+# Metrics-catalogue lint: every metric family registered in the source
+# must be documented in DESIGN.md's catalogue (§12/§17), so the
+# catalogue cannot silently rot as instruments are added.
+metrics-lint:
+	sh scripts/metrics_lint.sh
+
 # Shard-isolation chaos gate: 8 shards behind the gateway under
 # concurrent /plan + /events load while one shard at a time takes a
 # panic, a wedged correlator, or a corrupt SEERDB — every other shard
@@ -80,7 +98,7 @@ reload-smoke:
 # event loss (DESIGN.md §15). Race detector on; CHAOS_COUNT repeats.
 shard-chaos: vet
 	$(GO) test -race -count=$(CHAOS_COUNT) \
-		-run 'TestChaosShardIsolation|TestGatewayRetryAcrossDrain|TestGatewayHonorsAdmission|TestDrainReplayByteIdentical|TestApplyRuntimeOnlyWhileServing|TestQueueResizeRacesShedOldest' \
+		-run 'TestChaosShardIsolation|TestGatewayRetryAcrossDrain|TestTraceRetryAcrossDrain|TestGatewayHonorsAdmission|TestDrainReplayByteIdentical|TestApplyRuntimeOnlyWhileServing|TestQueueResizeRacesShedOldest' \
 		./internal/shard/ ./internal/supervise/
 
 # Replication chaos gate: the networked CheapRumor substrate under 30%

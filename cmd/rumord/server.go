@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -34,9 +35,11 @@ type server struct {
 	cfgPath string
 
 	reg      *obs.Registry
+	tracer   *obs.Tracer
 	master   *replic.Master
 	rumorLim *admit.Limiter
 	watcher  *supervise.Watcher
+	flight   *obs.FlightRecorder
 
 	mReloadApplied  *obs.Counter
 	mReloadRejected *obs.Counter
@@ -52,7 +55,11 @@ func newServer(store *config.Store, base config.Runtime, cfgPath string, cfgData
 		base:    base,
 		cfgPath: cfgPath,
 		reg:     obs.NewRegistry(),
+		tracer:  obs.NewTracer(256),
 	}
+	rt := *store.Get()
+	s.tracer.SetEnabled(rt.Daemon.Tracing)
+	s.buildFlight(rt)
 	s.master = replic.NewMasterOn(s.reg)
 	s.rumorLim = admit.New("rumor", s.reg, nil)
 	s.applyLimits(*store.Get())
@@ -86,6 +93,31 @@ func (s *server) kickReload() {
 	if s.watcher != nil {
 		s.watcher.Kick()
 	}
+}
+
+// buildFlight wires the flight recorder (nil when flight-dir is
+// unset). rumord bundles carry its span ring, a metrics snapshot, and
+// the active config generation alongside the recorder's own goroutine
+// dump and CPU profile; capture is on demand only (POST /debug/flight)
+// since rumord runs no SLO monitor of its own.
+func (s *server) buildFlight(rt config.Runtime) {
+	if rt.Daemon.FlightDir == "" {
+		return
+	}
+	fr := obs.NewFlightRecorder(rt.Daemon.FlightDir)
+	if rt.Daemon.FlightMinIntervalSec > 0 {
+		fr.MinInterval = time.Duration(rt.Daemon.FlightMinIntervalSec) * time.Second
+	}
+	fr.AddSource("traces.json", s.tracer.WriteJSON)
+	fr.AddSource("metrics.prom", s.reg.WritePrometheus)
+	fr.AddSource("config.txt", func(w io.Writer) error {
+		fmt.Fprintf(w, "# generation %d\n", s.store.Generation())
+		for _, kv := range config.Describe(*s.store.Get()) {
+			fmt.Fprintf(w, "%s %s\n", kv.Key, kv.Value)
+		}
+		return nil
+	})
+	s.flight = fr
 }
 
 // applyLimits pushes rt's admission section into the rumor limiter.
@@ -131,6 +163,7 @@ func (s *server) applyConfig(data []byte) error {
 		logger.SetLevel(lv)
 	}
 	logger.SetJSON(next.Daemon.LogFormat == "json")
+	s.tracer.SetEnabled(next.Daemon.Tracing)
 	s.applyLimits(next)
 	s.store.RecordReload(nil)
 	s.mReloadApplied.Inc()
@@ -184,10 +217,14 @@ func (s *server) handleDebugConfig(w http.ResponseWriter, req *http.Request) {
 // endpoints plus always-admitted health, metrics, and config.
 func (s *server) mainMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/rumor/", s.rumorLim.Wrap(replic.MasterHandler("/rumor", s.master)))
+	mux.Handle("/rumor/", s.rumorLim.Wrap(replic.TracedMasterHandler("/rumor", s.master, s.tracer)))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/traces", s.tracer.Handler())
 	mux.HandleFunc("/debug/config", s.handleDebugConfig)
+	if s.flight != nil {
+		mux.Handle("/debug/flight", s.flight.Handler())
+	}
 	return mux
 }
 
@@ -201,6 +238,10 @@ func (s *server) debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/traces", s.tracer.Handler())
 	mux.HandleFunc("/debug/config", s.handleDebugConfig)
+	if s.flight != nil {
+		mux.Handle("/debug/flight", s.flight.Handler())
+	}
 	return mux
 }

@@ -20,6 +20,16 @@
 // prints the active runtime settings plus the last hot-reload outcome;
 // -config FILE replays a trace under the same runtime file a seerd
 // watches, so offline answers use the daemon's exact knobs.
+//
+// The observability subcommands complete the debugging loop: `trace ID`
+// scrapes /debug/traces from every daemon in a comma-separated -addr
+// list and stitches one request's spans into a single tree, `slo`
+// renders the burn-rate monitors behind /debug/slo, and `flight
+// [REASON]` asks the daemon to capture a postmortem flight bundle:
+//
+//	seerctl -addr http://host:7077,http://master:7078 trace 81d2aa309be021c7
+//	seerctl -addr http://host:7077 slo
+//	seerctl -addr http://host:7077 flight "latency spike"
 package main
 
 import (
@@ -43,7 +53,8 @@ func main() {
 		"optional runtime config file (the same format seerd watches): "+
 			"`param Name Value` lines set Params, `budget` sets the hoard budget")
 	addr := flag.String("addr", "http://127.0.0.1:7077",
-		"base URL of a running seerd or rumord (metrics and config subcommands)")
+		"base URL of a running seerd or rumord (metrics and config subcommands); "+
+			"the trace subcommand accepts a comma-separated list and stitches spans across daemons")
 	flag.Parse()
 	if flag.NArg() >= 1 && flag.Arg(0) == "metrics" {
 		if err := printMetrics(os.Stdout, *addr); err != nil {
@@ -63,6 +74,31 @@ func main() {
 		}
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "trace" {
+		if flag.NArg() < 2 {
+			fatal(fmt.Errorf("trace needs a hex trace id: seerctl -addr URL[,URL...] trace ID"))
+		}
+		if err := printTrace(os.Stdout, *addr, flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "slo" {
+		if err := printSLO(os.Stdout, *addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "flight" {
+		reason := "on-demand"
+		if flag.NArg() >= 2 {
+			reason = flag.Arg(1)
+		}
+		if err := captureFlight(os.Stdout, *addr, reason); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if flag.NArg() >= 1 && flag.Arg(0) == "drain" {
 		if flag.NArg() < 2 {
 			fatal(fmt.Errorf("drain needs a shard index: seerctl -addr URL drain N"))
@@ -75,7 +111,8 @@ func main() {
 	if *tracePath == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr,
 			"usage: seerctl -trace FILE [-control FILE] [-config FILE] [-budget MB] clusters|plan|hoard|neighbors PATH|investigate DIR|advise|check|stats\n"+
-				"       seerctl [-addr URL] metrics|config|shards|drain N")
+				"       seerctl [-addr URL] metrics|config|shards|drain N|slo|flight [REASON]\n"+
+				"       seerctl [-addr URL,URL...] trace ID")
 		os.Exit(2)
 	}
 

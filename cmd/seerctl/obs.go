@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceSpan mirrors internal/obs's /debug/traces wire form, plus the
+// daemon it was scraped from so a cross-process tree shows which hop
+// ran where.
+type traceSpan struct {
+	Trace      string  `json:"trace"`
+	Span       string  `json:"span"`
+	Parent     string  `json:"parent"`
+	Stage      string  `json:"stage"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Attrs      []struct {
+		Key   string `json:"key"`
+		Value string `json:"value"`
+	} `json:"attrs"`
+
+	addr  string
+	start time.Time
+}
+
+// fetchSpans scrapes one daemon's /debug/traces for a trace id.
+// Unreachable daemons are skipped with a warning rather than failing
+// the whole render — a partial tree still localizes the slow hop.
+func fetchSpans(base, id string) ([]traceSpan, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	u := strings.TrimRight(base, "/") + "/debug/traces?trace=" + url.QueryEscape(id)
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("GET %s: %s: %s", u, resp.Status,
+			strings.TrimSpace(string(body)))
+	}
+	var spans []traceSpan
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", u, err)
+	}
+	return spans, nil
+}
+
+// printTrace stitches one trace's spans from every daemon in the
+// comma-separated addrs list into a single parent/child tree. Spans
+// whose parent lives on an unreachable daemon render as extra roots,
+// so a partial scrape degrades to a forest instead of an error.
+func printTrace(w io.Writer, addrs, id string) error {
+	var all []traceSpan
+	var scraped int
+	for _, base := range strings.Split(addrs, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		spans, err := fetchSpans(base, id)
+		if err != nil {
+			fmt.Fprintf(w, "# %s unreachable: %v\n", base, err)
+			continue
+		}
+		scraped++
+		for i := range spans {
+			spans[i].addr = base
+			spans[i].start, _ = time.Parse(time.RFC3339Nano, spans[i].Start)
+		}
+		all = append(all, spans...)
+	}
+	if scraped == 0 {
+		return fmt.Errorf("no daemon reachable in %q", addrs)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("trace %s not found on any of %q (ring may have evicted it)", id, addrs)
+	}
+
+	// Index by span id; children sorted by start time so the tree reads
+	// in causal order. A span with an unknown or empty parent is a root.
+	known := make(map[string]bool, len(all))
+	for _, s := range all {
+		if s.Span != "" {
+			known[s.Span] = true
+		}
+	}
+	children := make(map[string][]traceSpan)
+	var roots []traceSpan
+	for _, s := range all {
+		if s.Parent != "" && known[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(spans []traceSpan) {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start.Before(spans[j].start) })
+	}
+	byStart(roots)
+	for _, cs := range children {
+		byStart(cs)
+	}
+
+	fmt.Fprintf(w, "trace %s (%d spans)\n", id, len(all))
+	var render func(s traceSpan, depth int)
+	render = func(s traceSpan, depth int) {
+		attrs := make([]string, 0, len(s.Attrs))
+		for _, a := range s.Attrs {
+			attrs = append(attrs, a.Key+"="+a.Value)
+		}
+		line := fmt.Sprintf("%s%-24s %9.2fms  [%s]",
+			strings.Repeat("  ", depth), s.Stage, s.DurationMS, s.addr)
+		if len(attrs) > 0 {
+			line += "  " + strings.Join(attrs, " ")
+		}
+		fmt.Fprintln(w, line)
+		for _, c := range children[s.Span] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return nil
+}
+
+// sloResponse is the /debug/slo body (cmd/seerd handleDebugSLO).
+type sloResponse struct {
+	Threshold     float64 `json:"threshold"`
+	FastWindowSec float64 `json:"fast_window_sec"`
+	SlowWindowSec float64 `json:"slow_window_sec"`
+	Objectives    []struct {
+		Name     string  `json:"slo"`
+		Target   float64 `json:"target"`
+		Fast     float64 `json:"burn_fast"`
+		Slow     float64 `json:"burn_slow"`
+		Total    uint64  `json:"events_total"`
+		Bad      uint64  `json:"events_bad"`
+		Breached bool    `json:"breached"`
+	} `json:"objectives"`
+}
+
+// printSLO fetches /debug/slo and renders one row per objective.
+func printSLO(w io.Writer, base string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	u := strings.TrimRight(base, "/") + "/debug/slo"
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	var sr sloResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return fmt.Errorf("decoding %s: %w", u, err)
+	}
+	fmt.Fprintf(w, "# %s — page threshold %.1f (fast %.0fs / slow %.0fs windows)\n",
+		u, sr.Threshold, sr.FastWindowSec, sr.SlowWindowSec)
+	fmt.Fprintf(w, "%-12s %7s %10s %10s %12s %10s %s\n",
+		"slo", "target", "burn_fast", "burn_slow", "events", "bad", "state")
+	for _, o := range sr.Objectives {
+		state := "ok"
+		if o.Breached {
+			state = "BREACHED"
+		}
+		fmt.Fprintf(w, "%-12s %6.2f%% %10.2f %10.2f %12d %10d %s\n",
+			o.Name, o.Target*100, o.Fast, o.Slow, o.Total, o.Bad, state)
+	}
+	return nil
+}
+
+// captureFlight asks a daemon for a flight bundle (POST /debug/flight)
+// and prints the directory it was written to. The capture includes a
+// CPU profile, so the request takes a couple of seconds.
+func captureFlight(w io.Writer, base, reason string) error {
+	client := &http.Client{Timeout: time.Minute}
+	u := strings.TrimRight(base, "/") + "/debug/flight?reason=" + url.QueryEscape(reason)
+	resp, err := client.Post(u, "text/plain", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s: %s", u, resp.Status,
+			strings.TrimSpace(string(body)))
+	}
+	fmt.Fprint(w, string(body))
+	return nil
+}

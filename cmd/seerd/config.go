@@ -72,6 +72,7 @@ func (p *pipeline) propagate(old, next config.Runtime) {
 		logger.SetLevel(lv)
 	}
 	logger.SetJSON(dm.LogFormat == "json")
+	p.d.tracer.SetEnabled(dm.Tracing)
 	p.applyLimits(next)
 	if paramsChanged(old, next) {
 		// Correlator params need the same exclusion Feed holds; taken only

@@ -67,6 +67,7 @@ type daemon struct {
 
 	// Registry instruments for the decision endpoints (the paper §5
 	// quantities live here: misses recorded, miss-free hoard size).
+	mLatency       *obs.HistogramVec
 	mPlansBuilt    *obs.Counter
 	mStaleServed   *obs.Counter
 	mHoardMisses   *obs.Counter
@@ -89,6 +90,11 @@ func newDaemon(corr *core.Correlator, budget int64) *daemon {
 		tracer: obs.NewTracer(256),
 	}
 	d.budget.Store(budget)
+	d.mLatency = d.reg.HistogramVec("seer_request_seconds",
+		"Fresh-response latency of the decision endpoints.", nil, "endpoint")
+	for _, ep := range []string{"plan", "hoard"} {
+		d.mLatency.With(ep).RetainExemplars(d.tracer)
+	}
 	d.mPlansBuilt = d.reg.Counter("seer_plans_built_total",
 		"Hoard-plan constructions (the /plan and /hoard endpoints plus one-shot mode).")
 	d.mStaleServed = d.reg.Counter("seer_stale_plans_served_total",
@@ -104,6 +110,16 @@ func newDaemon(corr *core.Correlator, budget int64) *daemon {
 	d.mUnhoardable = d.reg.Gauge("seer_hoard_unhoardable_files",
 		"Referenced files absent from the current plan (would miss at any budget).")
 	return d
+}
+
+// reqSpan opens the span for one decision request: a client-sent
+// traceparent header parents it (cross-process propagation); otherwise
+// it joins the most recent ingestion trace, the historical behaviour.
+func (d *daemon) reqSpan(req *http.Request, stage string) *obs.ActiveSpan {
+	if sc, ok := obs.Extract(req.Header); ok {
+		return d.tracer.StartChild(sc, stage)
+	}
+	return d.tracer.StartSpan(d.trace(), stage)
 }
 
 // setTrace records the trace id the next plan/hoard span should join.
@@ -224,7 +240,8 @@ func (d *daemon) handlePlan(w http.ResponseWriter, req *http.Request) {
 	}
 	ctx, cancel := boundCtx(req)
 	defer cancel()
-	sp := d.tracer.StartSpan(d.trace(), "plan")
+	start := time.Now()
+	sp := d.reqSpan(req, "plan")
 	defer sp.End()
 	if !d.lockCtx(ctx) {
 		sp.Attr("outcome", "stale")
@@ -248,6 +265,7 @@ func (d *daemon) handlePlan(w http.ResponseWriter, req *http.Request) {
 	}
 	d.unlock()
 	sp.Attr("outcome", "fresh").AttrInt("entries", int64(len(plan.Entries)))
+	d.mLatency.With("plan").ObserveTrace(time.Since(start).Seconds(), sp.Context().Trace)
 	d.planOKAt.Store(time.Now().UnixNano())
 	d.planFails.Store(0)
 	d.plans.setPlan(buf.Bytes())
@@ -263,7 +281,8 @@ func (d *daemon) handleHoard(w http.ResponseWriter, req *http.Request) {
 	}
 	ctx, cancel := boundCtx(req)
 	defer cancel()
-	sp := d.tracer.StartSpan(d.trace(), "hoard")
+	start := time.Now()
+	sp := d.reqSpan(req, "hoard")
 	defer sp.End()
 	if !d.lockCtx(ctx) {
 		sp.Attr("outcome", "stale")
@@ -281,6 +300,7 @@ func (d *daemon) handleHoard(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	sp.Attr("outcome", "fresh").AttrInt("files", d.mHoardFiles.Value())
+	d.mLatency.With("hoard").ObserveTrace(time.Since(start).Seconds(), sp.Context().Trace)
 	d.planOKAt.Store(time.Now().UnixNano())
 	d.planFails.Store(0)
 	d.plans.setHoard(buf.Bytes())

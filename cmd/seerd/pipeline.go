@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"github.com/fmg/seer/internal/admit"
 	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/obs"
+	"github.com/fmg/seer/internal/obs/slo"
 	"github.com/fmg/seer/internal/replic"
 	"github.com/fmg/seer/internal/supervise"
 	"github.com/fmg/seer/internal/trace"
@@ -106,6 +108,11 @@ type pipeline struct {
 	// cfg.rumor is set; nil otherwise.
 	master *replic.Master
 
+	// slo watches the decision endpoints' error budgets; flight is the
+	// postmortem-bundle recorder (nil without -flight-dir).
+	slo    *slo.Monitor
+	flight *obs.FlightRecorder
+
 	// Test/chaos hooks, all optional: wrapTail decorates the tail file
 	// reader, feed consumes one event (default: correlator under the
 	// daemon lock), save checkpoints the database (default: saveDB).
@@ -152,6 +159,10 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 		cfg:   cfg,
 		queue: supervise.NewQueue[queuedEvent](cfg.queueCap, cfg.queueBlock),
 	}
+	rt := *cfg.store.Get()
+	d.tracer.SetEnabled(rt.Daemon.Tracing)
+	p.buildFlight(rt)
+	p.buildSLO(rt)
 	p.limits = admit.NewSet()
 	p.planLim = p.limits.Add("plan", d.reg, p.queue.FillPct)
 	p.missLim = p.limits.Add("miss", d.reg, nil)
@@ -203,6 +214,17 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 		p.watcher.MarkApplied(cfg.cfgData)
 		addStage("confwatch", p.watcher.Stage())
 	}
+	addStage("slo", func(ctx context.Context) error {
+		p.slo.Run(ctx)
+		return nil
+	})
+	p.sup.AddProbe("slo", func() supervise.Probe {
+		if br := p.slo.Breached(); len(br) > 0 {
+			return supervise.Probe{State: supervise.Degraded,
+				Detail: "error budget burning: " + strings.Join(br, " ")}
+		}
+		return supervise.Probe{State: supervise.Healthy}
+	})
 	p.registerMetrics(stages)
 
 	p.sup.AddProbe("queue", func() supervise.Probe {
@@ -255,6 +277,75 @@ func newPipeline(d *daemon, cfg pipelineConfig) *pipeline {
 
 // store returns the active-config store (always set after newPipeline).
 func (p *pipeline) store() *config.Store { return p.cfg.store }
+
+// buildFlight wires the flight recorder (nil when flight-dir is unset):
+// bundles carry the span ring, a metrics snapshot, and the active
+// config generation, plus the goroutine dump and CPU profile the
+// recorder itself contributes.
+func (p *pipeline) buildFlight(rt config.Runtime) {
+	if rt.Daemon.FlightDir == "" {
+		return
+	}
+	fr := obs.NewFlightRecorder(rt.Daemon.FlightDir)
+	if rt.Daemon.FlightMinIntervalSec > 0 {
+		fr.MinInterval = time.Duration(rt.Daemon.FlightMinIntervalSec) * time.Second
+	}
+	fr.AddSource("traces.json", p.d.tracer.WriteJSON)
+	fr.AddSource("metrics.prom", p.d.reg.WritePrometheus)
+	fr.AddSource("config.txt", func(w io.Writer) error {
+		fmt.Fprintf(w, "# generation %d\n", p.store().Generation())
+		for _, kv := range config.Describe(*p.store().Get()) {
+			fmt.Fprintf(w, "%s %s\n", kv.Key, kv.Value)
+		}
+		return nil
+	})
+	p.flight = fr
+}
+
+// buildSLO assembles the burn-rate monitor over the decision endpoints.
+// Stale serves are the error events: a stale response means the fresh
+// path failed, so it burns budget even though the client got bytes.
+// The stale counter is shared across plan and hoard, so a burn on one
+// conservatively shows on both.
+func (p *pipeline) buildSLO(rt config.Runtime) {
+	cfg := slo.Config{
+		FastWindow: time.Duration(rt.Daemon.SLOFastWindowSec) * time.Second,
+		SlowWindow: time.Duration(rt.Daemon.SLOSlowWindowSec) * time.Second,
+		Threshold:  float64(rt.Daemon.SLOBurnThreshold),
+	}
+	if p.flight != nil {
+		cfg.OnBreach = func(name string, fast, slow float64) {
+			dir, err := p.flight.TryCapture(fmt.Sprintf(
+				"slo-breach:%s fast=%.1f slow=%.1f", name, fast, slow))
+			if err == nil && dir != "" {
+				logger.Warn("SLO breach; flight bundle captured",
+					"slo", name, "burn_fast", fmt.Sprintf("%.1f", fast), "bundle", dir)
+			}
+		}
+	}
+	mon := slo.New(cfg)
+	staleErrs := func() uint64 { return p.d.mStaleServed.Value() }
+	for _, ep := range []string{"plan", "hoard"} {
+		mon.Add(slo.LatencyObjective(ep, p.d.mLatency.With(ep),
+			sloPlanLatency.Seconds(), sloTarget, staleErrs))
+	}
+	mon.InstrumentOn(p.d.reg)
+	p.slo = mon
+}
+
+// handleDebugSLO serves the burn-rate view seerctl slo renders.
+func (p *pipeline) handleDebugSLO(w http.ResponseWriter, req *http.Request) {
+	fast, slow := p.slo.Windows()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Threshold     float64               `json:"threshold"`
+		FastWindowSec float64               `json:"fast_window_sec"`
+		SlowWindowSec float64               `json:"slow_window_sec"`
+		Objectives    []slo.ObjectiveStatus `json:"objectives"`
+	}{p.slo.Threshold(), fast.Seconds(), slow.Seconds(), p.slo.Status()})
+}
 
 // start launches the stage tree; stages stop when ctx ends.
 func (p *pipeline) start(ctx context.Context) {
@@ -420,9 +511,13 @@ func (p *pipeline) mainMux() *http.ServeMux {
 	mux.Handle("/metrics", d.reg.Handler())
 	mux.Handle("/debug/traces", d.tracer.Handler())
 	mux.HandleFunc("/debug/config", p.handleDebugConfig)
+	mux.HandleFunc("/debug/slo", p.handleDebugSLO)
+	if p.flight != nil {
+		mux.Handle("/debug/flight", p.flight.Handler())
+	}
 	if p.cfg.rumor {
 		p.master = replic.NewMasterOn(d.reg)
-		mux.Handle("/rumor/", p.rumorLim.Wrap(replic.MasterHandler("/rumor", p.master)))
+		mux.Handle("/rumor/", p.rumorLim.Wrap(replic.TracedMasterHandler("/rumor", p.master, d.tracer)))
 	}
 	return mux
 }
@@ -441,6 +536,10 @@ func (p *pipeline) debugMux() *http.ServeMux {
 	mux.Handle("/metrics", p.d.reg.Handler())
 	mux.Handle("/debug/traces", p.d.tracer.Handler())
 	mux.HandleFunc("/debug/config", p.handleDebugConfig)
+	mux.HandleFunc("/debug/slo", p.handleDebugSLO)
+	if p.flight != nil {
+		mux.Handle("/debug/flight", p.flight.Handler())
+	}
 	mux.HandleFunc("/healthz", p.sup.HealthHandler(false))
 	mux.HandleFunc("/readyz", p.sup.HealthHandler(true))
 	return mux

@@ -15,6 +15,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -27,6 +28,8 @@ import (
 
 	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/obs"
+	"github.com/fmg/seer/internal/obs/slo"
+	"github.com/fmg/seer/internal/replic"
 	"github.com/fmg/seer/internal/shard"
 	"github.com/fmg/seer/internal/supervise"
 )
@@ -42,6 +45,9 @@ type shardPipeline struct {
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	rumor  *replic.RemoteRumor
+	slo    *slo.Monitor
+	flight *obs.FlightRecorder
 
 	store   *config.Store
 	base    config.Runtime
@@ -62,12 +68,17 @@ func newShardPipeline(ctx context.Context, rt config.Runtime, base config.Runtim
 	cfgPath string, cfgData []byte) *shardPipeline {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(256)
+	tracer.SetEnabled(rt.Daemon.Tracing)
 	sp := &shardPipeline{
 		reg:     reg,
 		tracer:  tracer,
 		store:   config.NewStore(rt),
 		base:    base,
 		cfgPath: cfgPath,
+	}
+	if rt.Daemon.RumorURL != "" {
+		sp.rumor = replic.NewRemoteRumor(rt.Daemon.RumorURL, nil).
+			InstrumentOn(reg).TraceOn(tracer)
 	}
 	sp.mgr = shard.NewManager(ctx, shard.ManagerConfig{
 		Shards:          rt.Daemon.Shards,
@@ -78,8 +89,11 @@ func newShardPipeline(ctx context.Context, rt config.Runtime, base config.Runtim
 		Tracer:          tracer,
 		Logger:          logger,
 		CheckpointEvery: checkpointEvery,
+		Rumor:           sp.rumor,
 	})
 	sp.gw = shard.NewGateway(sp.mgr, shard.PolicyFromRuntime(rt))
+	sp.buildFlight(rt)
+	sp.buildSLO(rt)
 
 	slog := logger.With("component", "supervise")
 	sp.sup = supervise.New(supervise.Config{
@@ -105,6 +119,17 @@ func newShardPipeline(ctx context.Context, rt config.Runtime, base config.Runtim
 		sp.watcher.MarkApplied(cfgData)
 		addStage("confwatch", sp.watcher.Stage())
 	}
+	addStage("slo", func(ctx context.Context) error {
+		sp.slo.Run(ctx)
+		return nil
+	})
+	sp.sup.AddProbe("slo", func() supervise.Probe {
+		if br := sp.slo.Breached(); len(br) > 0 {
+			return supervise.Probe{State: supervise.Degraded,
+				Detail: "error budget burning: " + strings.Join(br, " ")}
+		}
+		return supervise.Probe{State: supervise.Healthy}
+	})
 	sp.sup.AddProbe("shards", func() supervise.Probe {
 		worst := sp.mgr.Health()
 		detail := make([]string, 0, sp.mgr.Len())
@@ -135,15 +160,110 @@ func newShardPipeline(ctx context.Context, rt config.Runtime, base config.Runtim
 	return sp
 }
 
+// SLO shape: the latency above which a request is "bad" for its
+// objective, and the promised good fraction. Vars so the chaos suite
+// can tighten them without waiting out production windows.
+var (
+	sloPlanLatency  = 500 * time.Millisecond
+	sloRumorLatency = 250 * time.Millisecond
+	sloTarget       = 0.99
+)
+
+// buildFlight wires the flight recorder (nil when flight-dir is unset):
+// bundles carry the span ring, a metrics snapshot, the active config
+// generation, and the shard states, plus the goroutine dump and CPU
+// profile the recorder itself contributes.
+func (sp *shardPipeline) buildFlight(rt config.Runtime) {
+	if rt.Daemon.FlightDir == "" {
+		return
+	}
+	fr := obs.NewFlightRecorder(rt.Daemon.FlightDir)
+	if rt.Daemon.FlightMinIntervalSec > 0 {
+		fr.MinInterval = time.Duration(rt.Daemon.FlightMinIntervalSec) * time.Second
+	}
+	fr.AddSource("traces.json", sp.tracer.WriteJSON)
+	fr.AddSource("metrics.prom", sp.reg.WritePrometheus)
+	fr.AddSource("config.txt", func(w io.Writer) error {
+		fmt.Fprintf(w, "# generation %d\n", sp.store.Generation())
+		for _, kv := range config.Describe(*sp.store.Get()) {
+			fmt.Fprintf(w, "%s %s\n", kv.Key, kv.Value)
+		}
+		return nil
+	})
+	fr.AddSource("shards.json", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sp.mgr.Report())
+	})
+	sp.flight = fr
+}
+
+// buildSLO assembles the burn-rate monitor over the gateway's request
+// instruments (plus the rumor client's, when configured) and hooks a
+// breach to an automatic flight capture.
+func (sp *shardPipeline) buildSLO(rt config.Runtime) {
+	cfg := slo.Config{
+		FastWindow: time.Duration(rt.Daemon.SLOFastWindowSec) * time.Second,
+		SlowWindow: time.Duration(rt.Daemon.SLOSlowWindowSec) * time.Second,
+		Threshold:  float64(rt.Daemon.SLOBurnThreshold),
+	}
+	if sp.flight != nil {
+		cfg.OnBreach = func(name string, fast, slow float64) {
+			dir, err := sp.flight.TryCapture(fmt.Sprintf(
+				"slo-breach:%s fast=%.1f slow=%.1f", name, fast, slow))
+			if err == nil && dir != "" {
+				logger.Warn("SLO breach; flight bundle captured",
+					"slo", name, "burn_fast", fmt.Sprintf("%.1f", fast), "bundle", dir)
+			}
+		}
+	}
+	mon := slo.New(cfg)
+	for _, ep := range []string{"plan", "hoard"} {
+		ep := ep
+		mon.Add(slo.LatencyObjective(ep, sp.gw.RequestHist(ep),
+			sloPlanLatency.Seconds(), sloTarget,
+			func() uint64 { return sp.gw.RouteErrors(ep) }))
+	}
+	if sp.rumor != nil {
+		mon.Add(slo.LatencyObjective("rumor-sync", sp.rumor.RTTHist(),
+			sloRumorLatency.Seconds(), sloTarget, sp.rumor.ErrorCount))
+	}
+	mon.InstrumentOn(sp.reg)
+	sp.slo = mon
+}
+
+// handleDebugSLO serves the burn-rate view seerctl slo renders.
+func (sp *shardPipeline) handleDebugSLO(w http.ResponseWriter, req *http.Request) {
+	fast, slow := sp.slo.Windows()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Threshold     float64               `json:"threshold"`
+		FastWindowSec float64               `json:"fast_window_sec"`
+		SlowWindowSec float64               `json:"slow_window_sec"`
+		Objectives    []slo.ObjectiveStatus `json:"objectives"`
+	}{sp.slo.Threshold(), fast.Seconds(), slow.Seconds(), sp.slo.Status()})
+}
+
+// obsEndpoints mounts the shared observability surface on mux.
+func (sp *shardPipeline) obsEndpoints(mux *http.ServeMux) {
+	mux.Handle("/metrics", sp.reg.Handler())
+	mux.Handle("/debug/traces", sp.tracer.Handler())
+	mux.HandleFunc("/debug/config", sp.handleDebugConfig)
+	mux.HandleFunc("/debug/slo", sp.handleDebugSLO)
+	if sp.flight != nil {
+		mux.Handle("/debug/flight", sp.flight.Handler())
+	}
+}
+
 // mainMux is the gateway surface plus the observability endpoints (the
 // latter never behind routing or admission — an overloaded host must
 // stay inspectable).
 func (sp *shardPipeline) mainMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", sp.gw.Handler())
-	mux.Handle("/metrics", sp.reg.Handler())
-	mux.Handle("/debug/traces", sp.tracer.Handler())
-	mux.HandleFunc("/debug/config", sp.handleDebugConfig)
+	sp.obsEndpoints(mux)
 	return mux
 }
 
@@ -155,9 +275,7 @@ func (sp *shardPipeline) debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/metrics", sp.reg.Handler())
-	mux.Handle("/debug/traces", sp.tracer.Handler())
-	mux.HandleFunc("/debug/config", sp.handleDebugConfig)
+	sp.obsEndpoints(mux)
 	mux.HandleFunc("/shards", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
@@ -249,6 +367,7 @@ func (sp *shardPipeline) applyConfig(data []byte) error {
 		logger.SetLevel(lv)
 	}
 	logger.SetJSON(next.Daemon.LogFormat == "json")
+	sp.tracer.SetEnabled(next.Daemon.Tracing)
 	sp.gw.SetPolicy(shard.PolicyFromRuntime(next))
 	skipped := sp.mgr.ApplyRuntime(next)
 	sp.store.RecordReload(nil)

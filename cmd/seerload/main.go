@@ -57,13 +57,13 @@ func main() {
 		seedEvents = flag.Int("seed-events", 0, "strace events to POST /events per user before the ramp")
 		syncFiles  = flag.Int("sync-files", 64, "replicated-file id space for sync ops")
 
-		prefix  = flag.String("prefix", "Load", "benchcmp entry prefix, e.g. Load or Load/shards4")
-		record  = flag.String("record", "", "merge results into this baseline file")
-		check   = flag.String("check", "", "compare results against this baseline file")
-		rpsTol  = flag.Float64("rps-tolerance", 0.2, "allowed fractional throughput drop before failing -check")
-		p99Tol  = flag.Float64("p99-tolerance", 2.0, "allowed fractional p99 latency growth before failing -check (latency is noisy at smoke scale; keep this loose)")
-		detail  = flag.String("o", "", "write the full per-step result JSON here")
-		quiet   = flag.Bool("q", false, "suppress per-step progress lines")
+		prefix = flag.String("prefix", "Load", "benchcmp entry prefix, e.g. Load or Load/shards4")
+		record = flag.String("record", "", "merge results into this baseline file")
+		check  = flag.String("check", "", "compare results against this baseline file")
+		rpsTol = flag.Float64("rps-tolerance", 0.2, "allowed fractional throughput drop before failing -check")
+		p99Tol = flag.Float64("p99-tolerance", 2.0, "allowed fractional p99 latency growth before failing -check (latency is noisy at smoke scale; keep this loose)")
+		detail = flag.String("o", "", "write the full per-step result JSON here")
+		quiet  = flag.Bool("q", false, "suppress per-step progress lines")
 	)
 	flag.Parse()
 	if *target == "" {

@@ -44,6 +44,26 @@ type Daemon struct {
 	// ShardDir is the directory holding per-shard snapshots
 	// (shard-NNN.db); "" disables shard checkpointing. Structural.
 	ShardDir string `json:"shard_dir,omitempty"`
+	// RumorURL points the daemon at an upstream replication master
+	// (e.g. http://host:7078/rumor): fresh /hoard answers pre-fetch
+	// their head against it, traced end to end. Structural.
+	RumorURL string `json:"rumor_url,omitempty"`
+	// Tracing toggles span recording; off, /debug/traces and exemplars
+	// stop accumulating but keep serving what was recorded. Hot.
+	Tracing bool `json:"tracing"`
+	// SLOFastWindowSec / SLOSlowWindowSec are the burn-rate windows
+	// (page-fast, confirm-slow). Structural.
+	SLOFastWindowSec int `json:"slo_fast_window_sec,omitempty"`
+	SLOSlowWindowSec int `json:"slo_slow_window_sec,omitempty"`
+	// SLOBurnThreshold is the fast-window burn rate that marks an
+	// objective breached (degraded health, flight capture). Structural.
+	SLOBurnThreshold int `json:"slo_burn_threshold,omitempty"`
+	// FlightDir is where flight-recorder bundles are written; ""
+	// disables the recorder. Structural.
+	FlightDir string `json:"flight_dir,omitempty"`
+	// FlightMinIntervalSec debounces automatic (SLO-breach) flight
+	// captures. Structural.
+	FlightMinIntervalSec int `json:"flight_min_interval_sec,omitempty"`
 	// GatewayRetries bounds gateway attempts per request across
 	// re-routes on transient shard states. Hot.
 	GatewayRetries int `json:"gateway_retries,omitempty"`
@@ -97,16 +117,21 @@ func DefaultRuntime() Runtime {
 	return Runtime{
 		Params: Defaults(),
 		Daemon: Daemon{
-			Strace:             "-",
-			QueueCap:           8192,
-			QueueBlockMS:       100,
-			HoardBudgetMB:      512,
-			LogLevel:           "info",
-			LogFormat:          "text",
-			GatewayRetries:     4,
-			GatewayRetryBaseMS: 25,
-			GatewayTimeoutMS:   30_000,
-			DrainTimeoutMS:     60_000,
+			Strace:               "-",
+			QueueCap:             8192,
+			QueueBlockMS:         100,
+			HoardBudgetMB:        512,
+			LogLevel:             "info",
+			LogFormat:            "text",
+			GatewayRetries:       4,
+			GatewayRetryBaseMS:   25,
+			GatewayTimeoutMS:     30_000,
+			DrainTimeoutMS:       60_000,
+			Tracing:              true,
+			SLOFastWindowSec:     300,
+			SLOSlowWindowSec:     3600,
+			SLOBurnThreshold:     14,
+			FlightMinIntervalSec: 60,
 		},
 		Admit: Admission{
 			PlanMaxInFlight:  16,
@@ -147,6 +172,15 @@ func (r Runtime) Validate() error {
 		return fmt.Errorf("config: negative gateway timeout %d ms", d.GatewayTimeoutMS)
 	case d.DrainTimeoutMS < 0:
 		return fmt.Errorf("config: negative drain timeout %d ms", d.DrainTimeoutMS)
+	case d.SLOFastWindowSec < 0 || d.SLOSlowWindowSec < 0:
+		return fmt.Errorf("config: negative SLO window")
+	case d.SLOFastWindowSec > 0 && d.SLOSlowWindowSec > 0 && d.SLOFastWindowSec > d.SLOSlowWindowSec:
+		return fmt.Errorf("config: SLO fast window %ds longer than slow window %ds",
+			d.SLOFastWindowSec, d.SLOSlowWindowSec)
+	case d.SLOBurnThreshold < 0:
+		return fmt.Errorf("config: negative SLO burn threshold %d", d.SLOBurnThreshold)
+	case d.FlightMinIntervalSec < 0:
+		return fmt.Errorf("config: negative flight min interval %d", d.FlightMinIntervalSec)
 	}
 	switch d.LogLevel {
 	case "debug", "info", "warn", "error":
@@ -268,11 +302,11 @@ var knobs = buildKnobs()
 
 func buildKnobs() []Knob {
 	type spec struct {
-		name, usage      string
+		name, usage       string
 		structural, bool_ bool
-		daemons          DaemonMask
-		set              func(*Runtime, string) error
-		get              func(*Runtime) string
+		daemons           DaemonMask
+		set               func(*Runtime, string) error
+		get               func(*Runtime) string
 	}
 	var out []Knob
 	add := func(s spec) {
@@ -308,6 +342,24 @@ func buildKnobs() []Knob {
 	set, get = strKnob(func(r *Runtime) *string { return &r.Daemon.ShardDir })
 	add(spec{name: "shard-dir", usage: "directory for per-shard snapshot files (empty = no shard checkpoints)",
 		structural: true, daemons: ForSeerd, set: set, get: get})
+	set, get = strKnob(func(r *Runtime) *string { return &r.Daemon.RumorURL })
+	add(spec{name: "rumor-url", usage: "upstream replication-master base URL for traced hoard-fill syncs (empty = no sync)",
+		structural: true, daemons: ForSeerd, set: set, get: get})
+	set, get = strKnob(func(r *Runtime) *string { return &r.Daemon.FlightDir })
+	add(spec{name: "flight-dir", usage: "directory for flight-recorder bundles (empty = recorder disabled)",
+		structural: true, daemons: ForSeerd | ForRumord, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.FlightMinIntervalSec })
+	add(spec{name: "flight-min-interval-sec", usage: "min seconds between automatic (SLO-breach) flight captures",
+		structural: true, daemons: ForSeerd | ForRumord, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.SLOFastWindowSec })
+	add(spec{name: "slo-fast-window-sec", usage: "fast (paging) SLO burn-rate window in seconds",
+		structural: true, daemons: ForSeerd | ForRumord, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.SLOSlowWindowSec })
+	add(spec{name: "slo-slow-window-sec", usage: "slow (confirming) SLO burn-rate window in seconds",
+		structural: true, daemons: ForSeerd | ForRumord, set: set, get: get})
+	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.SLOBurnThreshold })
+	add(spec{name: "slo-burn-threshold", usage: "fast-window burn rate that marks an SLO breached",
+		structural: true, daemons: ForSeerd | ForRumord, set: set, get: get})
 
 	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.QueueCap })
 	add(spec{name: "queue", usage: "bounded ingestion queue capacity between the tailer and the correlator",
@@ -324,6 +376,9 @@ func buildKnobs() []Knob {
 	set, get = strKnob(func(r *Runtime) *string { return &r.Daemon.LogFormat })
 	add(spec{name: "log-format", usage: "log format: text (key=value) or json",
 		daemons: ForSeerd | ForRumord, set: set, get: get})
+	set, get = boolKnob(func(r *Runtime) *bool { return &r.Daemon.Tracing })
+	add(spec{name: "tracing", usage: "record request spans (-tracing=false disables; exemplars and /debug/traces stop accumulating)",
+		bool_: true, daemons: ForSeerd | ForRumord, set: set, get: get})
 	set, get = intKnob(func(r *Runtime) *int { return &r.Daemon.GatewayRetries })
 	add(spec{name: "gateway-retries", usage: "max gateway attempts per request across shard re-routes on transient errors",
 		daemons: ForSeerd, set: set, get: get})

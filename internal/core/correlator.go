@@ -145,14 +145,23 @@ func New(opts Options) *Correlator {
 		"Clusterings served from the dirty-counter cache.")
 	c.mCacheMiss = reg.Counter("seer_cluster_cache_misses_total",
 		"Clusterings that had to re-run the algorithm.")
+	// Clustering phases routinely finish in tens of microseconds on
+	// small reference sets, so the default buckets would dump most
+	// observations into the first one or two. clusterBuckets starts at
+	// 10µs and doubles-by-2.5/4 up through 10s, giving real resolution
+	// on both the incremental-patch fast path and a worst-case rebuild.
+	clusterBuckets := []float64{
+		0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
 	c.mClusterDur = reg.Histogram("seer_cluster_duration_seconds",
-		"Wall time of a full (uncached) clustering.", nil)
+		"Wall time of a full (uncached) clustering.", clusterBuckets)
 	c.mPhasePairs = reg.Histogram("seer_cluster_pairs_duration_seconds",
-		"Wall time of the pair-generation phase (BuildPairs).", nil)
+		"Wall time of the pair-generation phase (BuildPairs).", clusterBuckets)
 	c.mPhaseAssign = reg.Histogram("seer_cluster_assign_duration_seconds",
-		"Wall time of the two-phase cluster-assignment pass.", nil)
+		"Wall time of the two-phase cluster-assignment pass.", clusterBuckets)
 	c.mPhasePatch = reg.Histogram("seer_cluster_patch_duration_seconds",
-		"Wall time of an incremental cluster patch.", nil)
+		"Wall time of an incremental cluster patch.", clusterBuckets)
 	rebuilds := reg.CounterVec("seer_cluster_rebuilds_total",
 		"Clusterings that re-ran the algorithm, by kind (full rebuild vs incremental patch).",
 		"kind")

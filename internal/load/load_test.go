@@ -112,8 +112,8 @@ func TestRunRampCollectsSteps(t *testing.T) {
 
 func TestRunStopsOnSustainedOverload(t *testing.T) {
 	ft := &fakeTarget{}
-	ft.limit.Store(1)                              // nearly everything sheds
-	ft.delay.Store(int64(20 * time.Millisecond))   // holds the one slot busy
+	ft.limit.Store(1)                            // nearly everything sheds
+	ft.delay.Store(int64(20 * time.Millisecond)) // holds the one slot busy
 	srv := httptest.NewServer(ft.handler())
 	defer srv.Close()
 

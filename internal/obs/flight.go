@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// FlightRecorder captures postmortem bundles: on demand
+// (POST /debug/flight, seerctl flight) or automatically on an SLO
+// breach, it writes the daemon's recent trace spans, a metrics
+// snapshot, a goroutine dump, a short CPU profile, and whatever extra
+// sources the daemon registers (config generation, shard states) into
+// a timestamped directory — the black box to read back after the
+// incident.
+type FlightRecorder struct {
+	// Dir is the directory bundles are created under (created on first
+	// capture). CPUProfile is the profile duration (default 2s);
+	// MinInterval debounces automatic captures (default 1m).
+	Dir         string
+	CPUProfile  time.Duration
+	MinInterval time.Duration
+
+	mu      sync.Mutex
+	busy    bool
+	lastAt  time.Time
+	lastDir string
+	seq     int
+	sources []flightSource
+}
+
+type flightSource struct {
+	name string
+	fn   func(io.Writer) error
+}
+
+// NewFlightRecorder returns a recorder writing bundles under dir.
+func NewFlightRecorder(dir string) *FlightRecorder {
+	return &FlightRecorder{Dir: dir, CPUProfile: 2 * time.Second, MinInterval: time.Minute}
+}
+
+// AddSource registers one bundle file: fn is called at capture time to
+// write <name> inside the bundle directory. Sources are captured in
+// registration order; a failing source writes its error into the file
+// rather than aborting the bundle.
+func (f *FlightRecorder) AddSource(name string, fn func(io.Writer) error) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.sources = append(f.sources, flightSource{name: name, fn: fn})
+	f.mu.Unlock()
+}
+
+// TryCapture captures a bundle unless one was captured less than
+// MinInterval ago or one is already in progress — the rate-limited
+// entry point automatic (SLO-breach) captures use. It reports the
+// bundle directory, or "" when skipped.
+func (f *FlightRecorder) TryCapture(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	if f.busy || time.Since(f.lastAt) < f.MinInterval {
+		f.mu.Unlock()
+		return "", nil
+	}
+	f.busy = true
+	f.mu.Unlock()
+	return f.capture(reason)
+}
+
+// Capture captures a bundle now, waiting out any capture in progress
+// only by refusing (a concurrent capture returns an error rather than
+// queueing a second CPU profile). It returns the bundle directory.
+func (f *FlightRecorder) Capture(reason string) (string, error) {
+	if f == nil {
+		return "", fmt.Errorf("obs: no flight recorder configured")
+	}
+	f.mu.Lock()
+	if f.busy {
+		f.mu.Unlock()
+		return "", fmt.Errorf("obs: flight capture already in progress")
+	}
+	f.busy = true
+	f.mu.Unlock()
+	return f.capture(reason)
+}
+
+// capture does the work; the caller holds the busy latch.
+func (f *FlightRecorder) capture(reason string) (dir string, err error) {
+	defer func() {
+		f.mu.Lock()
+		f.busy = false
+		if err == nil {
+			f.lastAt = time.Now()
+			f.lastDir = dir
+		}
+		f.mu.Unlock()
+	}()
+
+	f.mu.Lock()
+	f.seq++
+	seq := f.seq
+	sources := append([]flightSource(nil), f.sources...)
+	f.mu.Unlock()
+
+	stamp := time.Now().UTC().Format("20060102T150405")
+	dir = filepath.Join(f.Dir, fmt.Sprintf("flight-%s-%03d", stamp, seq))
+	if err = os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	writeFile := func(name string, fn func(io.Writer) error) {
+		fp, ferr := os.Create(filepath.Join(dir, name))
+		if ferr != nil {
+			return
+		}
+		if ferr = fn(fp); ferr != nil {
+			fmt.Fprintf(fp, "\n# capture error: %v\n", ferr)
+		}
+		fp.Close()
+	}
+
+	writeFile("reason.txt", func(w io.Writer) error {
+		_, werr := fmt.Fprintf(w, "reason: %s\ncaptured_at: %s\n",
+			reason, time.Now().UTC().Format(time.RFC3339Nano))
+		return werr
+	})
+	writeFile("goroutines.txt", func(w io.Writer) error {
+		return pprof.Lookup("goroutine").WriteTo(w, 2)
+	})
+	for _, src := range sources {
+		writeFile(src.name, src.fn)
+	}
+	// The CPU profile last: it blocks for its duration, and everything
+	// above should reflect the moment of the breach, not 2s after.
+	d := f.CPUProfile
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	writeFile("cpu.pprof", func(w io.Writer) error {
+		if perr := pprof.StartCPUProfile(w); perr != nil {
+			return perr
+		}
+		time.Sleep(d)
+		pprof.StopCPUProfile()
+		return nil
+	})
+	return dir, nil
+}
+
+// Last returns the most recent bundle directory ("" before any).
+func (f *FlightRecorder) Last() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastDir
+}
+
+// Handler serves the flight API: POST captures a bundle (?reason=
+// annotates it) and returns its path as JSON; GET reports the most
+// recent bundle.
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch req.Method {
+		case http.MethodPost:
+			reason := req.URL.Query().Get("reason")
+			if reason == "" {
+				reason = "on-demand"
+			}
+			dir, err := f.Capture(reason)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]string{"bundle": dir})
+		case http.MethodGet:
+			json.NewEncoder(w).Encode(map[string]string{"last": f.Last()})
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

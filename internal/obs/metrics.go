@@ -99,6 +99,15 @@ var DefBuckets = []float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// exemplar links one histogram bucket to the trace of its most recent
+// traced observation, so a latency spike in the exposition points at a
+// reconstructable trace.
+type exemplar struct {
+	trace TraceID
+	value float64
+	at    time.Time
+}
+
 // Histogram is a fixed-bucket histogram with atomic counters: Observe
 // is lock-free, making it safe on hot paths. Bucket bounds are upper
 // bounds in ascending order; an implicit +Inf bucket catches the rest.
@@ -107,6 +116,12 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum    atomic.Uint64   // float64 bits, CAS-updated
 	count  atomic.Uint64
+
+	// exemplars holds the per-bucket most recent traced observation
+	// (nil until one lands); tracer, when set via RetainExemplars,
+	// pins referenced traces against span-ring eviction.
+	exemplars []atomic.Pointer[exemplar]
+	tracer    atomic.Pointer[Tracer]
 }
 
 // NewHistogram returns a standalone histogram with the given bucket
@@ -122,11 +137,23 @@ func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(b)+1),
+	}
 }
 
 // Observe records one sample; a nil Histogram drops it.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveTrace(v, 0) }
+
+// ObserveTrace records one sample and, when id is nonzero, retains it
+// as the bucket's exemplar: the exposition's bucket line then carries
+// the trace id of its most recent observation (OpenMetrics
+// `# {trace_id=...}` syntax). With a tracer attached via
+// RetainExemplars, the referenced trace is pinned in the span ring
+// until a newer traced observation displaces it.
+func (h *Histogram) ObserveTrace(v float64, id TraceID) {
 	if h == nil {
 		return
 	}
@@ -137,7 +164,17 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
-			return
+			break
+		}
+	}
+	if id == 0 {
+		return
+	}
+	prev := h.exemplars[i].Swap(&exemplar{trace: id, value: v, at: time.Now()})
+	if tr := h.tracer.Load(); tr != nil {
+		tr.Pin(id)
+		if prev != nil {
+			tr.Unpin(prev.trace)
 		}
 	}
 }
@@ -145,6 +182,47 @@ func (h *Histogram) Observe(v float64) {
 // ObserveSince records the seconds elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(time.Since(start).Seconds())
+}
+
+// RetainExemplars ties the histogram's exemplars to t: every trace
+// referenced by a bucket exemplar is pinned against t's span-ring
+// eviction until displaced, so following an exemplar from /metrics to
+// /debug/traces never comes back empty.
+func (h *Histogram) RetainExemplars(t *Tracer) {
+	if h != nil {
+		h.tracer.Store(t)
+	}
+}
+
+// Exemplars returns the per-bucket exemplar trace ids (zero where no
+// traced observation has landed); index len(bounds) is +Inf.
+func (h *Histogram) Exemplars() []TraceID {
+	if h == nil {
+		return nil
+	}
+	out := make([]TraceID, len(h.exemplars))
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out[i] = e.trace
+		}
+	}
+	return out
+}
+
+// CountUnder returns the number of observations at or below bound,
+// read off the cumulative bucket counts (bound rounds up to the next
+// bucket boundary). SLO monitors diff this against Count to get the
+// bad-event rate without retaining per-request state.
+func (h *Histogram) CountUnder(bound float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	i := sort.SearchFloat64s(h.bounds, bound)
+	var cum uint64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		cum += h.counts[j].Load()
+	}
+	return cum
 }
 
 // Count returns the number of observations.
@@ -381,6 +459,41 @@ func (v *GaugeVec) With(labelVals ...string) *Gauge {
 	return v.f.get(labelVals).gauge
 }
 
+// GaugeFuncVec is a labeled family of scrape-time gauges: each label
+// set owns a value function (per-window SLO burn rates read off the
+// monitor at scrape time).
+type GaugeFuncVec struct{ f *family }
+
+// GaugeFuncVec returns the labeled func-gauge family registered under
+// name.
+func (r *Registry) GaugeFuncVec(name, help string, labelKeys ...string) *GaugeFuncVec {
+	return &GaugeFuncVec{f: r.lookup(name, help, "gauge", true, nil, labelKeys)}
+}
+
+// Register binds fn as the value of the series with the given label
+// values, replacing any previous function.
+func (v *GaugeFuncVec) Register(fn func() float64, labelVals ...string) {
+	v.f.get(labelVals).fn.Store(&fn)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family registered under
+// name; buckets are upper bounds (nil means DefBuckets), fixed by the
+// first registration.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.lookup(name, help, "histogram", false, buckets, labelKeys)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	return v.f.get(labelVals).hist
+}
+
 // escapeLabel escapes a label value per the Prometheus text format.
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, `\"`+"\n") {
@@ -490,17 +603,28 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 	ls := labelString(f.labelKeys, s.labelVals, "", "")
 	switch {
 	case s.hist != nil:
+		// Bucket lines append the OpenMetrics exemplar suffix
+		// (`# {trace_id=...} value`) when a traced observation landed in
+		// that bucket; scrapers of the classic 0.0.4 format that balk at
+		// it get the same series via ParseProm-style suffix stripping.
+		exm := func(i int) string {
+			e := s.hist.exemplars[i].Load()
+			if e == nil {
+				return ""
+			}
+			return fmt.Sprintf(" # {trace_id=\"%s\"} %s", e.trace, formatFloat(e.value))
+		}
 		var cum uint64
 		for i, bound := range s.hist.bounds {
 			cum += s.hist.counts[i].Load()
 			bl := labelString(f.labelKeys, s.labelVals, "le", formatFloat(bound))
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, bl, cum, exm(i)); err != nil {
 				return err
 			}
 		}
 		cum += s.hist.counts[len(s.hist.bounds)].Load()
 		bl := labelString(f.labelKeys, s.labelVals, "le", "+Inf")
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, bl, cum, exm(len(s.hist.bounds))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(s.hist.Sum())); err != nil {

@@ -48,9 +48,40 @@ func ParseProm(r io.Reader) (map[string]float64, error) {
 	return out, nil
 }
 
+// stripExemplar removes an OpenMetrics exemplar suffix
+// (` # {trace_id="…"} value`) from a sample line. Label values here
+// come from small closed sets that never contain " # " (DESIGN.md §12
+// cardinality rules), so splitting on the marker is safe.
+func stripExemplar(line string) string {
+	if i := strings.Index(line, " # "); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// ExemplarTraceID extracts the exemplar trace id from a raw exposition
+// line, if it carries one.
+func ExemplarTraceID(line string) (TraceID, bool) {
+	i := strings.Index(line, `# {trace_id="`)
+	if i < 0 {
+		return 0, false
+	}
+	rest := line[i+len(`# {trace_id="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	id, err := ParseTraceID(rest[:j])
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
 // parseSample parses one sample line into name, canonical label string,
 // and value.
 func parseSample(line string) (Sample, error) {
+	line = stripExemplar(line)
 	var name, rest string
 	if i := strings.IndexByte(line, '{'); i >= 0 {
 		name = line[:i]

@@ -183,6 +183,14 @@ func (m *Master) Stats() (files int, creates, pushes, conflicts, reconciles uint
 // handler at prefix+"/". Bodies that fail to decode (truncation, CRC
 // mismatch, oversized counts) get 400; unknown paths 404; non-POST 405.
 func MasterHandler(prefix string, m *Master) http.Handler {
+	return TracedMasterHandler(prefix, m, nil)
+}
+
+// TracedMasterHandler is MasterHandler with server-side spans: each
+// request carrying a traceparent header records a "master:<endpoint>"
+// span in tracer, parented on the client's span, so the hop stitches
+// into the caller's distributed trace. tracer nil disables spans.
+func TracedMasterHandler(prefix string, m *Master, tracer *obs.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	// Per-endpoint traffic counters; endpoint values come from the fixed
 	// protocol path set, never from request data.
@@ -201,10 +209,16 @@ func MasterHandler(prefix string, m *Master) http.Handler {
 				mErr.Inc()
 				return
 			}
+			var sp *obs.ActiveSpan
+			if sc, ok := obs.Extract(req.Header); ok {
+				sp = tracer.StartChild(sc, "master:"+endpoint)
+			}
 			if err := fn(w, req); err != nil {
 				http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 				mErr.Inc()
+				sp.Attr("outcome", "error")
 			}
+			sp.End()
 		})
 	}
 

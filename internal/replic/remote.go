@@ -2,11 +2,13 @@ package replic
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +68,11 @@ type RemoteRumor struct {
 	mRetries     *obs.Counter
 	mReconnects  *obs.Counter
 	mDisconnects *obs.Counter
+
+	// tracer (nil until TraceOn) records one client span per round trip
+	// and injects the traceparent header so the master's server spans
+	// stitch into the same trace.
+	tracer *obs.Tracer
 }
 
 var _ Replicator = (*RemoteRumor)(nil)
@@ -109,8 +116,27 @@ func (r *RemoteRumor) InstrumentOn(reg *obs.Registry) *RemoteRumor {
 	reg.GaugeFunc("seer_replication_dirty_files",
 		"Local updates not yet propagated to the master.",
 		func() float64 { return float64(r.DirtyCount()) })
+	r.mRTT.RetainExemplars(r.tracer)
 	return r
 }
+
+// TraceOn attaches a tracer: every round trip made under a traced
+// context records a client span and carries the traceparent header, so
+// the master's half of the hop lands in the same trace. Call order
+// with InstrumentOn does not matter; it returns r for chaining.
+func (r *RemoteRumor) TraceOn(t *obs.Tracer) *RemoteRumor {
+	r.tracer = t
+	r.mRTT.RetainExemplars(t)
+	return r
+}
+
+// RTTHist returns the round-trip latency histogram (nil before
+// InstrumentOn) — the rumor-sync SLO's latency source.
+func (r *RemoteRumor) RTTHist() *obs.Histogram { return r.mRTT }
+
+// ErrorCount returns the cumulative failed round trips — the rumor-sync
+// SLO's error source (obs counters are nil-safe).
+func (r *RemoteRumor) ErrorCount() uint64 { return r.mErrs.Value() }
 
 // retry applies the configured retry hook around one round trip,
 // counting every re-attempt beyond the first so any hook (a
@@ -132,19 +158,29 @@ func (r *RemoteRumor) retry(op func() error) error {
 
 // post performs one protocol round trip and hands the response body to
 // decode. Transport failures, non-200 statuses, and frame corruption
-// all come back wrapping ErrUnavailable.
-func (r *RemoteRumor) post(path string, body []byte, decode func(io.Reader) error) error {
+// all come back wrapping ErrUnavailable. sc, when valid, parents a
+// client span over the round trip and rides the wire as traceparent.
+func (r *RemoteRumor) post(sc obs.SpanContext, path string, body []byte, decode func(io.Reader) error) error {
+	sp := r.tracer.StartChild(sc, "rumor:"+strings.TrimPrefix(path, "/"))
 	start := time.Now()
-	err := r.postOnce(path, body, decode)
-	r.mRTT.ObserveSince(start)
+	err := r.postOnce(sp.Context(), path, body, decode)
+	r.mRTT.ObserveTrace(time.Since(start).Seconds(), sc.Trace)
 	if err != nil {
 		r.mErrs.Inc()
+		sp.Attr("outcome", "error")
 	}
+	sp.End()
 	return err
 }
 
-func (r *RemoteRumor) postOnce(path string, body []byte, decode func(io.Reader) error) error {
-	resp, err := r.hc.Post(r.baseURL+path, "application/x-seer-rumor", bytes.NewReader(body))
+func (r *RemoteRumor) postOnce(sc obs.SpanContext, path string, body []byte, decode func(io.Reader) error) error {
+	req, err := http.NewRequest(http.MethodPost, r.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrUnavailable, path, err)
+	}
+	req.Header.Set("Content-Type", "application/x-seer-rumor")
+	obs.Inject(req.Header, sc)
+	resp, err := r.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrUnavailable, path, err)
 	}
@@ -203,7 +239,7 @@ func (r *RemoteRumor) Fetch(id simfs.FileID) error {
 	}
 	var info VersionInfo
 	err = r.retry(func() error {
-		return r.post("/version", req, func(body io.Reader) error {
+		return r.post(obs.SpanContext{}, "/version", req, func(body io.Reader) error {
 			var derr error
 			info, derr = decodeVersionResp(body)
 			return derr
@@ -224,6 +260,18 @@ func (r *RemoteRumor) Fetch(id simfs.FileID) error {
 // the files the master does not replicate; err is a transport failure
 // (retryable — no state changed).
 func (r *RemoteRumor) SyncBatch(fetch, evict []simfs.FileID) (failed []simfs.FileID, err error) {
+	return r.syncBatch(obs.SpanContext{}, fetch, evict)
+}
+
+// SyncBatchCtx is SyncBatch carrying the caller's trace context: the
+// /fetch round trip records a client span parented on ctx's span, so a
+// hoard fill triggered by a traced request shows up inside that trace.
+func (r *RemoteRumor) SyncBatchCtx(ctx context.Context, fetch, evict []simfs.FileID) (failed []simfs.FileID, err error) {
+	sc, _ := obs.SpanFromContext(ctx)
+	return r.syncBatch(sc, fetch, evict)
+}
+
+func (r *RemoteRumor) syncBatch(sc obs.SpanContext, fetch, evict []simfs.FileID) (failed []simfs.FileID, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.connected {
@@ -236,7 +284,7 @@ func (r *RemoteRumor) SyncBatch(fetch, evict []simfs.FileID) (failed []simfs.Fil
 		}
 		var infos []VersionInfo
 		err = r.retry(func() error {
-			return r.post("/fetch", req, func(body io.Reader) error {
+			return r.post(sc, "/fetch", req, func(body io.Reader) error {
 				var derr error
 				infos, derr = decodeFetchResp(body)
 				return derr
@@ -323,7 +371,7 @@ func (r *RemoteRumor) Access(id simfs.FileID) AccessResult {
 		if req, err := encodeID(id); err == nil {
 			var info VersionInfo
 			err := r.retry(func() error {
-				return r.post("/version", req, func(body io.Reader) error {
+				return r.post(obs.SpanContext{}, "/version", req, func(body io.Reader) error {
 					var derr error
 					info, derr = decodeVersionResp(body)
 					return derr
@@ -362,7 +410,7 @@ func (r *RemoteRumor) WriteLocal(id simfs.FileID) {
 	}
 	var res PushResult
 	err = r.retry(func() error {
-		return r.post("/push", req, func(body io.Reader) error {
+		return r.post(obs.SpanContext{}, "/push", req, func(body io.Reader) error {
 			var derr error
 			res, derr = decodePushResp(body)
 			return derr
@@ -479,7 +527,7 @@ func (r *RemoteRumor) reconcileLocked() (ReconcileReport, error) {
 	}
 	var resp ReconcileResponse
 	err = r.retry(func() error {
-		return r.post("/reconcile", body, func(rd io.Reader) error {
+		return r.post(obs.SpanContext{}, "/reconcile", body, func(rd io.Reader) error {
 			var derr error
 			resp, derr = decodeReconcileResp(rd)
 			return derr

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/fmg/seer/internal/config"
+	"github.com/fmg/seer/internal/obs"
 	"github.com/fmg/seer/internal/trace"
 )
 
@@ -443,6 +444,158 @@ func TestGatewayBackoffAbortsOnDeadRequest(t *testing.T) {
 	s0.unlock()
 	if err := <-drainDone; err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+}
+
+// A request retried across a mid-drain shard must still reconstruct as
+// ONE trace: a single gateway root span, every attempt a sibling child
+// of that root (the failed tries annotated outcome=retry, the last
+// outcome=ok), and the ingest span on the winning shard parented under
+// the winning attempt. This is the cross-process propagation contract
+// seerctl trace renders, exercised under the same drain race as
+// TestGatewayRetryAcrossDrain.
+func TestTraceRetryAcrossDrain(t *testing.T) {
+	dir := t.TempDir()
+	mgr, ts := newChaosHarness(t, dir)
+	defer mgr.Close()
+	tracer := mgr.cfg.Tracer
+
+	u := userForSlot(t, mgr, 0)
+	code, n := postEvents(t, ts.URL, u, testLines(0, 10))
+	if code != http.StatusOK {
+		t.Fatalf("seed: HTTP %d", code)
+	}
+	s0 := mgr.Shard(0)
+	waitFor(t, "seed fed", func() bool { return s0.Events() >= uint64(n) })
+
+	// Same deterministic drain window as TestGatewayRetryAcrossDrain:
+	// hold the correlator lock so the drain wedges at its final
+	// checkpoint while the traced write cycles through retries.
+	s0.lock()
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- mgr.Drain(ctx, 0)
+	}()
+	waitFor(t, "shard draining", func() bool { return s0.State() == Draining })
+
+	type post struct {
+		code    int
+		traceID string
+	}
+	postDone := make(chan post, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/events?user="+u, contentText,
+			strings.NewReader(strings.Join(testLines(100, 5), "\n")))
+		if err != nil {
+			postDone <- post{code: -1}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		postDone <- post{code: resp.StatusCode, traceID: resp.Header.Get(TraceHeader)}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	s0.unlock()
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got := <-postDone
+	if got.code != http.StatusOK {
+		t.Fatalf("ingest across drain: HTTP %d, want 200", got.code)
+	}
+	if got.traceID == "" {
+		t.Fatalf("no %s header on the retried response", TraceHeader)
+	}
+	tid, err := obs.ParseTraceID(got.traceID)
+	if err != nil {
+		t.Fatalf("bad trace id %q: %v", got.traceID, err)
+	}
+
+	// The ingest span ends inside the request, but give the ring a
+	// moment in case the racing drain reordered the final record.
+	var spans []obs.Span
+	waitFor(t, "trace spans recorded", func() bool {
+		spans = spans[:0]
+		for _, s := range tracer.Spans() {
+			if s.Trace == tid {
+				spans = append(spans, s)
+			}
+		}
+		hasIngest := false
+		for _, s := range spans {
+			if s.Stage == "ingest" {
+				hasIngest = true
+			}
+		}
+		return hasIngest
+	})
+
+	attr := func(s obs.Span, key string) string {
+		for _, a := range s.Attrs {
+			if a.Key == key {
+				return a.Value
+			}
+		}
+		return ""
+	}
+
+	var root obs.Span
+	var attempts, ingests []obs.Span
+	for _, s := range spans {
+		switch s.Stage {
+		case "gateway:events":
+			if root.ID != 0 {
+				t.Fatalf("two gateway root spans in trace %s", got.traceID)
+			}
+			root = s
+		case "attempt":
+			attempts = append(attempts, s)
+		case "ingest":
+			ingests = append(ingests, s)
+		}
+	}
+	if root.ID == 0 {
+		t.Fatalf("no gateway:events root span in trace %s (got %d spans)", got.traceID, len(spans))
+	}
+	if root.Parent != 0 {
+		t.Fatalf("gateway root has parent %s; the edge must mint the root", root.Parent)
+	}
+	if len(attempts) < 2 {
+		t.Fatalf("got %d attempt spans, want >=2 (the drain window must force a retry)", len(attempts))
+	}
+	retried, ok := 0, 0
+	for _, a := range attempts {
+		if a.Parent != root.ID {
+			t.Fatalf("attempt %s parented under %s, want sibling under root %s",
+				a.ID, a.Parent, root.ID)
+		}
+		switch attr(a, "outcome") {
+		case "retry":
+			retried++
+		case "ok":
+			ok++
+		}
+	}
+	if retried == 0 {
+		t.Fatalf("no attempt annotated outcome=retry across the drain")
+	}
+	if ok != 1 {
+		t.Fatalf("got %d outcome=ok attempts, want exactly 1", ok)
+	}
+	if len(ingests) != 1 {
+		t.Fatalf("got %d ingest spans, want exactly 1 (only the winning attempt commits)", len(ingests))
+	}
+	winner := obs.Span{}
+	for _, a := range attempts {
+		if attr(a, "outcome") == "ok" {
+			winner = a
+		}
+	}
+	if ingests[0].Parent != winner.ID {
+		t.Fatalf("ingest parented under %s, want the winning attempt %s",
+			ingests[0].Parent, winner.ID)
 	}
 }
 

@@ -84,17 +84,23 @@ func PolicyFromRuntime(rt config.Runtime) Policy {
 // health-aware routing that never hangs a caller on a draining or
 // replaced shard.
 type Gateway struct {
-	mgr  *Manager
-	pol  atomic.Pointer[Policy]
-	rand *stats.Rand
-	log  *obs.Logger
+	mgr    *Manager
+	pol    atomic.Pointer[Policy]
+	rand   *stats.Rand
+	log    *obs.Logger
+	tracer *obs.Tracer
 
-	mRetries   *obs.CounterVec // seer_gateway_retries_total{endpoint}
-	mRouteErrs *obs.CounterVec // seer_gateway_route_errors_total{endpoint}
+	mRetries   *obs.CounterVec   // seer_gateway_retries_total{endpoint}
+	mRouteErrs *obs.CounterVec   // seer_gateway_route_errors_total{endpoint}
+	mLatency   *obs.HistogramVec // seer_gateway_request_seconds{endpoint}
 
 	// sleep is the backoff delay hook (tests replace it).
 	sleep func(context.Context, time.Duration)
 }
+
+// gatewayEndpoints are the routed endpoints, the closed label set of
+// the per-endpoint instruments.
+var gatewayEndpoints = []string{"plan", "hoard", "clusters", "stats", "miss", "events"}
 
 // NewGateway wires a gateway over mgr. pol zero-values get defaults.
 func NewGateway(mgr *Manager, pol Policy) *Gateway {
@@ -102,16 +108,38 @@ func NewGateway(mgr *Manager, pol Policy) *Gateway {
 		mgr: mgr,
 		// Locked: one gateway rand feeds backoff jitter for every
 		// concurrent request goroutine.
-		rand: stats.NewLockedRand(mgr.cfg.Seed ^ 0x6761746577617973), // "gateways"
-		log:  mgr.cfg.Logger.With("component", "gateway"),
+		rand:   stats.NewLockedRand(mgr.cfg.Seed ^ 0x6761746577617973), // "gateways"
+		log:    mgr.cfg.Logger.With("component", "gateway"),
+		tracer: mgr.cfg.Tracer,
 		mRetries: mgr.cfg.Metrics.CounterVec("seer_gateway_retries_total",
 			"Gateway retries of transient shard errors.", "endpoint"),
 		mRouteErrs: mgr.cfg.Metrics.CounterVec("seer_gateway_route_errors_total",
 			"Gateway requests that exhausted retries or found no usable shard.", "endpoint"),
+		mLatency: mgr.cfg.Metrics.HistogramVec("seer_gateway_request_seconds",
+			"Successful gateway request latency (includes retries and backoff).",
+			nil, "endpoint"),
 		sleep: sleepCtx,
+	}
+	// Exemplar-referenced traces stay pinned in the span ring, so
+	// following a p99 exemplar to /debug/traces never comes back empty.
+	for _, ep := range gatewayEndpoints {
+		g.mLatency.With(ep).RetainExemplars(g.tracer)
 	}
 	g.SetPolicy(pol)
 	return g
+}
+
+// RequestHist returns the latency histogram for one endpoint (the SLO
+// monitors sample it).
+func (g *Gateway) RequestHist(endpoint string) *obs.Histogram {
+	return g.mLatency.With(endpoint)
+}
+
+// RouteErrors returns the cumulative route-error count for one
+// endpoint (requests that exhausted retries or timed out — the SLO
+// monitors' bad-event feed).
+func (g *Gateway) RouteErrors(endpoint string) uint64 {
+	return g.mRouteErrs.With(endpoint).Value()
 }
 
 // SetPolicy hot-swaps the request discipline (config reload hook).
@@ -160,6 +188,7 @@ type outcome struct {
 	stale      bool
 	retryAfter string
 	err        string
+	trace      obs.TraceID // request trace, echoed as TraceHeader
 }
 
 // shardOp runs one attempt against the routed shard. A transient
@@ -199,25 +228,37 @@ func (g *Gateway) route(ctx context.Context, endpoint, user string, op shardOp) 
 			g.mRetries.With(endpoint).Inc()
 		},
 	}
+	// Every attempt becomes a child of the request's root span, so
+	// retries show up as sibling spans under one parent in the stitched
+	// trace tree.
+	parent, _ := obs.SpanFromContext(ctx)
+	attempt := 0
 	// DoCtx, not Do: when the client disconnects or the request deadline
 	// expires mid-backoff, the retry loop must stop right there — not
 	// sleep through the rest of its schedule and burn another attempt on
 	// a dead request.
 	err := rp.DoCtx(ctx, func() error {
+		attempt++
+		sp := g.tracer.StartChild(parent, "attempt").AttrInt("attempt", int64(attempt))
+		defer sp.End()
 		if cerr := ctx.Err(); cerr != nil {
+			sp.Attr("outcome", "timeout")
 			out = outcome{status: http.StatusGatewayTimeout, err: "request timed out"}
 			return nil
 		}
 		s := g.mgr.Route(user)
 		if s == nil {
+			sp.Attr("outcome", "no_shard")
 			out = outcome{status: http.StatusServiceUnavailable, err: "no shard for user"}
 			return nil
 		}
+		sp.Attr("shard", s.name)
 		lim := s.Limiter()
 		if !lim.TryAcquire() {
 			// Honor per-shard admission: the shard is overloaded, not
 			// broken — propagate the shed verbatim, don't hammer it
 			// with retries.
+			sp.Attr("outcome", "shed")
 			out = outcome{
 				status:     http.StatusTooManyRequests,
 				retryAfter: lim.RetryAfterSeconds(),
@@ -226,15 +267,22 @@ func (g *Gateway) route(ctx context.Context, endpoint, user string, op shardOp) 
 			return nil
 		}
 		start := time.Now()
-		body, stale, oerr := op(ctx, s)
+		body, stale, oerr := op(obs.ContextWithSpan(ctx, sp.Context()), s)
 		lim.Release(time.Since(start))
 		if oerr == nil {
+			if stale {
+				sp.Attr("outcome", "stale")
+			} else {
+				sp.Attr("outcome", "ok")
+			}
 			out = outcome{status: http.StatusOK, body: body, stale: stale}
 			return nil
 		}
 		if IsTransient(oerr) && ctx.Err() == nil {
+			sp.Attr("outcome", "retry")
 			return oerr // back off, re-route, retry
 		}
+		sp.Attr("outcome", "error")
 		out = outcome{status: http.StatusServiceUnavailable, err: oerr.Error()}
 		if ctx.Err() != nil {
 			out.status = http.StatusGatewayTimeout
@@ -263,6 +311,9 @@ func (g *Gateway) write(w http.ResponseWriter, out outcome) {
 	if out.retryAfter != "" {
 		w.Header().Set("Retry-After", out.retryAfter)
 	}
+	if out.trace != 0 {
+		w.Header().Set(TraceHeader, out.trace.String())
+	}
 	if out.status != http.StatusOK {
 		http.Error(w, out.err, out.status)
 		return
@@ -276,8 +327,39 @@ func (g *Gateway) write(w http.ResponseWriter, out outcome) {
 // user extracts the routing key; "" means the caller forgot it.
 func user(req *http.Request) string { return req.URL.Query().Get("user") }
 
+// TraceHeader echoes the request's trace id back to the client, so
+// `curl -i` hands the operator the id to feed `seerctl trace`.
+const TraceHeader = "X-Seer-Trace"
+
+// rootSpan opens the request's root span at the gateway edge, adopting
+// an inbound traceparent when an upstream already began the trace and
+// minting a fresh trace otherwise.
+func (g *Gateway) rootSpan(req *http.Request, endpoint string) *obs.ActiveSpan {
+	if sc, ok := obs.Extract(req.Header); ok {
+		return g.tracer.StartChild(sc, "gateway:"+endpoint)
+	}
+	return g.tracer.StartRoot("gateway:" + endpoint)
+}
+
+// traced runs the routed request under its root span and records the
+// per-endpoint latency (successes only — errors feed the route-error
+// counter instead) with the trace id as the bucket exemplar.
+func (g *Gateway) traced(ctx context.Context, req *http.Request, endpoint, user string, op shardOp) outcome {
+	root := g.rootSpan(req, endpoint)
+	start := time.Now()
+	out := g.route(obs.ContextWithSpan(ctx, root.Context()), endpoint, user, op)
+	if out.status == http.StatusOK {
+		g.mLatency.With(endpoint).ObserveTrace(time.Since(start).Seconds(), root.Context().Trace)
+	}
+	root.AttrInt("status", int64(out.status)).End()
+	if sc := root.Context(); sc.Valid() {
+		out.trace = sc.Trace
+	}
+	return out
+}
+
 // serve is the common GET wrapper: extract user, bound the context,
-// route, render.
+// route under the root span, render.
 func (g *Gateway) serve(w http.ResponseWriter, req *http.Request, endpoint string, op shardOp) {
 	w.Header().Set("Content-Type", contentText)
 	u := user(req)
@@ -287,7 +369,7 @@ func (g *Gateway) serve(w http.ResponseWriter, req *http.Request, endpoint strin
 	}
 	ctx, cancel := g.boundCtx(req)
 	defer cancel()
-	g.write(w, g.route(ctx, endpoint, u, op))
+	g.write(w, g.traced(ctx, req, endpoint, u, op))
 }
 
 func (g *Gateway) handlePlan(w http.ResponseWriter, req *http.Request) {
@@ -375,7 +457,7 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, req *http.Request) {
 	}
 	ctx, cancel := g.boundCtx(req)
 	defer cancel()
-	out := g.route(ctx, "events", u, func(ctx context.Context, s *Shard) ([]byte, bool, error) {
+	out := g.traced(ctx, req, "events", u, func(ctx context.Context, s *Shard) ([]byte, bool, error) {
 		n, err := s.IngestLines(ctx, lines)
 		if err != nil {
 			return nil, false, err

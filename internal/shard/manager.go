@@ -11,6 +11,7 @@ import (
 	"github.com/fmg/seer/internal/admit"
 	"github.com/fmg/seer/internal/config"
 	"github.com/fmg/seer/internal/obs"
+	"github.com/fmg/seer/internal/replic"
 	"github.com/fmg/seer/internal/supervise"
 )
 
@@ -36,6 +37,9 @@ type ManagerConfig struct {
 	CheckpointEvery time.Duration
 	// Vnodes overrides the ring's virtual-node count (0 = default).
 	Vnodes int
+	// Rumor, when set, is the shared replication client handed to every
+	// shard for traced hoard-fill syncs.
+	Rumor *replic.RemoteRumor
 }
 
 // Manager hosts N shard bulkheads behind a consistent-hash ring. Each
@@ -139,6 +143,7 @@ func (m *Manager) shardConfig(i int) Config {
 		BudgetBytes:     rt.Daemon.HoardBudgetMB << 20,
 		CheckpointEvery: m.cfg.CheckpointEvery,
 		Supervisor:      m.cfg.Supervisor,
+		Rumor:           m.cfg.Rumor,
 		Limits: admit.Limits{
 			MaxInFlight: rt.Admit.PlanMaxInFlight,
 			MaxQueuePct: rt.Admit.MaxQueuePct,

@@ -143,6 +143,10 @@ type Config struct {
 	Supervisor supervise.Config
 	// Limits is the shard's admission-control policy.
 	Limits admit.Limits
+	// Rumor, when set, is the shard's replication client: a fresh /hoard
+	// answer triggers a bounded hoard-fill sync against the rumor master,
+	// traced as a child of the request span.
+	Rumor *replic.RemoteRumor
 }
 
 func (c Config) withDefaults() Config {
@@ -171,10 +175,12 @@ func (c Config) withDefaults() Config {
 }
 
 // event is one parsed trace event in flight between ingestion and the
-// shard's feeder, tagged with its batch trace id.
+// shard's feeder, tagged with its batch trace id and the ingest span
+// that enqueued it, so the feeder's span nests under the right parent.
 type event struct {
-	ev  trace.Event
-	tid obs.TraceID
+	ev     trace.Event
+	tid    obs.TraceID
+	parent obs.SpanID
 }
 
 // planCache is the shard's last-good rendered /plan and /hoard bodies.
@@ -423,9 +429,10 @@ func (s *Shard) feedStage(ctx context.Context) error {
 			return nil
 		}
 		var (
-			sp  *obs.ActiveSpan
-			cur obs.TraceID
-			n   int64
+			sp   *obs.ActiveSpan
+			cur  obs.TraceID
+			curP obs.SpanID
+			n    int64
 		)
 		end := func() {
 			if sp != nil {
@@ -434,10 +441,15 @@ func (s *Shard) feedStage(ctx context.Context) error {
 			sp, n = nil, 0
 		}
 		for {
-			if sp == nil || qe.tid != cur {
+			if sp == nil || qe.tid != cur || qe.parent != curP {
 				end()
-				cur = qe.tid
-				sp = s.tracer.StartSpan(cur, "feed").Attr("shard", s.name)
+				cur, curP = qe.tid, qe.parent
+				if curP != 0 {
+					sp = s.tracer.StartChild(obs.SpanContext{Trace: cur, Span: curP}, "feed")
+				} else {
+					sp = s.tracer.StartSpan(cur, "feed")
+				}
+				sp = sp.Attr("shard", s.name)
 			}
 			if !s.feedCtx(ctx, qe.ev) {
 				s.queue.Put(context.Background(), qe)
@@ -486,14 +498,27 @@ func (s *Shard) save() error {
 }
 
 // IngestLines parses strace lines and enqueues the resulting events as
-// one traced batch. Only a serving shard ingests; any other state is a
-// transient error the gateway retries against the slot's replacement.
+// one traced batch. A gateway-propagated span context on ctx parents
+// the ingest span (and through it the feed span) inside the request's
+// distributed trace; without one the batch mints its own trace id.
+// Only a serving shard ingests; any other state is a transient error
+// the gateway retries against the slot's replacement.
 func (s *Shard) IngestLines(ctx context.Context, lines []string) (int, error) {
 	if err := s.stateErr(); err != nil {
 		return 0, err
 	}
-	tid := s.tracer.NewTrace()
-	sp := s.tracer.StartSpan(tid, "ingest").Attr("shard", s.name).Attr("source", "gateway")
+	var (
+		tid obs.TraceID
+		sp  *obs.ActiveSpan
+	)
+	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Valid() {
+		tid = sc.Trace
+		sp = s.tracer.StartChild(sc, "ingest")
+	} else {
+		tid = s.tracer.NewTrace()
+		sp = s.tracer.StartSpan(tid, "ingest")
+	}
+	sp = sp.Attr("shard", s.name).Attr("source", "gateway")
 	var n int
 	s.parserMu.Lock()
 	evs := make([]trace.Event, 0, len(lines))
@@ -503,8 +528,9 @@ func (s *Shard) IngestLines(ctx context.Context, lines []string) (int, error) {
 		}
 	}
 	s.parserMu.Unlock()
+	parent := sp.Context().Span
 	for _, ev := range evs {
-		if !s.queue.Put(ctx, event{ev: ev, tid: tid}) {
+		if !s.queue.Put(ctx, event{ev: ev, tid: tid, parent: parent}) {
 			break
 		}
 		n++
@@ -538,7 +564,7 @@ func (s *Shard) Plan(ctx context.Context) (body []byte, stale bool, err error) {
 	case Draining:
 		return s.serveStale(false)
 	}
-	sp := s.tracer.StartSpan(obs.TraceID(s.lastTrace.Load()), "plan").Attr("shard", s.name)
+	sp := s.reqSpan(ctx, "plan")
 	defer sp.End()
 	if !s.lockCtx(ctx) {
 		sp.Attr("outcome", "stale")
@@ -573,14 +599,14 @@ func (s *Shard) Hoard(ctx context.Context) (body []byte, stale bool, err error) 
 	case Draining:
 		return s.serveStale(true)
 	}
-	sp := s.tracer.StartSpan(obs.TraceID(s.lastTrace.Load()), "hoard").Attr("shard", s.name)
+	sp := s.reqSpan(ctx, "hoard")
 	defer sp.End()
 	if !s.lockCtx(ctx) {
 		sp.Attr("outcome", "stale")
 		return s.serveStale(true)
 	}
 	var buf bytes.Buffer
-	herr := s.renderHoard(ctx, &buf)
+	ids, herr := s.renderHoard(ctx, &buf)
 	s.unlock()
 	if herr != nil {
 		sp.Attr("outcome", "stale")
@@ -588,15 +614,55 @@ func (s *Shard) Hoard(ctx context.Context) (body []byte, stale bool, err error) 
 	}
 	sp.Attr("outcome", "fresh")
 	s.plans.set(true, buf.Bytes())
+	s.hoardFill(ctx, sp, ids)
 	return buf.Bytes(), false, nil
 }
 
-// renderHoard writes the hoard listing (caller holds the lock).
-func (s *Shard) renderHoard(ctx context.Context, w io.Writer) error {
+// hoardFillMax bounds how many files one /hoard answer pre-fetches from
+// the rumor master — the sync is best-effort warm-up, not a transfer
+// protocol, and must never turn a plan request into a bulk copy.
+const hoardFillMax = 64
+
+// hoardFill pre-fetches a fresh hoard's head from the rumor master (one
+// batched /fetch round trip, traced as a child of the request span).
+// Failures are recorded on the span and otherwise ignored: the hoard
+// listing already went to the client.
+func (s *Shard) hoardFill(ctx context.Context, sp *obs.ActiveSpan, ids []simfs.FileID) {
+	if s.cfg.Rumor == nil || len(ids) == 0 {
+		return
+	}
+	if len(ids) > hoardFillMax {
+		ids = ids[:hoardFillMax]
+	}
+	fctx := obs.ContextWithSpan(ctx, sp.Context())
+	failed, err := s.cfg.Rumor.SyncBatchCtx(fctx, ids, nil)
+	switch {
+	case err != nil:
+		sp.Attr("rumor", "error")
+	case len(failed) > 0:
+		sp.Attr("rumor", "partial").AttrInt("rumor_failed", int64(len(failed)))
+	default:
+		sp.Attr("rumor", "filled").AttrInt("rumor_files", int64(len(ids)))
+	}
+}
+
+// reqSpan opens the span for a read request: parented on the gateway's
+// propagated span context when ctx carries one, else tagged onto the
+// shard's last ingest trace (the single-tenant daemon's convention).
+func (s *Shard) reqSpan(ctx context.Context, stage string) *obs.ActiveSpan {
+	if sc, ok := obs.SpanFromContext(ctx); ok && sc.Valid() {
+		return s.tracer.StartChild(sc, stage).Attr("shard", s.name)
+	}
+	return s.tracer.StartSpan(obs.TraceID(s.lastTrace.Load()), stage).Attr("shard", s.name)
+}
+
+// renderHoard writes the hoard listing and returns the chosen file ids
+// (caller holds the lock).
+func (s *Shard) renderHoard(ctx context.Context, w io.Writer) ([]simfs.FileID, error) {
 	s.mPlans.Inc()
 	plan, err := s.corr.PlanContext(ctx)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	contents := plan.Fill(s.budget.Load(), s.corr.Params().SkipUnfittingClusters)
 	fmt.Fprintf(w, "# hoard: %d files, %d bytes of %d budget\n",
@@ -617,7 +683,7 @@ func (s *Shard) renderHoard(ctx context.Context, w io.Writer) error {
 			fmt.Fprintln(w, f.Path)
 		}
 	}
-	return nil
+	return contents.IDs(), nil
 }
 
 // Clusters renders the multi-member clusters; busy shards refuse rather

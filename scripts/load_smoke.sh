@@ -110,6 +110,58 @@ for name in 'Load/peak_rps' 'Load/shards4/peak_rps' 'Load/shards4/step0'; do
     fi
 done
 
+kill $PID
+wait $PID 2>/dev/null || true
+
+# --- Phase 3: tracing overhead bound -----------------------------------
+# The same sharded ramp with span recording off, then on, from fresh
+# daemons each time. Tracing is advertised as cheap enough to leave on
+# in production (DESIGN.md §17); hold it to a <=5% peak-RPS cost here
+# so a regression in the span hot path fails the smoke, not a user.
+"$BIN" -shards 4 -listen "$SHARD_ADDR" -shard-dir "$WORK/shards_off" \
+    -tracing=false > "$WORK/seerd_off.log" 2>&1 &
+PID=$!
+wait_up "$SHARD_ADDR" "$WORK/seerd_off.log"
+
+echo "== tracing-off ramp =="
+"$LOADBIN" -target "http://$SHARD_ADDR" \
+    -clients "$CLIENTS" -users 8 -seed 1 -seed-events 100 \
+    -start-rps "$START_RPS" -step-rps "$STEP_RPS" \
+    -steps "$STEPS" -step-dur "$STEP_DUR" \
+    -prefix Load/trace_off -record "$BASE" -o "$WORK/load_off.json"
+
+kill $PID
+wait $PID 2>/dev/null || true
+
+"$BIN" -shards 4 -listen "$SHARD_ADDR" -shard-dir "$WORK/shards_on" \
+    > "$WORK/seerd_on.log" 2>&1 &
+PID=$!
+wait_up "$SHARD_ADDR" "$WORK/seerd_on.log"
+
+echo "== tracing-on ramp =="
+"$LOADBIN" -target "http://$SHARD_ADDR" \
+    -clients "$CLIENTS" -users 8 -seed 1 -seed-events 100 \
+    -start-rps "$START_RPS" -step-rps "$STEP_RPS" \
+    -steps "$STEPS" -step-dur "$STEP_DUR" \
+    -prefix Load/trace_on -record "$BASE" -o "$WORK/load_on.json"
+
+peak() {
+    awk -v n="\"$1\"" '
+        index($0, n) { f = 1 }
+        f && /"rps"/ { gsub(/,/, ""); print $2; exit }' "$BASE"
+}
+OFF=$(peak Load/trace_off/peak_rps)
+ON=$(peak Load/trace_on/peak_rps)
+if [ -z "$OFF" ] || [ -z "$ON" ]; then
+    echo "MISSING tracing-ramp peaks (off=$OFF on=$ON)" >&2
+    exit 1
+fi
+if ! awk -v on="$ON" -v off="$OFF" 'BEGIN { exit !(on >= 0.95 * off) }'; then
+    echo "TRACING OVERHEAD over bound: peak $ON rps on vs $OFF rps off (>5% drop)" >&2
+    exit 1
+fi
+echo "tracing overhead OK: peak $ON rps on vs $OFF rps off"
+
 if [ -n "${BASELINE_OUT:-}" ]; then
     cp "$BASE" "$BASELINE_OUT"
     echo "baseline written to $BASELINE_OUT"
